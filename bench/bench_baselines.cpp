@@ -1,0 +1,133 @@
+/// \file bench_baselines.cpp
+/// E12 (related-work landscape, paper §1.3): election cost on single-hop
+/// networks for
+///   - the anonymous deterministic canonical DRIP (needs wakeup asymmetry;
+///     staggered tags 0..n-1, so σ = n-1),
+///   - labeled deterministic binary search (L+1 rounds, L = ceil(log2 n)),
+///   - labeled deterministic tree splitting (DFS over label prefixes),
+///   - anonymous randomized decay (simultaneous wakeup — the configuration
+///     the paper proves impossible deterministically).
+/// The headline: labels or coins buy exponentially faster election than
+/// time-based symmetry breaking, and the canonical DRIP is the only option
+/// that needs no identity and no randomness at all.
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/binary_search.hpp"
+#include "baselines/randomized.hpp"
+#include "baselines/tree_split.hpp"
+#include "bench_common.hpp"
+#include "config/families.hpp"
+#include "core/election.hpp"
+#include "radio/simulator.hpp"
+
+namespace {
+
+using namespace arl;
+
+unsigned label_bits_for(graph::NodeId n) {
+  unsigned bits = 1;
+  while ((std::uint64_t{1} << bits) < n) {
+    ++bits;
+  }
+  return bits;
+}
+
+config::Round randomized_average_rounds(graph::NodeId n, int trials) {
+  const config::Configuration c = config::single_hop(std::vector<config::Tag>(n, 0));
+  const baselines::RandomizedElection drip;
+  std::uint64_t total = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    radio::SimulatorOptions options;
+    options.coin_seed = 1000 + static_cast<std::uint64_t>(trial);
+    const radio::RunResult run = radio::simulate(c, drip, options);
+    total += run.nodes[0].done_round;
+  }
+  return static_cast<config::Round>(total / static_cast<std::uint64_t>(trials));
+}
+
+void print_tables() {
+  support::Table table({"n", "canonical (anon det, sigma=n-1)", "binary search (labels)",
+                        "tree split (labels)", "randomized avg (anon, coins)"});
+  for (const graph::NodeId n : {4u, 8u, 16u, 32u, 64u}) {
+    // Canonical: staggered single-hop, the natural feasible instance.
+    std::vector<config::Tag> tags(n);
+    std::iota(tags.begin(), tags.end(), config::Tag{0});
+    const core::ElectionReport canonical = core::elect(config::single_hop(tags));
+
+    const unsigned bits = label_bits_for(n);
+    const config::Configuration flat = config::single_hop(std::vector<config::Tag>(n, 0));
+    std::vector<std::uint64_t> labels(n);
+    std::iota(labels.begin(), labels.end(), 0);
+
+    radio::SimulatorOptions labeled;
+    labeled.labels = labels;
+    const radio::RunResult binary =
+        radio::simulate(flat, baselines::BinarySearchElection(bits), labeled);
+    const radio::RunResult tree =
+        radio::simulate(flat, baselines::TreeSplitElection(bits), labeled);
+
+    table.add_row({static_cast<std::int64_t>(n),
+                   static_cast<std::int64_t>(canonical.local_rounds),
+                   static_cast<std::int64_t>(binary.nodes[0].done_round),
+                   static_cast<std::int64_t>(tree.nodes[0].done_round),
+                   static_cast<std::int64_t>(randomized_average_rounds(n, 20))});
+  }
+  benchsupport::print_table(
+      "E12 — single-hop election rounds: anonymity/determinism vs labels/coins", table);
+}
+
+void BM_CanonicalSingleHop(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  std::vector<config::Tag> tags(n);
+  std::iota(tags.begin(), tags.end(), config::Tag{0});
+  const config::Configuration c = config::single_hop(tags);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::elect(c).valid);
+  }
+}
+BENCHMARK(BM_CanonicalSingleHop)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BinarySearchSingleHop(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const config::Configuration c = config::single_hop(std::vector<config::Tag>(n, 0));
+  const baselines::BinarySearchElection drip(label_bits_for(n));
+  radio::SimulatorOptions options;
+  options.labels.resize(n);
+  std::iota(options.labels.begin(), options.labels.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radio::simulate(c, drip, options).all_terminated);
+  }
+}
+BENCHMARK(BM_BinarySearchSingleHop)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TreeSplitSingleHop(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const config::Configuration c = config::single_hop(std::vector<config::Tag>(n, 0));
+  const baselines::TreeSplitElection drip(label_bits_for(n));
+  radio::SimulatorOptions options;
+  options.labels.resize(n);
+  std::iota(options.labels.begin(), options.labels.end(), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radio::simulate(c, drip, options).all_terminated);
+  }
+}
+BENCHMARK(BM_TreeSplitSingleHop)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RandomizedSingleHop(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const config::Configuration c = config::single_hop(std::vector<config::Tag>(n, 0));
+  const baselines::RandomizedElection drip;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    radio::SimulatorOptions options;
+    options.coin_seed = ++seed;
+    benchmark::DoNotOptimize(radio::simulate(c, drip, options).all_terminated);
+  }
+}
+BENCHMARK(BM_RandomizedSingleHop)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+ARL_BENCH_MAIN(print_tables)

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the experiment benchmarks: every bench binary
+/// first prints its experiment table (the paper-style rows recorded in
+/// EXPERIMENTS.md) and then runs its google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "support/table.hpp"
+
+namespace arl::benchsupport {
+
+/// Prints a titled markdown table to stdout.
+inline void print_table(const std::string& title, const support::Table& table) {
+  std::cout << "\n### " << title << "\n\n";
+  table.print_markdown(std::cout);
+  std::cout << std::flush;
+}
+
+}  // namespace arl::benchsupport
+
+/// Defines main(): emit the experiment tables, then run the timings.
+#define ARL_BENCH_MAIN(print_tables_fn)                       \
+  int main(int argc, char** argv) {                           \
+    print_tables_fn();                                        \
+    benchmark::Initialize(&argc, argv);                       \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                               \
+    }                                                         \
+    benchmark::RunSpecifiedBenchmarks();                      \
+    benchmark::Shutdown();                                    \
+    return 0;                                                 \
+  }

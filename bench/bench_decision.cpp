@@ -1,0 +1,56 @@
+/// \file bench_decision.cpp
+/// E7 (Proposition 4.5): feasibility cannot be decided distributedly.  For
+/// each candidate protocol with first transmission at t, the executions on
+/// H_{t+1} (feasible) and S_{t+1} (infeasible) are compared node-by-node:
+/// every transcript is identical, so no node could ever answer differently
+/// on the two configurations — while the ground truth differs.
+
+#include "bench_common.hpp"
+#include "config/families.hpp"
+#include "core/classifier.hpp"
+#include "lowerbounds/comparator.hpp"
+#include "lowerbounds/universal.hpp"
+
+namespace {
+
+using namespace arl;
+
+void print_tables() {
+  support::Table table({"candidate", "t", "H_{t+1} feasible", "S_{t+1} feasible",
+                        "transcripts identical", "divergence"});
+  for (const config::Round wait : {0u, 1u, 2u, 5u, 9u, 14u}) {
+    const lowerbounds::BeepCandidate candidate(wait, wait + 10);
+    const config::Round t = wait + 1;  // tag-0 nodes transmit at global wait+1
+    const config::Configuration h = config::family_h(t + 1);
+    const config::Configuration s = config::family_s(t + 1);
+
+    const bool h_feasible = core::Classifier{}.run(h).feasible();
+    const bool s_feasible = core::Classifier{}.run(s).feasible();
+    const lowerbounds::ComparisonResult comparison =
+        lowerbounds::compare_executions(h, s, candidate);
+
+    table.add_row({candidate.name(), static_cast<std::int64_t>(t),
+                   std::string(h_feasible ? "yes" : "no"),
+                   std::string(s_feasible ? "yes" : "no"),
+                   std::string(comparison.identical ? "yes" : "NO"),
+                   comparison.identical ? std::string("-") : comparison.difference});
+  }
+  benchsupport::print_table(
+      "E7 — Prop 4.5: H_{t+1} vs S_{t+1} are execution-indistinguishable", table);
+}
+
+void BM_CompareExecutions(benchmark::State& state) {
+  const auto wait = static_cast<config::Round>(state.range(0));
+  const lowerbounds::BeepCandidate candidate(wait, wait + 10);
+  const config::Configuration h = config::family_h(wait + 2);
+  const config::Configuration s = config::family_s(wait + 2);
+  for (auto _ : state) {
+    const auto comparison = lowerbounds::compare_executions(h, s, candidate);
+    benchmark::DoNotOptimize(comparison.identical);
+  }
+}
+BENCHMARK(BM_CompareExecutions)->Arg(1)->Arg(5)->Arg(14);
+
+}  // namespace
+
+ARL_BENCH_MAIN(print_tables)

@@ -1,0 +1,101 @@
+/// \file bench_election.cpp
+/// E3 (Lemma 3.10 / Theorem 3.15): canonical-DRIP election time in rounds
+/// against the O(n²σ) bound, across topologies, sizes and spans.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "config/families.hpp"
+#include "core/election.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arl;
+
+double bound_ratio(const core::ElectionReport& report, graph::NodeId n, config::Tag sigma) {
+  // Lemma 3.10's explicit envelope: ceil(n/2) phases x (n(2σ+1)+σ) rounds.
+  const double bound = ((n + 1.0) / 2.0) * (n * (2.0 * sigma + 1.0) + sigma) + 1.0;
+  return static_cast<double>(report.local_rounds) / bound;
+}
+
+void print_tables() {
+  support::Table table({"workload", "n", "sigma", "feasible", "phases", "local rounds",
+                        "n^2*sigma", "rounds/bound"});
+  support::Rng rng(2027);
+  auto row = [&](const std::string& name, const config::Configuration& c) {
+    const core::ElectionReport report = core::elect(c);
+    table.add_row({name, static_cast<std::int64_t>(c.size()),
+                   static_cast<std::int64_t>(c.span()),
+                   std::string(report.feasible ? "yes" : "no"),
+                   static_cast<std::int64_t>(report.classification.iterations),
+                   static_cast<std::int64_t>(report.local_rounds),
+                   static_cast<double>(c.size()) * c.size() * std::max<config::Tag>(c.span(), 1),
+                   bound_ratio(report, c.size(), c.span())});
+  };
+
+  for (const config::Tag m : {2u, 4u, 8u, 16u, 32u}) {
+    row("G_m path", config::family_g(m));
+  }
+  for (const config::Tag m : {2u, 8u, 32u, 128u}) {
+    row("H_m", config::family_h(m));
+  }
+  for (const graph::NodeId n : {8u, 16u, 32u, 64u}) {
+    row("staggered path", config::staggered_path(n));
+  }
+  for (const graph::NodeId n : {8u, 16u, 32u}) {
+    row("random gnp(0.3) sigma=3",
+        config::random_tags_with_span(graph::gnp_connected(n, 0.3, rng), 3, rng));
+  }
+  for (const graph::NodeId n : {9u, 16u, 25u}) {
+    const auto side = static_cast<graph::NodeId>(n == 9 ? 3 : n == 16 ? 4 : 5);
+    row("grid sigma=2",
+        config::random_tags_with_span(graph::grid(side, side), 2, rng));
+  }
+  benchsupport::print_table("E3 — canonical-DRIP election time vs the O(n^2*sigma) bound",
+                            table);
+}
+
+// ------------------------------------------------------------- timed series
+
+void BM_ElectOnFamilyG(benchmark::State& state) {
+  const auto m = static_cast<config::Tag>(state.range(0));
+  const config::Configuration c = config::family_g(m);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    const core::ElectionReport report = core::elect(c);
+    benchmark::DoNotOptimize(report.valid);
+    rounds = report.local_rounds;
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["n"] = static_cast<double>(c.size());
+}
+BENCHMARK(BM_ElectOnFamilyG)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ElectOnStaggeredPath(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const config::Configuration c = config::staggered_path(n);
+  for (auto _ : state) {
+    const core::ElectionReport report = core::elect(c);
+    benchmark::DoNotOptimize(report.valid);
+  }
+}
+BENCHMARK(BM_ElectOnStaggeredPath)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ElectOnRandomGnp(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  support::Rng rng(55 + n);
+  const config::Configuration c =
+      config::random_tags_with_span(graph::gnp_connected(n, 0.3, rng), 3, rng);
+  for (auto _ : state) {
+    const core::ElectionReport report = core::elect(c);
+    benchmark::DoNotOptimize(report.valid);
+  }
+}
+BENCHMARK(BM_ElectOnRandomGnp)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+ARL_BENCH_MAIN(print_tables)

@@ -1,0 +1,141 @@
+/// \file bench_feasibility.cpp
+/// E8 (extension figure): how common are feasible configurations?  Sampled
+/// feasibility rate of random configurations as a function of size, span and
+/// edge density — the "how much wakeup asymmetry does nature need to give
+/// you" picture the paper's characterization makes computable.  The sweep
+/// fans out over the thread pool (one seed stream per sample).
+
+#include <atomic>
+
+#include "bench_common.hpp"
+#include "config/families.hpp"
+#include "config/mutations.hpp"
+#include "core/fast_classifier.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace arl;
+
+double feasibility_rate(graph::NodeId n, config::Tag sigma, double p, std::size_t samples,
+                        support::ThreadPool& pool) {
+  std::atomic<std::uint64_t> feasible{0};
+  const support::Rng master(0xFEA51B1E ^ (static_cast<std::uint64_t>(n) << 32) ^
+                            (static_cast<std::uint64_t>(sigma) << 16) ^
+                            static_cast<std::uint64_t>(p * 1000));
+  support::parallel_for(pool, 0, samples, [&](std::size_t sample) {
+    support::Rng rng = master.split(sample);
+    const config::Configuration c =
+        config::random_tags(graph::gnp_connected(n, p, rng), sigma, rng);
+    if (core::FastClassifier{}.run(c).feasible()) {
+      feasible.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  return static_cast<double>(feasible.load()) / static_cast<double>(samples);
+}
+
+void print_tables() {
+  support::ThreadPool pool;
+  constexpr std::size_t kSamples = 400;
+
+  {
+    support::Table table({"n", "sigma=1", "sigma=2", "sigma=4", "sigma=8"});
+    table.set_precision(3);
+    for (const graph::NodeId n : {4u, 6u, 8u, 12u, 16u, 24u}) {
+      table.add_row({static_cast<std::int64_t>(n),
+                     feasibility_rate(n, 1, 0.3, kSamples, pool),
+                     feasibility_rate(n, 2, 0.3, kSamples, pool),
+                     feasibility_rate(n, 4, 0.3, kSamples, pool),
+                     feasibility_rate(n, 8, 0.3, kSamples, pool)});
+    }
+    benchsupport::print_table(
+        "E8a — feasibility rate vs n and sigma (gnp p=0.3, uniform tags, 400 samples)", table);
+  }
+  {
+    support::Table table({"edge probability p", "n=8", "n=16"});
+    table.set_precision(3);
+    for (const double p : {0.1, 0.2, 0.4, 0.6, 0.8}) {
+      table.add_row({p, feasibility_rate(8, 2, p, kSamples, pool),
+                     feasibility_rate(16, 2, p, kSamples, pool)});
+    }
+    benchsupport::print_table("E8b — feasibility rate vs edge density (sigma = 2)", table);
+  }
+  {
+    // E8c — sensitivity: how often does nudging ONE wakeup tag flip the
+    // verdict?  (The deployment-robustness question mutations.hpp exists for.)
+    support::Table table({"n", "configs", "feasible->infeasible flips %",
+                          "infeasible->feasible flips %"});
+    table.set_precision(3);
+    support::Rng rng(0x5EED);
+    for (const graph::NodeId n : {6u, 10u, 14u}) {
+      std::uint64_t feasible_mutations = 0;
+      std::uint64_t feasible_flips = 0;
+      std::uint64_t infeasible_mutations = 0;
+      std::uint64_t infeasible_flips = 0;
+      constexpr int kConfigs = 40;
+      for (int i = 0; i < kConfigs; ++i) {
+        const config::Configuration c =
+            config::random_tags(graph::gnp_connected(n, 0.3, rng), 2, rng);
+        const bool feasible = core::FastClassifier{}.run(c).feasible();
+        for (const auto& mutated : config::all_tag_mutations(c, 2)) {
+          const bool mutated_feasible = core::FastClassifier{}.run(mutated).feasible();
+          if (feasible) {
+            ++feasible_mutations;
+            feasible_flips += mutated_feasible ? 0 : 1;
+          } else {
+            ++infeasible_mutations;
+            infeasible_flips += mutated_feasible ? 1 : 0;
+          }
+        }
+      }
+      auto rate = [](std::uint64_t flips, std::uint64_t total) {
+        return total == 0 ? 0.0 : 100.0 * static_cast<double>(flips) / static_cast<double>(total);
+      };
+      table.add_row({static_cast<std::int64_t>(n), std::int64_t{kConfigs},
+                     rate(feasible_flips, feasible_mutations),
+                     rate(infeasible_flips, infeasible_mutations)});
+    }
+    benchsupport::print_table(
+        "E8c — verdict sensitivity to a single tag perturbation (tags 0..2)", table);
+  }
+  {
+    // E8d — the repair direction, measured where infeasibility actually
+    // lives: every single-tag mutation of the infeasible family S_m.
+    support::Table table({"S_m", "mutations", "repaired to feasible", "repair %"});
+    table.set_precision(3);
+    for (const config::Tag m : {1u, 2u, 4u}) {
+      const config::Configuration s = config::family_s(m);
+      const auto mutations = config::all_tag_mutations(s, m + 2);
+      std::uint64_t repaired = 0;
+      for (const auto& mutated : mutations) {
+        repaired += core::FastClassifier{}.run(mutated).feasible() ? 1 : 0;
+      }
+      table.add_row({static_cast<std::int64_t>(m),
+                     static_cast<std::int64_t>(mutations.size()),
+                     static_cast<std::int64_t>(repaired),
+                     100.0 * static_cast<double>(repaired) /
+                         static_cast<double>(mutations.size())});
+    }
+    benchsupport::print_table(
+        "E8d — repairing the infeasible family S_m with one tag change", table);
+  }
+}
+
+void BM_FeasibilitySample(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  support::Rng rng(99 + n);
+  std::uint64_t feasible = 0;
+  for (auto _ : state) {
+    const config::Configuration c =
+        config::random_tags(graph::gnp_connected(n, 0.3, rng), 2, rng);
+    feasible += core::FastClassifier{}.run(c).feasible() ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(feasible);
+}
+BENCHMARK(BM_FeasibilitySample)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+ARL_BENCH_MAIN(print_tables)

@@ -1,0 +1,69 @@
+/// \file bench_patient.cpp
+/// E11 (Lemma 3.12): cost of the patience transformation.  Wrapping delays
+/// each node by s_w = min(σ, rcv_w) rounds and preserves the election
+/// outcome; the table reports the measured overhead next to the bound σ.
+
+#include "bench_common.hpp"
+#include "config/families.hpp"
+#include "core/canonical_drip.hpp"
+#include "core/patient.hpp"
+#include "core/schedule.hpp"
+#include "graph/generators.hpp"
+#include "lowerbounds/universal.hpp"
+#include "radio/simulator.hpp"
+
+namespace {
+
+using namespace arl;
+
+void print_tables() {
+  support::Table table({"configuration", "sigma", "bare rounds (global)",
+                        "wrapped rounds (global)", "overhead", "same leaders"});
+  auto row = [&](const std::string& name, const config::Configuration& c,
+                 std::shared_ptr<const radio::Drip> inner) {
+    const radio::RunResult bare = radio::simulate(c, *inner);
+    const core::PatientWrapper wrapped(inner, c.span());
+    const radio::RunResult patient = radio::simulate(c, wrapped);
+    table.add_row({name, static_cast<std::int64_t>(c.span()),
+                   static_cast<std::int64_t>(bare.rounds_executed),
+                   static_cast<std::int64_t>(patient.rounds_executed),
+                   static_cast<std::int64_t>(patient.rounds_executed - bare.rounds_executed),
+                   std::string(bare.leaders() == patient.leaders() ? "yes" : "NO")});
+  };
+
+  for (const config::Tag m : {2u, 8u, 32u}) {
+    const config::Configuration c = config::family_h(m);
+    row("H_" + std::to_string(m) + " + canonical", c,
+        std::make_shared<core::CanonicalDrip>(core::make_schedule(c)));
+  }
+  for (const config::Tag span : {3u, 9u}) {
+    const config::Configuration c(graph::path(2), {0, span});
+    row("2-path span " + std::to_string(span) + " + beep(2)", c,
+        std::make_shared<lowerbounds::BeepCandidate>(2, 12));
+  }
+  benchsupport::print_table(
+      "E11 — patience transformation overhead (bound: +sigma per node)", table);
+}
+
+void BM_BareCanonical(benchmark::State& state) {
+  const config::Configuration c = config::family_h(static_cast<config::Tag>(state.range(0)));
+  const auto inner = std::make_shared<core::CanonicalDrip>(core::make_schedule(c));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radio::simulate(c, *inner).rounds_executed);
+  }
+}
+BENCHMARK(BM_BareCanonical)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_WrappedCanonical(benchmark::State& state) {
+  const config::Configuration c = config::family_h(static_cast<config::Tag>(state.range(0)));
+  const auto inner = std::make_shared<core::CanonicalDrip>(core::make_schedule(c));
+  const core::PatientWrapper wrapped(inner, c.span());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radio::simulate(c, wrapped).rounds_executed);
+  }
+}
+BENCHMARK(BM_WrappedCanonical)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+ARL_BENCH_MAIN(print_tables)

@@ -1,0 +1,67 @@
+/// \file bench_prop41.cpp
+/// E4 (Proposition 4.1): the Ω(n) lower bound on the span-1 family G_m.
+/// The table tracks, as m grows, the election cost and the round at which
+/// the centre's history becomes unique — both must grow linearly in n = 4m+1.
+
+#include "bench_common.hpp"
+#include "config/families.hpp"
+#include "core/canonical_drip.hpp"
+#include "core/election.hpp"
+#include "core/schedule.hpp"
+#include "lowerbounds/symmetry.hpp"
+#include "radio/simulator.hpp"
+
+namespace {
+
+using namespace arl;
+
+void print_tables() {
+  support::Table table({"m", "n", "iterations", "local rounds", "centre unique at (local)",
+                        "unique_round/m", "mirror pairs symmetric"});
+  for (const config::Tag m : {2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+    const config::Configuration c = config::family_g(m);
+    const auto schedule = core::make_schedule(c);
+    radio::SimulatorOptions options;
+    options.history_window = 0;
+    const radio::RunResult run = radio::simulate(c, core::CanonicalDrip(schedule), options);
+
+    const graph::NodeId centre = config::family_g_center(m);
+    const auto unique_at = lowerbounds::uniqueness_round(run, centre);
+
+    // Mirror symmetry a_i ~ c_i persists forever (the proof's mechanism).
+    const graph::NodeId n = c.size();
+    bool mirrors_symmetric = true;
+    for (graph::NodeId i = 0; i < n / 2; ++i) {
+      mirrors_symmetric =
+          mirrors_symmetric &&
+          !lowerbounds::first_history_divergence(run.nodes[i], run.nodes[n - 1 - i]).has_value();
+    }
+
+    table.add_row({static_cast<std::int64_t>(m), static_cast<std::int64_t>(n),
+                   static_cast<std::int64_t>(schedule->phases.size()),
+                   static_cast<std::int64_t>(schedule->total_rounds()),
+                   static_cast<std::int64_t>(unique_at.value_or(0)),
+                   static_cast<double>(unique_at.value_or(0)) / m,
+                   std::string(mirrors_symmetric ? "yes" : "NO")});
+  }
+  benchsupport::print_table(
+      "E4 — Prop 4.1: Omega(n) election on G_m (span 1, leader = centre b_{m+1})", table);
+}
+
+void BM_GmFullPipeline(benchmark::State& state) {
+  const auto m = static_cast<config::Tag>(state.range(0));
+  const config::Configuration c = config::family_g(m);
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    const core::ElectionReport report = core::elect(c);
+    benchmark::DoNotOptimize(report.valid);
+    rounds = report.local_rounds;
+  }
+  state.counters["n"] = static_cast<double>(c.size());
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_GmFullPipeline)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+
+ARL_BENCH_MAIN(print_tables)

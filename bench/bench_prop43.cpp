@@ -1,0 +1,56 @@
+/// \file bench_prop43.cpp
+/// E5 (Proposition 4.3 / Lemma 4.2): the Ω(σ) lower bound on the 4-node
+/// family H_m.  The table tracks election cost against the bound m, plus the
+/// proof's two symmetry milestones: global uniqueness of the leader (m+2)
+/// and the b/c separation round (2m+2).
+
+#include "bench_common.hpp"
+#include "config/families.hpp"
+#include "core/canonical_drip.hpp"
+#include "core/election.hpp"
+#include "core/schedule.hpp"
+#include "lowerbounds/symmetry.hpp"
+#include "radio/simulator.hpp"
+
+namespace {
+
+using namespace arl;
+
+void print_tables() {
+  support::Table table({"m", "sigma", "bound (>= m)", "local rounds", "global completion",
+                        "leader unique (global)", "b/c separate (local)"});
+  for (const config::Tag m : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    const config::Configuration c = config::family_h(m);
+    const auto schedule = core::make_schedule(c);
+    radio::SimulatorOptions options;
+    options.history_window = 0;
+    const radio::RunResult run = radio::simulate(c, core::CanonicalDrip(schedule), options);
+
+    const auto unique_at = lowerbounds::uniqueness_round(run, 0);
+    const auto bc = lowerbounds::first_history_divergence(run.nodes[1], run.nodes[2]);
+
+    table.add_row({static_cast<std::int64_t>(m), static_cast<std::int64_t>(c.span()),
+                   static_cast<std::int64_t>(m),
+                   static_cast<std::int64_t>(schedule->total_rounds()),
+                   static_cast<std::int64_t>(run.rounds_executed),
+                   static_cast<std::int64_t>(c.tag(0) + unique_at.value_or(0)),
+                   static_cast<std::int64_t>(bc.value_or(0))});
+  }
+  benchsupport::print_table(
+      "E5 — Prop 4.3: Omega(sigma) election on H_m (n = 4, sigma = m+1)", table);
+}
+
+void BM_HmFullPipeline(benchmark::State& state) {
+  const auto m = static_cast<config::Tag>(state.range(0));
+  const config::Configuration c = config::family_h(m);
+  for (auto _ : state) {
+    const core::ElectionReport report = core::elect(c);
+    benchmark::DoNotOptimize(report.valid);
+  }
+  state.counters["sigma"] = static_cast<double>(c.span());
+}
+BENCHMARK(BM_HmFullPipeline)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+ARL_BENCH_MAIN(print_tables)

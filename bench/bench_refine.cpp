@@ -1,0 +1,69 @@
+/// \file bench_refine.cpp
+/// E10 (design-choice ablation): the paper's rep-scan Refine (O(n²Δ) per
+/// iteration) vs the hashed refinement (O(nΔ) expected).  Outputs are
+/// bit-identical (enforced by the test suite and re-checked here); the table
+/// quantifies the speedup that the paper's simpler formulation leaves on the
+/// table.
+
+#include "bench_common.hpp"
+#include "config/families.hpp"
+#include "core/fast_classifier.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace arl;
+
+void print_tables() {
+  support::Table table(
+      {"workload", "n", "paper ms", "hashed ms", "speedup", "verdicts equal"});
+  support::Rng rng(11);
+  auto row = [&](const std::string& name, const config::Configuration& c) {
+    support::Stopwatch watch;
+    const auto paper = core::Classifier{}.run(c);
+    const double paper_ms = watch.millis();
+    watch.restart();
+    const auto fast = core::FastClassifier{}.run(c);
+    const double fast_ms = watch.millis();
+    const bool equal = paper.verdict == fast.verdict && paper.iterations == fast.iterations &&
+                       paper.leader == fast.leader;
+    table.add_row({name, static_cast<std::int64_t>(c.size()), paper_ms, fast_ms,
+                   paper_ms / std::max(fast_ms, 1e-6), std::string(equal ? "yes" : "NO")});
+  };
+  for (const config::Tag m : {8u, 16u, 32u, 64u}) {
+    row("G_m path", config::family_g(m));
+  }
+  for (const graph::NodeId n : {64u, 128u, 256u}) {
+    std::vector<config::Tag> tags(n);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      tags[v] = v % 3;
+    }
+    row("complete 3-tags", config::Configuration(graph::complete(n), tags));
+  }
+  for (const graph::NodeId n : {64u, 128u, 256u}) {
+    row("gnp(0.05)", config::random_tags(graph::gnp_connected(n, 0.05, rng), 4, rng));
+  }
+  benchsupport::print_table("E10 — Refine ablation: rep-scan vs hashed refinement", table);
+}
+
+void BM_PaperRefine(benchmark::State& state) {
+  const config::Configuration c = config::family_g(static_cast<config::Tag>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Classifier{}.run(c).verdict);
+  }
+}
+BENCHMARK(BM_PaperRefine)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_HashedRefine(benchmark::State& state) {
+  const config::Configuration c = config::family_g(static_cast<config::Tag>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FastClassifier{}.run(c).verdict);
+  }
+}
+BENCHMARK(BM_HashedRefine)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+ARL_BENCH_MAIN(print_tables)

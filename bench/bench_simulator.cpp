@@ -1,0 +1,111 @@
+/// \file bench_simulator.cpp
+/// E9 — substrate throughput: simulated node-rounds per second across
+/// topologies, protocols and history-window settings.  This is the
+/// engineering envelope behind every other experiment.
+
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "config/families.hpp"
+#include "core/canonical_drip.hpp"
+#include "core/schedule.hpp"
+#include "graph/generators.hpp"
+#include "radio/simulator.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace {
+
+using namespace arl;
+
+void print_tables() {
+  support::Table table({"workload", "n", "rounds/run", "node-rounds/run", "runs/s",
+                        "node-rounds/s"});
+  support::Rng rng(3);
+  auto row = [&](const std::string& name, const config::Configuration& c) {
+    const auto schedule = core::make_schedule(c);
+    const core::CanonicalDrip drip(schedule);
+    // Warm-up + measured repeats.
+    (void)radio::simulate(c, drip);
+    support::Stopwatch watch;
+    int runs = 0;
+    std::uint64_t node_rounds = 0;
+    std::uint64_t rounds = 0;
+    while (watch.seconds() < 0.2) {
+      const radio::RunResult result = radio::simulate(c, drip);
+      node_rounds += result.stats.node_rounds;
+      rounds = result.rounds_executed;
+      ++runs;
+    }
+    const double seconds = watch.seconds();
+    table.add_row({name, static_cast<std::int64_t>(c.size()),
+                   static_cast<std::int64_t>(rounds),
+                   static_cast<std::int64_t>(node_rounds / static_cast<std::uint64_t>(runs)),
+                   static_cast<double>(runs) / seconds,
+                   static_cast<double>(node_rounds) / seconds});
+  };
+  row("G_8 path", config::family_g(8));
+  row("staggered path 64", config::staggered_path(64));
+  row("staggered single-hop 32", [] {
+    std::vector<config::Tag> tags(32);
+    std::iota(tags.begin(), tags.end(), config::Tag{0});
+    return config::single_hop(tags);
+  }());
+  row("grid 8x8 sigma 2", config::random_tags_with_span(graph::grid(8, 8), 2, rng));
+  row("hypercube d=6 sigma 3",
+      config::random_tags_with_span(graph::hypercube(6), 3, rng));
+  benchsupport::print_table("E9 — simulator throughput (canonical DRIP workloads)", table);
+}
+
+/// Canonical DRIP on a staggered path (feasible, transmission-heavy).
+void BM_CanonicalOnStaggeredPath(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  const config::Configuration configuration = config::staggered_path(n);
+  const auto schedule = core::make_schedule(configuration);
+  const core::CanonicalDrip drip(schedule);
+
+  std::uint64_t node_rounds = 0;
+  for (auto _ : state) {
+    const radio::RunResult result = radio::simulate(configuration, drip);
+    benchmark::DoNotOptimize(result.rounds_executed);
+    node_rounds += result.stats.node_rounds;
+  }
+  state.counters["node_rounds/s"] =
+      benchmark::Counter(static_cast<double>(node_rounds), benchmark::Counter::kIsRate);
+  state.counters["rounds"] = static_cast<double>(schedule->total_rounds());
+}
+BENCHMARK(BM_CanonicalOnStaggeredPath)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+/// Windowed vs full-history retention on the same workload.
+void BM_HistoryRetention(benchmark::State& state) {
+  const bool windowed = state.range(0) != 0;
+  const config::Configuration configuration = config::family_g(10);
+  const auto schedule = core::make_schedule(configuration);
+  const core::CanonicalDrip drip(schedule);
+  radio::SimulatorOptions options;
+  options.history_window = windowed ? std::optional<std::size_t>{} : std::size_t{0};
+  for (auto _ : state) {
+    const radio::RunResult result = radio::simulate(configuration, drip, options);
+    benchmark::DoNotOptimize(result.rounds_executed);
+  }
+  state.SetLabel(windowed ? "windowed" : "full-history");
+}
+BENCHMARK(BM_HistoryRetention)->Arg(0)->Arg(1);
+
+/// Dense topology stress: canonical DRIP on a staggered complete graph.
+void BM_CanonicalOnSingleHop(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  std::vector<config::Tag> tags(n);
+  std::iota(tags.begin(), tags.end(), config::Tag{0});
+  const config::Configuration configuration = config::single_hop(tags);
+  const auto schedule = core::make_schedule(configuration);
+  const core::CanonicalDrip drip(schedule);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radio::simulate(configuration, drip).rounds_executed);
+  }
+}
+BENCHMARK(BM_CanonicalOnSingleHop)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+ARL_BENCH_MAIN(print_tables)

@@ -1,0 +1,63 @@
+/// \file bench_universal.cpp
+/// E6 (Proposition 4.4): no universal leader election algorithm exists, even
+/// for 4-node configurations.  Each candidate protocol is swept over the
+/// family H_m; the table shows where and how it breaks, next to the
+/// theorem's prediction (failure by m = t+1, where t is the candidate's
+/// first-transmission round).
+
+#include "bench_common.hpp"
+#include "config/families.hpp"
+#include "core/canonical_drip.hpp"
+#include "core/schedule.hpp"
+#include "lowerbounds/universal.hpp"
+
+namespace {
+
+using namespace arl;
+
+void print_tables() {
+  support::Table table({"candidate", "first tx t", "predicted break (<= t+1)", "breaks at m",
+                        "failure mode", "elects on"});
+  auto row = [&](const radio::Drip& candidate, config::Tag max_m) {
+    const lowerbounds::UniversalProbe probe = lowerbounds::probe_universal(candidate, max_m);
+    std::string elected_on = "-";
+    if (!probe.succeeded_on.empty()) {
+      elected_on.clear();
+      for (const auto m : probe.succeeded_on) {
+        elected_on += (elected_on.empty() ? "m=" : ",") + std::to_string(m);
+      }
+    }
+    table.add_row({probe.candidate, static_cast<std::int64_t>(probe.first_tx_round),
+                   static_cast<std::int64_t>(probe.first_tx_round + 1),
+                   probe.breaking_m ? std::to_string(*probe.breaking_m) : std::string("none"),
+                   probe.failure_mode.empty() ? std::string("-") : probe.failure_mode,
+                   elected_on});
+  };
+
+  for (const config::Round wait : {0u, 1u, 2u, 4u, 8u, 16u}) {
+    const lowerbounds::BeepCandidate candidate(wait, wait + 10);
+    row(candidate, wait + 6);
+  }
+  // Dedicated canonical protocols reused as if they were universal.
+  for (const config::Tag k : {1u, 2u, 4u}) {
+    const auto schedule = core::make_schedule(config::family_h(k));
+    const core::CanonicalDrip candidate(schedule, core::MismatchPolicy::Robust);
+    row(candidate, k + 4);
+  }
+  benchsupport::print_table(
+      "E6 — Prop 4.4: every universal candidate breaks on some H_m (n = 4)", table);
+}
+
+void BM_ProbeUniversal(benchmark::State& state) {
+  const auto wait = static_cast<config::Round>(state.range(0));
+  const lowerbounds::BeepCandidate candidate(wait, wait + 10);
+  for (auto _ : state) {
+    const auto probe = lowerbounds::probe_universal(candidate, wait + 4);
+    benchmark::DoNotOptimize(probe.breaking_m);
+  }
+}
+BENCHMARK(BM_ProbeUniversal)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+ARL_BENCH_MAIN(print_tables)

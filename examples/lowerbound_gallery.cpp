@@ -1,0 +1,128 @@
+/// \file lowerbound_gallery.cpp
+/// The paper's §4 negative results, demonstrated live.
+///
+/// Four acts:
+///  1. Prop 4.1 — on the span-1 path family G_m, election cost grows
+///     linearly in n, and mirror nodes stay symmetric forever.
+///  2. Prop 4.3 — on the 4-node family H_m, election needs Ω(σ) rounds.
+///  3. Prop 4.4 — a natural "universal" protocol is broken live on the
+///     configuration the proof predicts.
+///  4. Prop 4.5 — a feasible and an infeasible configuration produce
+///     bit-identical transcripts, so no protocol can decide feasibility.
+///
+/// Usage: lowerbound_gallery [--max-m=8]
+
+#include <iostream>
+
+#include "config/families.hpp"
+#include "core/canonical_drip.hpp"
+#include "core/classifier.hpp"
+#include "core/schedule.hpp"
+#include "lowerbounds/comparator.hpp"
+#include "lowerbounds/symmetry.hpp"
+#include "lowerbounds/universal.hpp"
+#include "radio/simulator.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace arl;
+
+void act_one(config::Tag max_m) {
+  std::cout << "\n== Act 1 · Proposition 4.1: Omega(n) on G_m (span 1) ==\n\n";
+  support::Table table({"m", "n", "election rounds", "centre unique at", "mirrors symmetric"});
+  for (config::Tag m = 2; m <= max_m; m += 2) {
+    const config::Configuration c = config::family_g(m);
+    const auto schedule = core::make_schedule(c);
+    radio::SimulatorOptions options;
+    options.history_window = 0;
+    const radio::RunResult run = radio::simulate(c, core::CanonicalDrip(schedule), options);
+    const auto unique_at = lowerbounds::uniqueness_round(run, config::family_g_center(m));
+    bool mirrors = true;
+    for (graph::NodeId i = 0; i < c.size() / 2; ++i) {
+      mirrors = mirrors && !lowerbounds::first_history_divergence(
+                                run.nodes[i], run.nodes[c.size() - 1 - i])
+                                .has_value();
+    }
+    table.add_row({static_cast<std::int64_t>(m), static_cast<std::int64_t>(c.size()),
+                   static_cast<std::int64_t>(schedule->total_rounds()),
+                   static_cast<std::int64_t>(unique_at.value_or(0)),
+                   std::string(mirrors ? "yes" : "no")});
+  }
+  table.print_markdown(std::cout);
+  std::cout << "\nThe a_i/c_i mirror pairs never separate — only the centre can lead, and\n"
+               "its history needs Θ(n) rounds to become unique.\n";
+}
+
+void act_two(config::Tag max_m) {
+  std::cout << "\n== Act 2 · Proposition 4.3: Omega(sigma) on H_m (n = 4) ==\n\n";
+  support::Table table({"m", "sigma", "election rounds", "lower bound m"});
+  for (config::Tag m = 1; m <= max_m; m *= 2) {
+    const config::Configuration c = config::family_h(m);
+    const auto schedule = core::make_schedule(c);
+    table.add_row({static_cast<std::int64_t>(m), static_cast<std::int64_t>(c.span()),
+                   static_cast<std::int64_t>(schedule->total_rounds()),
+                   static_cast<std::int64_t>(m)});
+  }
+  table.print_markdown(std::cout);
+  std::cout << "\nFour nodes, yet the span alone forces the cost: no algorithm beats m\n"
+               "rounds (Lemma 4.2), and the canonical DRIP lands within a small\n"
+               "constant of that bound.\n";
+}
+
+void act_three(config::Tag max_m) {
+  std::cout << "\n== Act 3 · Proposition 4.4: breaking a universal candidate ==\n\n";
+  const lowerbounds::BeepCandidate candidate(2, 12);
+  const auto probe = lowerbounds::probe_universal(candidate, max_m);
+  std::cout << "candidate: " << probe.candidate << "\n";
+  std::cout << "first transmission (t): global round " << probe.first_tx_round << "\n";
+  if (probe.breaking_m) {
+    std::cout << "fails on H_" << *probe.breaking_m << " with \"" << probe.failure_mode
+              << "\" (theorem predicts failure by m = t+1 = "
+              << probe.first_tx_round + 1 << ")\n";
+  }
+  // Show the mechanism: symmetric histories on the breaking configuration.
+  const config::Configuration h = config::family_h(probe.first_tx_round + 1);
+  radio::SimulatorOptions options;
+  options.history_window = 0;
+  const radio::RunResult run = radio::simulate(h, candidate, options);
+  std::cout << "\nhistories on H_" << probe.first_tx_round + 1 << ":\n";
+  const char* names[] = {"a", "b", "c", "d"};
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    std::cout << "  " << names[v] << ": " << radio::format_history(run.nodes[v].history)
+              << '\n';
+  }
+  std::cout << "b and c (and a and d) are mirror images — two nodes claim leadership.\n";
+}
+
+void act_four() {
+  std::cout << "\n== Act 4 · Proposition 4.5: feasibility is undecidable in-network ==\n\n";
+  const lowerbounds::BeepCandidate candidate(2, 12);
+  const config::Round t = 3;  // wait=2 ⇒ tag-0 nodes transmit at global 3
+  const config::Configuration h = config::family_h(t + 1);
+  const config::Configuration s = config::family_s(t + 1);
+  std::cout << "H_" << t + 1 << " feasible: "
+            << (core::Classifier{}.run(h).feasible() ? "yes" : "no") << '\n';
+  std::cout << "S_" << t + 1 << " feasible: "
+            << (core::Classifier{}.run(s).feasible() ? "yes" : "no") << '\n';
+  const auto comparison = lowerbounds::compare_executions(h, s, candidate);
+  std::cout << "transcripts identical at every node: "
+            << (comparison.identical ? "yes" : "no") << '\n';
+  std::cout << "\nGround truth differs, observations do not — no distributed decision\n"
+               "algorithm can exist (the nodes would have to answer differently on\n"
+               "identical histories).\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Args args(argc, argv);
+  const auto max_m = static_cast<config::Tag>(args.get_int("max-m", 8));
+  std::cout << "Gallery of impossibility: the paper's §4 results, executed.\n";
+  act_one(max_m);
+  act_two(max_m);
+  act_three(max_m);
+  act_four();
+  return 0;
+}

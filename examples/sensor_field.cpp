@@ -1,0 +1,91 @@
+/// \file sensor_field.cpp
+/// A realistic deployment scenario: anonymous sensors dropped into a field.
+///
+/// The motivation the paper opens with — identical, unlabeled radio devices
+/// that must self-organize.  We model a deployment as a random connected
+/// network (sensors reach a few near neighbours) whose devices power up at
+/// staggered times (their wakeup tags, e.g. seconds after being switched on
+/// by a passing drone).  The operator wants a coordinator: can one be
+/// elected at all, and at what cost?
+///
+/// The demo plans a deployment, checks feasibility with Classifier, elects a
+/// coordinator with the canonical DRIP, and reports the radio budget.  If a
+/// deployment is infeasible (too much symmetry in the power-up times), it
+/// re-staggers and tries again — exactly what a field engineer would do.
+///
+/// Usage: sensor_field [--sensors=24] [--reach=0.18] [--stagger=4] [--seed=7]
+
+#include <iostream>
+
+#include "config/families.hpp"
+#include "core/election.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace arl;
+
+config::Configuration plan_deployment(graph::NodeId sensors, double reach,
+                                      config::Tag stagger, support::Rng& rng) {
+  // Radio reach translates into edge density; connectivity is ensured by the
+  // generator (a disconnected deployment cannot elect anything).
+  graph::Graph field = graph::gnp_connected(sensors, reach, rng);
+  return config::random_tags_with_span(std::move(field), stagger, rng);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Args args(argc, argv);
+  const auto sensors = static_cast<graph::NodeId>(args.get_int("sensors", 24));
+  const double reach = args.get_double("reach", 0.18);
+  const auto stagger = static_cast<config::Tag>(args.get_int("stagger", 4));
+  support::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+
+  std::cout << "Deploying " << sensors << " anonymous sensors (reach " << reach
+            << ", power-up stagger 0.." << stagger << ")\n\n";
+
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    const config::Configuration deployment = plan_deployment(sensors, reach, stagger, rng);
+    const auto& g = deployment.graph();
+    std::cout << "attempt " << attempt << ": " << g.edge_count() << " links, max degree "
+              << g.max_degree() << ", diameter " << graph::diameter(g) << ", span "
+              << deployment.span() << '\n';
+
+    const core::ElectionReport report = core::elect(deployment);
+    if (!report.feasible) {
+      std::cout << "  -> power-up schedule too symmetric, no coordinator possible; "
+                   "re-staggering...\n";
+      continue;
+    }
+
+    std::cout << "  -> feasible; coordinator = sensor " << *report.leader << '\n';
+    support::Table table({"metric", "value"});
+    table.add_row({std::string("Classifier iterations"),
+                   static_cast<std::int64_t>(report.classification.iterations)});
+    table.add_row({std::string("local rounds to elect"),
+                   static_cast<std::int64_t>(report.local_rounds)});
+    table.add_row({std::string("global rounds (wall clock)"),
+                   static_cast<std::int64_t>(report.global_rounds)});
+    table.add_row({std::string("radio transmissions"),
+                   static_cast<std::int64_t>(report.stats.transmissions)});
+    table.add_row({std::string("clean receptions"),
+                   static_cast<std::int64_t>(report.stats.clean_receptions)});
+    table.add_row({std::string("collisions heard"),
+                   static_cast<std::int64_t>(report.stats.collisions_heard)});
+    table.add_row({std::string("outcome verified"), std::string(report.valid ? "yes" : "NO")});
+    std::cout << '\n';
+    table.print_markdown(std::cout);
+
+    std::cout << "\nEvery sensor ran the identical program; the coordinator emerged only\n"
+                 "from who woke when.  The election transcript above is reproducible:\n"
+                 "re-run with the same --seed to get the same deployment and leader.\n";
+    return 0;
+  }
+  std::cout << "no feasible deployment found in 10 attempts — increase --stagger\n";
+  return 1;
+}

@@ -1,0 +1,67 @@
+#include "baselines/binary_search.hpp"
+
+#include "support/assert.hpp"
+
+namespace arl::baselines {
+
+namespace {
+
+class BinarySearchProgram final : public radio::NodeProgram {
+ public:
+  BinarySearchProgram(std::uint64_t label, unsigned label_bits)
+      : label_(label), label_bits_(label_bits) {}
+
+  radio::Action decide(config::Round local_round, const radio::HistoryView& history) override {
+    if (done_) {
+      return radio::Action::terminate();
+    }
+    // Resolve the previous test round: an active 1-bit holder withdraws when
+    // the channel was busy (an active 0-bit label exists below it).
+    if (listening_test_ && !history.entry(local_round - 1).is_silence()) {
+      active_ = false;
+    }
+    listening_test_ = false;
+
+    if (local_round > label_bits_) {
+      done_ = true;
+      return radio::Action::terminate();
+    }
+    const unsigned bit_index = label_bits_ - local_round;  // MSB first
+    const bool bit = ((label_ >> bit_index) & 1ULL) != 0;
+    if (active_ && !bit) {
+      return radio::Action::transmit(1);
+    }
+    if (active_ && bit) {
+      listening_test_ = true;
+    }
+    return radio::Action::listen();
+  }
+
+  [[nodiscard]] bool elected() const override { return active_; }
+
+ private:
+  std::uint64_t label_;
+  unsigned label_bits_;
+  bool active_ = true;
+  bool listening_test_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+BinarySearchElection::BinarySearchElection(unsigned label_bits) : label_bits_(label_bits) {
+  ARL_EXPECTS(label_bits >= 1 && label_bits <= 63, "label width out of range");
+}
+
+std::unique_ptr<radio::NodeProgram> BinarySearchElection::instantiate(
+    const radio::NodeEnv& env) const {
+  ARL_EXPECTS(env.label.has_value(), "binary-search election requires labels");
+  ARL_EXPECTS(*env.label < (std::uint64_t{1} << label_bits_), "label exceeds the universe");
+  return std::make_unique<BinarySearchProgram>(*env.label, label_bits_);
+}
+
+std::string BinarySearchElection::name() const {
+  return "binary-search(L=" + std::to_string(label_bits_) + ")";
+}
+
+}  // namespace arl::baselines

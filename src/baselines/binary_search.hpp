@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file binary_search.hpp
+/// Deterministic labeled leader election on a single-hop network with
+/// collision detection: bit-by-bit label filtering (the folklore algorithm
+/// behind the O(log n) bounds of [8, 28, 38] cited in the paper's related
+/// work).  It elects the minimum label in exactly L rounds.
+///
+/// Model assumptions (documented, asserted where possible): single-hop
+/// topology (every node hears every other), simultaneous wakeup (all tags
+/// equal), distinct labels in [0, 2^L).  Contrast with the paper's setting:
+/// with labels available, election takes O(L) = O(log n) rounds; the
+/// anonymous deterministic setting needs Θ(n²σ)-scale time and is outright
+/// impossible without wakeup asymmetry.
+///
+/// Round i = 1..L handles bit position L-i (MSB first) among still-active
+/// nodes: actives whose bit is 0 transmit; actives whose bit is 1 listen and
+/// withdraw if the channel is non-silent (some active label has a 0 there —
+/// the minimum cannot have a 1).  After L rounds exactly one node — the
+/// minimum label — remains active; everyone terminates in round L+1.
+
+#include <memory>
+
+#include "radio/program.hpp"
+
+namespace arl::baselines {
+
+/// Bit-filter election protocol.
+class BinarySearchElection final : public radio::Drip {
+ public:
+  /// `label_bits` = L, the width of the label universe [0, 2^L); 1 <= L <= 63.
+  explicit BinarySearchElection(unsigned label_bits);
+
+  [[nodiscard]] std::unique_ptr<radio::NodeProgram> instantiate(
+      const radio::NodeEnv& env) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<std::size_t> history_window() const override { return 4; }
+
+  /// Rounds until termination (L + 1) — the protocol's fixed running time.
+  [[nodiscard]] config::Round rounds() const { return label_bits_ + 1; }
+
+ private:
+  unsigned label_bits_;
+};
+
+}  // namespace arl::baselines

@@ -1,0 +1,88 @@
+#include "baselines/randomized.hpp"
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace arl::baselines {
+
+namespace {
+
+constexpr radio::Message kProbe = 1;
+constexpr radio::Message kEcho = 2;
+
+class RandomizedProgram final : public radio::NodeProgram {
+ public:
+  RandomizedProgram(std::uint64_t coin_seed, std::uint32_t max_slots)
+      : coins_(coin_seed), max_slots_(max_slots) {}
+
+  radio::Action decide(config::Round local_round, const radio::HistoryView& history) override {
+    if (done_) {
+      return radio::Action::terminate();
+    }
+    const radio::HistoryEntry prev = history.entry(local_round - 1);
+    const bool r1 = ((local_round - 1) % 2) == 0;
+
+    if (r1) {
+      // Resolve the previous slot first.
+      if (slot_ > 0) {
+        if (transmitted_ && !prev.is_silence()) {
+          // prev is the R2 echo: we transmitted alone — we are the leader.
+          winner_ = true;
+          done_ = true;
+          return radio::Action::terminate();
+        }
+        if (observed_success_) {
+          done_ = true;  // someone else won in the previous slot
+          return radio::Action::terminate();
+        }
+      }
+      if (slot_ >= max_slots_) {
+        done_ = true;  // guard: declare failure rather than run forever
+        return radio::Action::terminate();
+      }
+      const unsigned k = slot_ % 32;
+      ++slot_;
+      const double p = 1.0 / static_cast<double>(std::uint64_t{1} << (k + 1));
+      transmitted_ = coins_.bernoulli(p);
+      observed_success_ = false;
+      if (transmitted_) {
+        return radio::Action::transmit(kProbe);
+      }
+      return radio::Action::listen();
+    }
+
+    // R2: echo a clean probe; remember that this slot succeeded.
+    if (!transmitted_ && prev.is_message()) {
+      ARL_ASSERT(prev.payload() == kProbe, "unexpected payload in R1");
+      observed_success_ = true;
+      return radio::Action::transmit(kEcho);
+    }
+    return radio::Action::listen();
+  }
+
+  [[nodiscard]] bool elected() const override { return winner_; }
+
+ private:
+  support::Rng coins_;
+  std::uint32_t max_slots_;
+  std::uint32_t slot_ = 0;
+  bool transmitted_ = false;
+  bool observed_success_ = false;
+  bool winner_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+RandomizedElection::RandomizedElection(std::uint32_t max_slots) : max_slots_(max_slots) {
+  ARL_EXPECTS(max_slots >= 1, "need at least one slot");
+}
+
+std::unique_ptr<radio::NodeProgram> RandomizedElection::instantiate(
+    const radio::NodeEnv& env) const {
+  return std::make_unique<RandomizedProgram>(env.coin_seed, max_slots_);
+}
+
+std::string RandomizedElection::name() const { return "randomized-decay"; }
+
+}  // namespace arl::baselines

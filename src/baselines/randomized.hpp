@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file randomized.hpp
+/// Randomized anonymous leader election on a single-hop network with
+/// collision detection (the [39]-style landscape of the paper's related
+/// work, in its simplest decay form).
+///
+/// Why it is here: the paper proves deterministic anonymous election is
+/// IMPOSSIBLE when all nodes wake together (identical histories forever).
+/// Private coins break exactly that symmetry — this protocol elects a leader
+/// with high probability on the very configurations the paper proves
+/// hopeless, which is the sharpest contrast the related-work landscape
+/// offers.
+///
+/// One slot = two rounds:
+///   R1: every contender transmits '1' with probability 2^-(k+1), where k
+///       cycles 0, 1, ..., 31 over slots (a decay sweep that crosses the
+///       ~1/n sweet spot once per cycle regardless of n);
+///   R2: nodes that heard a clean '1' echo '2'; the R1 transmitter that
+///       hears a non-silent R2 knows it transmitted alone and wins.
+/// Everyone terminates at the end of the successful slot (listeners saw the
+/// clean '1' directly).  A guard bound on slots forces termination even in
+/// the (exponentially unlikely) case no slot ever succeeds: the protocol
+/// then fails with zero leaders, which the harnesses detect.
+
+#include <memory>
+
+#include "radio/program.hpp"
+
+namespace arl::baselines {
+
+/// Decay-style randomized election.
+class RandomizedElection final : public radio::Drip {
+ public:
+  /// `max_slots` bounds the run; defaults generously (failure probability is
+  /// astronomically small for any n >= 2).
+  explicit RandomizedElection(std::uint32_t max_slots = 2048);
+
+  [[nodiscard]] std::unique_ptr<radio::NodeProgram> instantiate(
+      const radio::NodeEnv& env) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<std::size_t> history_window() const override { return 4; }
+
+ private:
+  std::uint32_t max_slots_;
+};
+
+}  // namespace arl::baselines

@@ -1,0 +1,159 @@
+#include "baselines/tree_split.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace arl::baselines {
+
+namespace {
+
+constexpr radio::Message kProbe = 1;
+constexpr radio::Message kSuccessEcho = 2;
+constexpr radio::Message kCollisionEcho = 3;
+
+/// A label-prefix group: labels whose top `length` bits equal `bits`.
+struct PrefixGroup {
+  unsigned length = 0;
+  std::uint64_t bits = 0;
+};
+
+class TreeSplitProgram final : public radio::NodeProgram {
+ public:
+  TreeSplitProgram(std::uint64_t label, unsigned label_bits)
+      : label_(label), label_bits_(label_bits) {
+    stack_.push_back(PrefixGroup{0, 0});  // root group: every label
+  }
+
+  radio::Action decide(config::Round local_round, const radio::HistoryView& history) override {
+    if (done_) {
+      return radio::Action::terminate();
+    }
+    const radio::HistoryEntry prev = history.entry(local_round - 1);
+
+    // Resolve the previous slot at the first round of the next one; on
+    // success (or an unsplittable collision) every node terminates here, in
+    // the same local round.
+    if (resolve_pending_) {
+      resolve_pending_ = false;
+      switch (resolve()) {
+        case Outcome::Success:
+          done_ = true;
+          return radio::Action::terminate();
+        case Outcome::Collision: {
+          const PrefixGroup group = stack_.back();
+          stack_.pop_back();
+          if (group.length == label_bits_) {
+            // Duplicate labels: a fully refined prefix cannot split.  Fail
+            // consistently at every node (exercised by failure-injection
+            // tests).
+            done_ = true;
+            return radio::Action::terminate();
+          }
+          stack_.push_back(PrefixGroup{group.length + 1, (group.bits << 1) | 1});
+          stack_.push_back(PrefixGroup{group.length + 1, (group.bits << 1)});
+          break;
+        }
+        case Outcome::Empty:
+          stack_.pop_back();
+          if (stack_.empty()) {
+            done_ = true;  // defensive: cannot happen with >= 1 labeled node
+            return radio::Action::terminate();
+          }
+          break;
+      }
+    }
+
+    switch ((local_round - 1) % 3) {
+      case 0: {  // R1: the top-of-stack group transmits
+        transmitted_r1_ = member_of_top();
+        heard_r1_ = radio::HistoryEntry::silence();
+        if (transmitted_r1_) {
+          return radio::Action::transmit(kProbe);
+        }
+        return radio::Action::listen();
+      }
+      case 1: {  // R2: success echo from clean listeners
+        if (!transmitted_r1_) {
+          heard_r1_ = prev;  // the R1 observation
+          if (heard_r1_.is_message()) {
+            return radio::Action::transmit(kSuccessEcho);
+          }
+        }
+        return radio::Action::listen();
+      }
+      default: {  // R3: collision echo from noise listeners
+        heard_r2_ = prev;  // the R2 observation (used by R1 transmitters)
+        resolve_pending_ = true;
+        if (!transmitted_r1_ && heard_r1_.is_collision()) {
+          return radio::Action::transmit(kCollisionEcho);
+        }
+        return radio::Action::listen();
+      }
+    }
+  }
+
+  [[nodiscard]] bool elected() const override { return winner_; }
+
+ private:
+  enum class Outcome : std::uint8_t { Empty, Success, Collision };
+
+  [[nodiscard]] bool member_of_top() const {
+    ARL_ASSERT(!stack_.empty(), "stack must not underflow");
+    const PrefixGroup& group = stack_.back();
+    if (group.length == 0) {
+      return true;
+    }
+    return (label_ >> (label_bits_ - group.length)) == group.bits;
+  }
+
+  [[nodiscard]] Outcome resolve() {
+    if (transmitted_r1_) {
+      // Echo inference: a non-silent R2 means someone heard us cleanly — we
+      // transmitted alone and win.  Otherwise it was a collision (either a
+      // noisy R3 follows, or every node transmitted and all echoes are
+      // silent, which with n >= 2 is still a collision).
+      if (!heard_r2_.is_silence()) {
+        winner_ = true;
+        return Outcome::Success;
+      }
+      return Outcome::Collision;
+    }
+    if (heard_r1_.is_message()) {
+      return Outcome::Success;
+    }
+    if (heard_r1_.is_collision()) {
+      return Outcome::Collision;
+    }
+    return Outcome::Empty;  // a listener heard a truly silent R1
+  }
+
+  std::uint64_t label_;
+  unsigned label_bits_;
+  std::vector<PrefixGroup> stack_;
+  bool transmitted_r1_ = false;
+  radio::HistoryEntry heard_r1_;
+  radio::HistoryEntry heard_r2_;
+  bool resolve_pending_ = false;
+  bool winner_ = false;
+  bool done_ = false;
+};
+
+}  // namespace
+
+TreeSplitElection::TreeSplitElection(unsigned label_bits) : label_bits_(label_bits) {
+  ARL_EXPECTS(label_bits >= 1 && label_bits <= 63, "label width out of range");
+}
+
+std::unique_ptr<radio::NodeProgram> TreeSplitElection::instantiate(
+    const radio::NodeEnv& env) const {
+  ARL_EXPECTS(env.label.has_value(), "tree-splitting election requires labels");
+  ARL_EXPECTS(*env.label < (std::uint64_t{1} << label_bits_), "label exceeds the universe");
+  return std::make_unique<TreeSplitProgram>(*env.label, label_bits_);
+}
+
+std::string TreeSplitElection::name() const {
+  return "tree-split(L=" + std::to_string(label_bits_) + ")";
+}
+
+}  // namespace arl::baselines

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file tree_split.hpp
+/// Capetanakis/Hayes/Tsybakov–Mikhailov-style tree-splitting election on a
+/// single-hop network with collision detection (references [8, 28, 38] of
+/// the paper).
+///
+/// All nodes walk an identical DFS over label-prefix groups, driven by
+/// channel feedback they can all reconstruct.  One slot = three rounds:
+///   R1: members of the top-of-stack prefix group transmit '1';
+///   R2: nodes that heard a clean '1' in R1 transmit the success echo '2';
+///   R3: nodes that heard noise in R1 transmit the collision echo '3'.
+/// A listener learns the R1 outcome directly; an R1 transmitter infers it
+/// from the echoes (non-silent R2 → it transmitted alone and wins; non-silent
+/// R3 → collision; both silent → everyone transmitted, also a collision).
+/// On collision the group splits by the next label bit (0-half explored
+/// first); on silence the group is discarded; on success all nodes terminate
+/// at the end of the slot and the lone transmitter is the leader (the
+/// minimum label, since the DFS prefers 0-prefixes).
+///
+/// Assumptions: single-hop, simultaneous wakeup, n >= 2, distinct labels in
+/// [0, 2^L).  A collision on a fully-refined prefix (possible only with
+/// duplicate labels) makes every node terminate un-elected — a detectable
+/// failure exercised by the failure-injection tests.
+
+#include <memory>
+
+#include "radio/program.hpp"
+
+namespace arl::baselines {
+
+/// Tree-splitting election protocol.
+class TreeSplitElection final : public radio::Drip {
+ public:
+  /// `label_bits` = L, width of the label universe; 1 <= L <= 63.
+  explicit TreeSplitElection(unsigned label_bits);
+
+  [[nodiscard]] std::unique_ptr<radio::NodeProgram> instantiate(
+      const radio::NodeEnv& env) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<std::size_t> history_window() const override { return 8; }
+
+ private:
+  unsigned label_bits_;
+};
+
+}  // namespace arl::baselines

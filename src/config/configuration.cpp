@@ -1,0 +1,42 @@
+#include "config/configuration.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "support/assert.hpp"
+
+namespace arl::config {
+
+Configuration::Configuration(graph::Graph graph, std::vector<Tag> tags)
+    : graph_(std::move(graph)), tags_(std::move(tags)) {
+  ARL_EXPECTS(graph_.node_count() >= 1, "a configuration needs at least one node");
+  ARL_EXPECTS(tags_.size() == graph_.node_count(), "one tag per node required");
+  ARL_EXPECTS(graph::is_connected(graph_), "radio networks are connected graphs");
+}
+
+Tag Configuration::tag(graph::NodeId v) const {
+  ARL_EXPECTS(v < size(), "node out of range");
+  return tags_[v];
+}
+
+Tag Configuration::span() const {
+  const auto [lo, hi] = std::minmax_element(tags_.begin(), tags_.end());
+  return *hi - *lo;
+}
+
+Tag Configuration::min_tag() const {
+  return *std::min_element(tags_.begin(), tags_.end());
+}
+
+Configuration Configuration::normalized() const {
+  const Tag lo = min_tag();
+  if (lo == 0) {
+    return *this;
+  }
+  std::vector<Tag> shifted(tags_.size());
+  std::transform(tags_.begin(), tags_.end(), shifted.begin(),
+                 [lo](Tag t) { return t - lo; });
+  return Configuration(graph_, std::move(shifted));
+}
+
+}  // namespace arl::config

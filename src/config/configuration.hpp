@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file configuration.hpp
+/// A *configuration* (paper §2.1): an undirected connected graph whose node v
+/// carries a non-negative wakeup tag t_v.  Node v wakes spontaneously in
+/// global round t_v unless a received message wakes it earlier.
+///
+/// The paper normalizes the smallest tag to 0 WLOG (nodes cannot observe the
+/// global clock), so `span() == max tag` after `normalized()`.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace arl::config {
+
+/// Wakeup tag (global round of spontaneous wakeup).
+using Tag = std::uint32_t;
+
+/// Global/local round number.  Rounds are 0-based like the paper's.
+using Round = std::uint32_t;
+
+/// Radio network configuration: topology plus per-node wakeup tags.
+class Configuration {
+ public:
+  /// Builds a configuration; `tags.size()` must equal the node count and the
+  /// graph must be connected and non-empty.
+  Configuration(graph::Graph graph, std::vector<Tag> tags);
+
+  /// The underlying topology.
+  [[nodiscard]] const graph::Graph& graph() const { return graph_; }
+
+  /// Wakeup tag of node v.
+  [[nodiscard]] Tag tag(graph::NodeId v) const;
+
+  /// All tags, indexed by node.
+  [[nodiscard]] const std::vector<Tag>& tags() const { return tags_; }
+
+  /// Number of nodes (the paper's n).
+  [[nodiscard]] graph::NodeId size() const { return graph_.node_count(); }
+
+  /// Span σ = max tag - min tag (paper §2.1).
+  [[nodiscard]] Tag span() const;
+
+  /// Smallest tag (0 after normalization).
+  [[nodiscard]] Tag min_tag() const;
+
+  /// Same configuration with tags shifted so the smallest is 0.
+  [[nodiscard]] Configuration normalized() const;
+
+  /// True when the smallest tag is already 0.
+  [[nodiscard]] bool is_normalized() const { return min_tag() == 0; }
+
+  friend bool operator==(const Configuration& a, const Configuration& b) = default;
+
+ private:
+  graph::Graph graph_;
+  std::vector<Tag> tags_;
+};
+
+}  // namespace arl::config

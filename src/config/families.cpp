@@ -1,0 +1,77 @@
+#include "config/families.hpp"
+
+#include <numeric>
+
+#include "graph/generators.hpp"
+#include "support/assert.hpp"
+
+namespace arl::config {
+
+Configuration family_g(Tag m) {
+  ARL_EXPECTS(m >= 2, "G_m is defined for m >= 2");
+  const graph::NodeId n = 4 * m + 1;
+  std::vector<Tag> tags(n, 0);
+  // Layout (left to right): a_1..a_m | b_1..b_{2m+1} | c_m..c_1.
+  for (graph::NodeId i = m; i < 3 * m + 1; ++i) {
+    tags[i] = 1;
+  }
+  return Configuration(graph::path(n), std::move(tags));
+}
+
+graph::NodeId family_g_center(Tag m) {
+  ARL_EXPECTS(m >= 2, "G_m is defined for m >= 2");
+  // b_{m+1} sits m + (m+1) - 1 = 2m positions from the left end.
+  return 2 * m;
+}
+
+Configuration family_h(Tag m) {
+  ARL_EXPECTS(m >= 1, "H_m is defined for m >= 1");
+  return Configuration(graph::path(4), {m, 0, 0, m + 1});
+}
+
+Configuration family_s(Tag m) {
+  ARL_EXPECTS(m >= 1, "S_m is defined for m >= 1");
+  return Configuration(graph::path(4), {m, 0, 0, m});
+}
+
+Configuration single_hop(const std::vector<Tag>& tags) {
+  ARL_EXPECTS(!tags.empty(), "single-hop network needs at least one node");
+  return Configuration(graph::complete(static_cast<graph::NodeId>(tags.size())), tags);
+}
+
+Configuration staggered_path(graph::NodeId n) {
+  ARL_EXPECTS(n >= 1, "path needs at least one node");
+  std::vector<Tag> tags(n);
+  std::iota(tags.begin(), tags.end(), Tag{0});
+  return Configuration(graph::path(n), std::move(tags));
+}
+
+Configuration random_tags(graph::Graph graph, Tag max_tag, support::Rng& rng) {
+  std::vector<Tag> tags(graph.node_count());
+  for (auto& tag : tags) {
+    tag = static_cast<Tag>(rng.below(static_cast<std::uint64_t>(max_tag) + 1));
+  }
+  return Configuration(std::move(graph), std::move(tags)).normalized();
+}
+
+Configuration random_tags_with_span(graph::Graph graph, Tag span, support::Rng& rng) {
+  const graph::NodeId n = graph.node_count();
+  ARL_EXPECTS(span == 0 || n >= 2, "a positive span needs at least two nodes");
+  std::vector<Tag> tags(n);
+  for (auto& tag : tags) {
+    tag = static_cast<Tag>(rng.below(static_cast<std::uint64_t>(span) + 1));
+  }
+  // Pin tags 0 and `span` on two distinct random nodes so the span is exact.
+  const auto lo = static_cast<graph::NodeId>(rng.below(n));
+  tags[lo] = 0;
+  if (span > 0) {
+    auto hi = static_cast<graph::NodeId>(rng.below(n));
+    while (hi == lo) {
+      hi = static_cast<graph::NodeId>(rng.below(n));
+    }
+    tags[hi] = span;
+  }
+  return Configuration(std::move(graph), std::move(tags));
+}
+
+}  // namespace arl::config

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file families.hpp
+/// The configuration families from the paper's §4 negative results, plus a
+/// few parameterized families used by tests and benchmarks.
+///
+/// Node layouts follow the paper exactly (nodes listed left to right on a
+/// path, ids assigned in that order) so traces can be read against the text.
+
+#include "config/configuration.hpp"
+#include "support/rng.hpp"
+
+namespace arl::config {
+
+/// Proposition 4.1 family G_m (m >= 2): a path of n = 4m+1 nodes
+///   a_1..a_m  b_1..b_{2m+1}  c_m..c_1
+/// where a_i, c_i have tag 0 and b_i have tag 1.  Feasible with span 1, yet
+/// every dedicated leader election algorithm needs Ω(n) rounds; the unique
+/// leader found by Classifier is the central node b_{m+1}.
+[[nodiscard]] Configuration family_g(Tag m);
+
+/// Index of the central node b_{m+1} inside family_g(m).
+[[nodiscard]] graph::NodeId family_g_center(Tag m);
+
+/// Lemma 4.2 family H_m (m >= 1): path a-b-c-d with tags
+///   t_a = m, t_b = t_c = 0, t_d = m+1.
+/// Feasible (all four nodes separate after one Classifier iteration), and
+/// every leader election algorithm needs at least m rounds (span σ = m+1).
+[[nodiscard]] Configuration family_h(Tag m);
+
+/// Proposition 4.5 family S_m (m >= 1): path a-b-c-d with tags
+///   t_a = t_d = m, t_b = t_c = 0.
+/// NOT feasible: the partition stabilizes at two 2-node classes.
+[[nodiscard]] Configuration family_s(Tag m);
+
+/// Single-hop network: complete graph on n nodes with the given tags
+/// (tags.size() == n).
+[[nodiscard]] Configuration single_hop(const std::vector<Tag>& tags);
+
+/// A path of n nodes with strictly staggered tags 0, 1, ..., n-1 — maximally
+/// asymmetric wakeup; feasible for every n >= 1.
+[[nodiscard]] Configuration staggered_path(graph::NodeId n);
+
+/// Random configuration: the given graph with i.i.d. uniform tags from
+/// [0, max_tag].  The result is normalized (smallest tag 0).
+[[nodiscard]] Configuration random_tags(graph::Graph graph, Tag max_tag, support::Rng& rng);
+
+/// Random configuration whose span is exactly `span`: like random_tags but
+/// re-rolls two distinguished nodes to hold tags 0 and `span`.
+[[nodiscard]] Configuration random_tags_with_span(graph::Graph graph, Tag span,
+                                                  support::Rng& rng);
+
+}  // namespace arl::config

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file io.hpp
+/// Plain-text serialization and Graphviz export for configurations.
+///
+/// The text format is line oriented:
+///
+///     nodes <n>
+///     tags <t_0> <t_1> ... <t_{n-1}>
+///     edges <m>
+///     <u> <v>           (m lines, one undirected edge each)
+///
+/// Lines starting with '#' and blank lines are ignored.
+
+#include <iosfwd>
+#include <string>
+
+#include "config/configuration.hpp"
+
+namespace arl::config {
+
+/// Writes the text representation.
+void to_text(const Configuration& configuration, std::ostream& out);
+
+/// Renders the text representation into a string.
+[[nodiscard]] std::string to_text_string(const Configuration& configuration);
+
+/// Parses the text representation; throws ContractViolation on malformed
+/// input (wrong counts, out-of-range endpoints, disconnected graph, ...).
+[[nodiscard]] Configuration from_text(std::istream& in);
+
+/// Parses from a string.
+[[nodiscard]] Configuration from_text_string(const std::string& text);
+
+/// Writes a Graphviz DOT rendering; node labels show "id:tag".
+void to_dot(const Configuration& configuration, std::ostream& out);
+
+}  // namespace arl::config

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file mutations.hpp
+/// Local perturbations of configurations, used to study how fragile
+/// feasibility is: a deployment planner wants to know whether a one-second
+/// slip in a single device's power-up time (or one extra radio link) can
+/// flip a network from electable to non-electable.
+
+#include <optional>
+
+#include "config/configuration.hpp"
+#include "support/rng.hpp"
+
+namespace arl::config {
+
+/// Returns the configuration with node `v`'s tag replaced by `tag`.
+[[nodiscard]] Configuration with_tag(const Configuration& configuration, graph::NodeId v,
+                                     Tag tag);
+
+/// Returns the configuration with one uniformly random non-edge added, or
+/// nullopt when the graph is complete.
+[[nodiscard]] std::optional<Configuration> with_random_extra_edge(
+    const Configuration& configuration, support::Rng& rng);
+
+/// Returns the configuration with one uniformly random *removable* edge
+/// deleted (an edge whose removal keeps the graph connected), or nullopt
+/// when every edge is a bridge.
+[[nodiscard]] std::optional<Configuration> with_random_edge_removed(
+    const Configuration& configuration, support::Rng& rng);
+
+/// All single-node tag perturbations within {0..max_tag}: for each node and
+/// each alternative tag, one mutated configuration.
+[[nodiscard]] std::vector<Configuration> all_tag_mutations(const Configuration& configuration,
+                                                           Tag max_tag);
+
+}  // namespace arl::config

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file election.hpp
+/// End-to-end leader election: classify → compile schedule → execute the
+/// canonical DRIP on the radio simulator → verify the outcome.
+///
+/// This is the library's main entry point (Theorem 3.15/3.17): for a feasible
+/// configuration the report carries the elected leader, the election time in
+/// rounds (O(n²σ) by Lemma 3.10) and the verification that exactly the
+/// Classifier-predicted node elected itself; for an infeasible one it
+/// documents that the canonical protocol — provably the best symmetry
+/// breaker — leaves every node with a non-unique history and no leader.
+
+#include <memory>
+#include <optional>
+
+#include "config/configuration.hpp"
+#include "core/canonical_drip.hpp"
+#include "core/classifier.hpp"
+#include "core/schedule.hpp"
+#include "radio/simulator.hpp"
+
+namespace arl::core {
+
+/// Knobs for elect().
+struct ElectionOptions {
+  /// Use the hashed FastClassifier instead of the paper-faithful Classifier.
+  bool use_fast_classifier = false;
+
+  /// Channel feedback strength, applied consistently to the classification
+  /// AND the simulation (the paper's model is CollisionDetection; the no-CD
+  /// variant is the weaker-feedback extension).
+  radio::ChannelModel channel_model = radio::ChannelModel::CollisionDetection;
+
+  /// Run the canonical DRIP on the simulator (otherwise only classify).
+  bool simulate = true;
+
+  /// Simulator settings; max_rounds is raised automatically to cover the
+  /// schedule, so the default horizon never truncates a canonical run.
+  radio::SimulatorOptions simulator = {};
+};
+
+/// Everything elect() learned about a configuration.
+struct ElectionReport {
+  /// The Classifier run (verdict, iterations, partitions, step counts).
+  ClassifierResult classification;
+
+  /// The compiled canonical schedule.
+  std::shared_ptr<const CanonicalSchedule> schedule;
+
+  /// Classifier verdict (== classification.feasible()).
+  bool feasible = false;
+
+  /// True when the canonical DRIP was executed on the simulator.
+  bool simulated = false;
+
+  /// The node that elected itself (feasible + simulated runs only).
+  std::optional<graph::NodeId> leader;
+
+  /// Verification flag: feasible runs elected exactly the predicted leader;
+  /// infeasible runs elected nobody; all nodes terminated in the same local
+  /// round equal to the schedule length.
+  bool valid = false;
+
+  /// Global rounds until the last node terminated.
+  config::Round global_rounds = 0;
+
+  /// Local rounds from wakeup to termination (identical for every node).
+  std::uint64_t local_rounds = 0;
+
+  /// Channel statistics of the run.
+  radio::RunStats stats;
+};
+
+/// Classifies `configuration` and (by default) runs the canonical DRIP on it.
+[[nodiscard]] ElectionReport elect(const config::Configuration& configuration,
+                                   const ElectionOptions& options = {});
+
+}  // namespace arl::core

@@ -1,0 +1,105 @@
+#include "core/fast_classifier.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+#include "core/partition.hpp"
+#include "support/assert.hpp"
+
+namespace arl::core {
+
+namespace {
+
+/// FNV-1a over (old class, label triples).
+struct BucketKey {
+  ClassId old_class;
+  const Label* label;
+
+  friend bool operator==(const BucketKey& a, const BucketKey& b) {
+    return a.old_class == b.old_class && *a.label == *b.label;
+  }
+};
+
+struct BucketKeyHash {
+  std::size_t operator()(const BucketKey& key) const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t value) {
+      h ^= value;
+      h *= 0x100000001b3ULL;
+    };
+    mix(key.old_class);
+    for (const auto& triple : *key.label) {
+      mix(triple.cls);
+      mix(triple.round);
+      mix(triple.star ? 2 : 1);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+ClassifierResult FastClassifier::run(const config::Configuration& configuration) const {
+  const graph::NodeId n = configuration.size();
+  ClassifierResult result;
+  result.model = model_;
+
+  std::vector<ClassId> clazz(n, 1);
+  std::vector<graph::NodeId> reps(n + 1, 0);
+  ClassId num_classes = 1;
+  reps[1] = 0;
+
+  const std::uint32_t max_iterations = (n + 1) / 2;
+  for (std::uint32_t iteration = 1; iteration <= max_iterations; ++iteration) {
+    const ClassId old_class_count = num_classes;
+    std::vector<Label> labels = compute_labels(configuration, clazz, &result.steps, model_);
+
+    // Refinement via hashed buckets keyed by (previous class, new label).
+    // Pre-seeding with the previous representatives reproduces the paper's
+    // class numbering: a node matching rep k's bucket keeps class k.
+    std::unordered_map<BucketKey, ClassId, BucketKeyHash> buckets;
+    buckets.reserve(2 * num_classes);
+    for (ClassId k = 1; k <= num_classes; ++k) {
+      buckets.emplace(BucketKey{k, &labels[reps[k]]}, k);
+    }
+    const std::vector<ClassId> old_class = clazz;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      const BucketKey key{old_class[v], &labels[v]};
+      const auto found = buckets.find(key);
+      ++result.steps;
+      if (found != buckets.end()) {
+        clazz[v] = found->second;
+      } else {
+        ++num_classes;
+        ARL_ASSERT(num_classes <= n, "cannot have more classes than nodes");
+        clazz[v] = num_classes;
+        reps[num_classes] = v;
+        buckets.emplace(BucketKey{old_class[v], &labels[v]}, num_classes);
+      }
+    }
+
+    IterationRecord record;
+    record.clazz = clazz;
+    record.labels = std::move(labels);
+    record.reps.assign(reps.begin() + 1, reps.begin() + 1 + num_classes);
+    record.num_classes = num_classes;
+    result.records.push_back(std::move(record));
+    result.iterations = iteration;
+
+    if (const auto singleton = find_singleton(clazz, num_classes)) {
+      result.verdict = Verdict::Feasible;
+      result.leader_class = singleton->first;
+      result.leader = singleton->second;
+      return result;
+    }
+    if (num_classes == old_class_count) {
+      result.verdict = Verdict::Infeasible;
+      return result;
+    }
+  }
+
+  ARL_ASSERT(false, "FastClassifier failed to terminate within ceil(n/2) iterations");
+  return result;
+}
+
+}  // namespace arl::core

@@ -1,0 +1,22 @@
+#include "core/label.hpp"
+
+namespace arl::core {
+
+std::string format_label(const Label& label) {
+  if (label.empty()) {
+    return "null";
+  }
+  std::string out;
+  for (const auto& triple : label) {
+    out += '(';
+    out += std::to_string(triple.cls);
+    out += ',';
+    out += std::to_string(triple.round);
+    out += ',';
+    out += triple.star ? "*" : "1";
+    out += ')';
+  }
+  return out;
+}
+
+}  // namespace arl::core

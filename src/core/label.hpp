@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file label.hpp
+/// Node labels used by the Classifier algorithm (paper §3.1).
+///
+/// During each Partitioner iteration, node v receives a label: the sorted
+/// concatenation of triples (a, b, c) where `a` is the equivalence class of a
+/// neighbour w (the transmission block in which w transmits), `b` = σ+1+t_w-t_v
+/// is the local round within that block where v hears w, and `c` records
+/// whether exactly one (1) or several (∗) neighbours land on that (a, b) slot.
+/// Triples are ordered by the paper's ≺hist (Definition 3.1).
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace arl::core {
+
+/// Equivalence class number; 1-based as in the paper (0 = invalid).
+using ClassId = std::uint32_t;
+
+/// One (a, b, c) triple of a node label.
+struct LabelTriple {
+  ClassId cls = 0;          ///< a: the neighbour's class / transmission block
+  std::uint32_t round = 0;  ///< b: σ+1+t_w-t_v, in [1, 2σ+1]
+  bool star = false;        ///< c: false = exactly one transmitter, true = (∗)
+
+  /// Lexicographic (cls, round, star) — exactly the paper's ≺hist, since
+  /// c = 1 (star = false) precedes c = ∗ (star = true).
+  friend auto operator<=>(const LabelTriple&, const LabelTriple&) = default;
+};
+
+/// A node label: triples sorted by ≺hist.  The empty label is the paper's
+/// `null`.
+using Label = std::vector<LabelTriple>;
+
+/// Renders a label as "(a,b,1)(a,b,*)..." ("null" when empty).
+[[nodiscard]] std::string format_label(const Label& label);
+
+}  // namespace arl::core

@@ -1,0 +1,88 @@
+#include "core/patient.hpp"
+
+#include "support/assert.hpp"
+
+namespace arl::core {
+
+namespace {
+
+/// Per-node program of the patient wrapper.
+class PatientProgram final : public radio::NodeProgram {
+ public:
+  PatientProgram(std::unique_ptr<radio::NodeProgram> inner, config::Tag sigma,
+                 std::optional<std::size_t> inner_window)
+      : inner_(std::move(inner)), sigma_(sigma), inner_window_(inner_window) {}
+
+  radio::Action decide(config::Round local_round, const radio::HistoryView& history) override {
+    if (terminated_) {
+      return radio::Action::terminate();
+    }
+    const std::size_t newest = local_round - 1;  // index of H[local_round - 1]
+    if (!started_) {
+      // Waiting window: local rounds 1..s_w are pure listening.  The inner
+      // simulation starts once a message arrives (forced-wakeup simulation,
+      // s_w = rcv_w) or the window times out (spontaneous simulation,
+      // s_w = σ); in both cases the inner H[0] is the outer H[s_w].
+      const radio::HistoryEntry last = history.entry(newest);
+      if (last.is_message() || local_round == static_cast<config::Round>(sigma_) + 1) {
+        started_ = true;
+        shift_ = newest;  // s_w
+        inner_history_.push_back(last);
+      } else {
+        return radio::Action::listen();
+      }
+    } else {
+      inner_history_.push_back(history.entry(newest));
+      if (inner_window_ && inner_history_.size() > 2 * *inner_window_) {
+        const std::size_t evict = inner_history_.size() - *inner_window_;
+        inner_history_.erase(inner_history_.begin(),
+                             inner_history_.begin() + static_cast<std::ptrdiff_t>(evict));
+        inner_dropped_ += evict;
+      }
+    }
+
+    const auto inner_round = static_cast<config::Round>(local_round - shift_);
+    const radio::HistoryView inner_view(inner_history_, inner_dropped_);
+    ARL_ASSERT(inner_view.length() == inner_round, "inner history out of sync");
+    const radio::Action action = inner_->decide(inner_round, inner_view);
+    if (action.is_terminate()) {
+      terminated_ = true;
+    }
+    return action;
+  }
+
+  [[nodiscard]] bool elected() const override { return inner_->elected(); }
+
+ private:
+  std::unique_ptr<radio::NodeProgram> inner_;
+  config::Tag sigma_;
+  std::optional<std::size_t> inner_window_;
+  bool started_ = false;
+  bool terminated_ = false;
+  std::size_t shift_ = 0;  ///< s_w: inner round j == outer round s_w + j
+  radio::History inner_history_;
+  std::size_t inner_dropped_ = 0;
+};
+
+}  // namespace
+
+PatientWrapper::PatientWrapper(std::shared_ptr<const radio::Drip> inner, config::Tag sigma)
+    : inner_(std::move(inner)), sigma_(sigma) {
+  ARL_EXPECTS(inner_ != nullptr, "inner protocol required");
+}
+
+std::unique_ptr<radio::NodeProgram> PatientWrapper::instantiate(
+    const radio::NodeEnv& env) const {
+  return std::make_unique<PatientProgram>(inner_->instantiate(env), sigma_,
+                                          inner_->history_window());
+}
+
+std::string PatientWrapper::name() const { return "patient(" + inner_->name() + ")"; }
+
+std::optional<std::size_t> PatientWrapper::history_window() const {
+  // The wrapper only reads the newest outer entry; the inner protocol works
+  // on the wrapper's private shifted copy.
+  return std::size_t{4};
+}
+
+}  // namespace arl::core

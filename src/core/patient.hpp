@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file patient.hpp
+/// The patience transformation of Lemma 3.12.
+///
+/// Given any DRIP D, the wrapped protocol D_pat listens for the first
+/// s_w = min(σ, rcv_w) local rounds (rcv_w = first local round in which a
+/// message is received) and then simulates D on the history suffix starting
+/// at s_w:  D_pat(H[0..i-1]) = D(H[s_w..i-1]).  A clean message during the
+/// waiting window plays the role of D's forced wakeup; a silent timeout
+/// plays the spontaneous one.  When all nodes run D_pat, no node transmits
+/// in global rounds 0..σ (Claim 1), every node wakes spontaneously, and each
+/// node's inner history — hence its decision — is exactly what D would have
+/// produced (Claim 2).  The decision function is inherited from the inner
+/// protocol on the shifted history (f_pat of the lemma).
+
+#include <memory>
+
+#include "config/configuration.hpp"
+#include "radio/program.hpp"
+
+namespace arl::core {
+
+/// Wraps an arbitrary protocol into a patient one for a given span σ.
+class PatientWrapper final : public radio::Drip {
+ public:
+  /// `inner` is the protocol D; `sigma` the span the wrapper must outlast.
+  PatientWrapper(std::shared_ptr<const radio::Drip> inner, config::Tag sigma);
+
+  [[nodiscard]] std::unique_ptr<radio::NodeProgram> instantiate(
+      const radio::NodeEnv& env) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<std::size_t> history_window() const override;
+
+ private:
+  std::shared_ptr<const radio::Drip> inner_;
+  config::Tag sigma_;
+};
+
+}  // namespace arl::core

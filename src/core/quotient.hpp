@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file quotient.hpp
+/// Symmetry analysis of a configuration via its stable partition.
+///
+/// Classifier's terminal partition groups nodes that no deterministic
+/// anonymous protocol can ever tell apart (Lemma 3.9 + Lemma 3.14: the
+/// canonical DRIP separates nodes at least as well as any DRIP).  The
+/// quotient view makes this actionable for a deployment planner:
+///   - the orbits (equivalence classes) of interchangeable nodes,
+///   - the quotient multigraph-as-graph over the orbits,
+///   - which orbits could serve as leaders (singletons).
+/// For an infeasible configuration the orbit report explains *why* election
+/// fails — every orbit has two or more pairwise-indistinguishable nodes.
+
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "core/classifier.hpp"
+
+namespace arl::core {
+
+/// One orbit: a maximal set of mutually indistinguishable nodes.  Note that
+/// orbit members need NOT share a wakeup tag: indistinguishability is about
+/// *local* histories, and nodes waking at different global times can live
+/// through identical local experiences (e.g. the interior nodes of a
+/// staggered path all share one orbit despite pairwise distinct tags).
+struct Orbit {
+  ClassId id = 0;                      ///< stable class number
+  std::vector<graph::NodeId> members;  ///< nodes in the orbit, ascending
+};
+
+/// Symmetry summary of a configuration.
+struct SymmetryReport {
+  /// Orbits sorted by class id; singletons first distinguishes nothing, so
+  /// order follows the classifier's numbering.
+  std::vector<Orbit> orbits;
+
+  /// Quotient graph: one vertex per orbit (indexed as in `orbits`), an edge
+  /// when any two member nodes are adjacent.
+  graph::Graph quotient;
+
+  /// Indices into `orbits` of singleton orbits (the electable nodes).
+  std::vector<std::size_t> singleton_orbits;
+
+  /// True iff some orbit is a singleton (== the configuration is feasible).
+  [[nodiscard]] bool feasible() const { return !singleton_orbits.empty(); }
+};
+
+/// Computes the symmetry report from a finished classification.
+[[nodiscard]] SymmetryReport analyze_symmetry(const config::Configuration& configuration,
+                                              const ClassifierResult& classification);
+
+/// Convenience: classify (hashed) and analyze.
+[[nodiscard]] SymmetryReport analyze_symmetry(const config::Configuration& configuration);
+
+}  // namespace arl::core

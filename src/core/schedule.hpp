@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file schedule.hpp
+/// The canonical DRIP's hard-coded knowledge: the list sequence L_j
+/// (paper §3.3.1) compiled from a Classifier run.
+///
+/// For a configuration G, iteration j-1 of Classifier yields the list L_j of
+/// per-class signatures (old class, label); the canonical DRIP installs the
+/// same sequence at every node.  During execution, a node derives its
+/// transmission block for phase P_j by matching its own observed phase
+/// history against L_j — anonymously, since every node carries the same
+/// lists.  Classifier's exit makes L_{T+1} = "terminate", encoded here by the
+/// phases simply ending.  When the verdict is "Yes", the leader's signature
+/// (the pair that would match it in the never-executed phase P_{T+1}) is
+/// embedded so each node can self-decide leadership from its own history.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "core/classifier.hpp"
+#include "core/label.hpp"
+
+namespace arl::core {
+
+/// One entry of a list L_j: the signature of one equivalence class.
+struct PhaseEntry {
+  ClassId old_class = 0;  ///< block the class representative used in the previous phase
+  Label label;            ///< history signature of the class during the previous phase
+};
+
+/// Specification of one phase P_j.
+struct PhaseSpec {
+  /// Number of transmission blocks (= numClasses_{G,j}).
+  ClassId num_classes = 0;
+
+  /// The list L_j (size == num_classes).
+  std::vector<PhaseEntry> entries;
+};
+
+/// Complete canonical-DRIP schedule for one configuration.
+struct CanonicalSchedule {
+  config::Tag sigma = 0;          ///< span σ of the configuration
+  radio::ChannelModel model =
+      radio::ChannelModel::CollisionDetection;  ///< feedback the labels assume
+  std::vector<PhaseSpec> phases;  ///< phases[j-1] = P_j, j = 1..T
+
+  bool feasible = false;       ///< Classifier verdict
+  ClassId leader_old_class = 0;  ///< leader signature: block in phase P_T...
+  Label leader_label;            ///< ...and observed label of phase P_T
+
+  /// Rounds per transmission block (2σ+1).
+  [[nodiscard]] std::uint64_t block_length() const { return 2ULL * sigma + 1; }
+
+  /// Length of phase P_{j+1} in rounds: numClasses·(2σ+1) + σ.
+  [[nodiscard]] std::uint64_t phase_length(std::size_t phase_index) const;
+
+  /// Local rounds from wakeup to termination inclusive (Lemma 3.10 gives
+  /// O(n²σ)); every node terminates in exactly this local round.
+  [[nodiscard]] std::uint64_t total_rounds() const;
+
+  /// History window sufficient for the canonical program (longest phase + margin).
+  [[nodiscard]] std::size_t suggested_window() const;
+};
+
+/// Compiles the schedule from a Classifier run on the same configuration.
+[[nodiscard]] CanonicalSchedule build_schedule(const config::Configuration& configuration,
+                                               const ClassifierResult& classification);
+
+/// Convenience: classify then compile.
+[[nodiscard]] std::shared_ptr<const CanonicalSchedule> make_schedule(
+    const config::Configuration& configuration,
+    radio::ChannelModel model = radio::ChannelModel::CollisionDetection);
+
+}  // namespace arl::core

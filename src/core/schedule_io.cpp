@@ -1,0 +1,168 @@
+#include "core/schedule_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace arl::core {
+
+namespace {
+
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+void write_label(const Label& label, std::ostream& out) {
+  out << ' ' << label.size();
+  for (const auto& triple : label) {
+    out << ' ' << triple.cls << ' ' << triple.round << ' ' << (triple.star ? '*' : '1');
+  }
+}
+
+Label read_label(std::istringstream& in) {
+  std::size_t count = 0;
+  in >> count;
+  ARL_EXPECTS(!in.fail(), "malformed label length");
+  Label label;
+  label.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    LabelTriple triple;
+    char star = '\0';
+    in >> triple.cls >> triple.round >> star;
+    ARL_EXPECTS(!in.fail() && (star == '1' || star == '*'), "malformed label triple");
+    triple.star = (star == '*');
+    ARL_EXPECTS(label.empty() || label.back() < triple, "label triples must be ≺hist-sorted");
+    label.push_back(triple);
+  }
+  return label;
+}
+
+}  // namespace
+
+void schedule_to_text(const CanonicalSchedule& schedule, std::ostream& out) {
+  out << "arl-schedule v1\n";
+  out << "sigma " << schedule.sigma << '\n';
+  out << "model " << (schedule.model == radio::ChannelModel::CollisionDetection ? "cd" : "nocd")
+      << '\n';
+  out << "feasible " << (schedule.feasible ? 1 : 0) << '\n';
+  if (schedule.feasible) {
+    out << "leader " << schedule.leader_old_class;
+    write_label(schedule.leader_label, out);
+    out << '\n';
+  }
+  out << "phases " << schedule.phases.size() << '\n';
+  for (const PhaseSpec& phase : schedule.phases) {
+    out << "phase " << phase.num_classes << '\n';
+    for (const PhaseEntry& entry : phase.entries) {
+      out << "entry " << entry.old_class;
+      write_label(entry.label, out);
+      out << '\n';
+    }
+  }
+}
+
+std::string schedule_to_text_string(const CanonicalSchedule& schedule) {
+  std::ostringstream out;
+  schedule_to_text(schedule, out);
+  return out.str();
+}
+
+CanonicalSchedule schedule_from_text(std::istream& in) {
+  std::string line;
+  std::string keyword;
+  CanonicalSchedule schedule;
+
+  ARL_EXPECTS(next_content_line(in, line), "missing header");
+  ARL_EXPECTS(line.rfind("arl-schedule v1", 0) == 0, "unknown schedule format/version");
+
+  ARL_EXPECTS(next_content_line(in, line), "missing 'sigma'");
+  {
+    std::istringstream parse(line);
+    parse >> keyword >> schedule.sigma;
+    ARL_EXPECTS(!parse.fail() && keyword == "sigma", "malformed 'sigma' line");
+  }
+
+  ARL_EXPECTS(next_content_line(in, line), "missing 'model'");
+  {
+    std::istringstream parse(line);
+    std::string model;
+    parse >> keyword >> model;
+    ARL_EXPECTS(!parse.fail() && keyword == "model" && (model == "cd" || model == "nocd"),
+                "malformed 'model' line");
+    schedule.model = model == "cd" ? radio::ChannelModel::CollisionDetection
+                                   : radio::ChannelModel::NoCollisionDetection;
+  }
+
+  ARL_EXPECTS(next_content_line(in, line), "missing 'feasible'");
+  {
+    std::istringstream parse(line);
+    int feasible = 0;
+    parse >> keyword >> feasible;
+    ARL_EXPECTS(!parse.fail() && keyword == "feasible" && (feasible == 0 || feasible == 1),
+                "malformed 'feasible' line");
+    schedule.feasible = feasible == 1;
+  }
+
+  if (schedule.feasible) {
+    ARL_EXPECTS(next_content_line(in, line), "missing 'leader'");
+    std::istringstream parse(line);
+    parse >> keyword >> schedule.leader_old_class;
+    ARL_EXPECTS(!parse.fail() && keyword == "leader", "malformed 'leader' line");
+    schedule.leader_label = read_label(parse);
+  }
+
+  std::size_t phase_count = 0;
+  ARL_EXPECTS(next_content_line(in, line), "missing 'phases'");
+  {
+    std::istringstream parse(line);
+    parse >> keyword >> phase_count;
+    ARL_EXPECTS(!parse.fail() && keyword == "phases" && phase_count >= 1,
+                "malformed 'phases' line");
+  }
+
+  schedule.phases.reserve(phase_count);
+  for (std::size_t j = 0; j < phase_count; ++j) {
+    ARL_EXPECTS(next_content_line(in, line), "missing 'phase' line");
+    PhaseSpec phase;
+    {
+      std::istringstream parse(line);
+      parse >> keyword >> phase.num_classes;
+      ARL_EXPECTS(!parse.fail() && keyword == "phase" && phase.num_classes >= 1,
+                  "malformed 'phase' line");
+    }
+    phase.entries.reserve(phase.num_classes);
+    for (ClassId k = 0; k < phase.num_classes; ++k) {
+      ARL_EXPECTS(next_content_line(in, line), "missing 'entry' line");
+      std::istringstream parse(line);
+      PhaseEntry entry;
+      parse >> keyword >> entry.old_class;
+      ARL_EXPECTS(!parse.fail() && keyword == "entry", "malformed 'entry' line");
+      entry.label = read_label(parse);
+      phase.entries.push_back(std::move(entry));
+    }
+    schedule.phases.push_back(std::move(phase));
+  }
+
+  // Structural sanity: L_1 is always [(1, null)].
+  ARL_EXPECTS(schedule.phases[0].num_classes == 1 &&
+                  schedule.phases[0].entries[0].old_class == 1 &&
+                  schedule.phases[0].entries[0].label.empty(),
+              "phase P_1 must carry L_1 = [(1, null)]");
+  return schedule;
+}
+
+CanonicalSchedule schedule_from_text_string(const std::string& text) {
+  std::istringstream in(text);
+  return schedule_from_text(in);
+}
+
+}  // namespace arl::core

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file schedule_io.hpp
+/// Serialization for compiled canonical schedules.
+///
+/// A dedicated leader election algorithm is DATA: the list sequence L_j plus
+/// the leader signature.  In a deployment, a planner with knowledge of the
+/// configuration runs Classifier once, serializes the schedule, and flashes
+/// the same bytes onto every (anonymous) device.  The text format:
+///
+///     arl-schedule v1
+///     sigma <σ>
+///     model <cd|nocd>
+///     feasible <0|1>
+///     leader <old_class> <label>        (only when feasible)
+///     phases <T>
+///     phase <num_classes>               (T times, followed by its entries)
+///     entry <old_class> <k> <a b c>*    (c is 1 or *)
+///
+/// Lines starting with '#' and blank lines are ignored.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/schedule.hpp"
+
+namespace arl::core {
+
+/// Writes the text representation.
+void schedule_to_text(const CanonicalSchedule& schedule, std::ostream& out);
+
+/// Renders to a string.
+[[nodiscard]] std::string schedule_to_text_string(const CanonicalSchedule& schedule);
+
+/// Parses the text representation; throws ContractViolation on malformed
+/// input (bad counts, unsorted labels, out-of-range classes, ...).
+[[nodiscard]] CanonicalSchedule schedule_from_text(std::istream& in);
+
+/// Parses from a string.
+[[nodiscard]] CanonicalSchedule schedule_from_text_string(const std::string& text);
+
+}  // namespace arl::core

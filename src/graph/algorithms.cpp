@@ -1,0 +1,74 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace arl::graph {
+
+std::vector<NodeId> bfs_distances(const Graph& graph, NodeId source) {
+  const NodeId n = graph.node_count();
+  ARL_EXPECTS(source < n, "source out of range");
+  std::vector<NodeId> distance(n, n);  // n == "unreachable"
+  std::deque<NodeId> frontier{source};
+  distance[source] = 0;
+  while (!frontier.empty()) {
+    const NodeId v = frontier.front();
+    frontier.pop_front();
+    for (const NodeId w : graph.neighbors(v)) {
+      if (distance[w] == n) {
+        distance[w] = distance[v] + 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  return distance;
+}
+
+std::vector<NodeId> components(const Graph& graph) {
+  const NodeId n = graph.node_count();
+  std::vector<NodeId> component(n, n);
+  NodeId next = 0;
+  for (NodeId start = 0; start < n; ++start) {
+    if (component[start] != n) {
+      continue;
+    }
+    component[start] = next;
+    std::deque<NodeId> frontier{start};
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      for (const NodeId w : graph.neighbors(v)) {
+        if (component[w] == n) {
+          component[w] = next;
+          frontier.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return component;
+}
+
+bool is_connected(const Graph& graph) {
+  const NodeId n = graph.node_count();
+  if (n == 0) {
+    return false;
+  }
+  const auto distance = bfs_distances(graph, 0);
+  return std::all_of(distance.begin(), distance.end(),
+                     [n](NodeId d) { return d < n; });
+}
+
+NodeId diameter(const Graph& graph) {
+  ARL_EXPECTS(is_connected(graph), "diameter of a disconnected graph is undefined");
+  NodeId best = 0;
+  for (NodeId v = 0; v < graph.node_count(); ++v) {
+    const auto distance = bfs_distances(graph, v);
+    best = std::max(best, *std::max_element(distance.begin(), distance.end()));
+  }
+  return best;
+}
+
+}  // namespace arl::graph

@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file algorithms.hpp
+/// Basic graph algorithms used for validation and workload metadata.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace arl::graph {
+
+/// BFS distances from `source`; unreachable nodes get distance == n (sentinel).
+[[nodiscard]] std::vector<NodeId> bfs_distances(const Graph& graph, NodeId source);
+
+/// Connected-component index per node (component ids are 0-based, assigned in
+/// order of the smallest node id in each component).
+[[nodiscard]] std::vector<NodeId> components(const Graph& graph);
+
+/// True if the graph is connected (the empty graph is not).
+[[nodiscard]] bool is_connected(const Graph& graph);
+
+/// Exact diameter via all-pairs BFS.  Requires a connected graph.
+[[nodiscard]] NodeId diameter(const Graph& graph);
+
+}  // namespace arl::graph

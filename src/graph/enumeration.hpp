@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file enumeration.hpp
+/// Exhaustive enumeration of small connected graphs, used by the
+/// cross-validation test suites (E1) to sweep every configuration up to a
+/// size bound.  Graphs are enumerated as labelled graphs (no isomorphism
+/// reduction — configurations attach per-node tags, so labelled is what we
+/// want).
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.hpp"
+
+namespace arl::graph {
+
+/// Calls `visit` for every labelled connected simple graph on `n` nodes.
+/// Requires 1 <= n <= 7 (edge bitmask enumeration: 2^(n(n-1)/2) candidates).
+/// Returns the number of graphs visited.
+std::uint64_t for_each_connected_graph(NodeId n, const std::function<void(const Graph&)>& visit);
+
+/// Number of labelled connected graphs on n nodes (for test cross-checks):
+/// 1, 1, 4, 38, 728, 26704 for n = 1..6 (OEIS A001187).
+[[nodiscard]] std::uint64_t connected_graph_count(NodeId n);
+
+}  // namespace arl::graph

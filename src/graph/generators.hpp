@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file generators.hpp
+/// Standard graph families used as radio network topologies in the test and
+/// benchmark workloads.  All generators produce connected simple graphs and
+/// are deterministic given their arguments (random generators take an Rng).
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace arl::graph {
+
+/// Path a_0 - a_1 - ... - a_{n-1}.  Requires n >= 1.
+[[nodiscard]] Graph path(NodeId n);
+
+/// Cycle on n nodes.  Requires n >= 3.
+[[nodiscard]] Graph cycle(NodeId n);
+
+/// Complete graph K_n (the single-hop radio network).  Requires n >= 1.
+[[nodiscard]] Graph complete(NodeId n);
+
+/// Star with one hub (node 0) and n-1 leaves.  Requires n >= 1.
+[[nodiscard]] Graph star(NodeId n);
+
+/// Complete bipartite graph K_{a,b}; nodes 0..a-1 on the left.  Requires a, b >= 1.
+[[nodiscard]] Graph complete_bipartite(NodeId a, NodeId b);
+
+/// rows x cols grid (4-neighbour mesh).  Requires rows, cols >= 1.
+[[nodiscard]] Graph grid(NodeId rows, NodeId cols);
+
+/// rows x cols torus (wrap-around mesh).  Requires rows, cols >= 3.
+[[nodiscard]] Graph torus(NodeId rows, NodeId cols);
+
+/// d-dimensional hypercube (2^d nodes).  Requires 1 <= d <= 20.
+[[nodiscard]] Graph hypercube(unsigned d);
+
+/// Complete binary tree with n nodes (heap numbering).  Requires n >= 1.
+[[nodiscard]] Graph binary_tree(NodeId n);
+
+/// Uniformly random labelled tree on n nodes (via Prüfer sequence).  Requires n >= 1.
+[[nodiscard]] Graph random_tree(NodeId n, support::Rng& rng);
+
+/// Erdős–Rényi G(n, p) conditioned on connectivity: samples edges with
+/// probability p, then links disconnected components with random extra edges
+/// so the result is always connected.  Requires n >= 1.
+[[nodiscard]] Graph gnp_connected(NodeId n, double p, support::Rng& rng);
+
+/// Two cliques of size k joined by a path of length bridge (>= 1 edge).
+/// Requires k >= 1.  A classic "two dense regions, thin corridor" topology.
+[[nodiscard]] Graph barbell(NodeId k, NodeId bridge);
+
+/// Caterpillar: a spine path of length `spine` with `legs` pendant leaves
+/// attached to every spine node.  Requires spine >= 1.
+[[nodiscard]] Graph caterpillar(NodeId spine, NodeId legs);
+
+}  // namespace arl::graph

@@ -1,0 +1,89 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arl::graph {
+
+Graph::Builder::Builder(NodeId nodes) : nodes_(nodes), adjacency_(nodes) {}
+
+Graph::Builder& Graph::Builder::add_edge(NodeId u, NodeId v) {
+  ARL_EXPECTS(u < nodes_ && v < nodes_, "edge endpoint out of range");
+  ARL_EXPECTS(u != v, "self loops are not allowed in a simple graph");
+  ARL_EXPECTS(!has_edge(u, v), "parallel edges are not allowed in a simple graph");
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  return *this;
+}
+
+bool Graph::Builder::has_edge(NodeId u, NodeId v) const {
+  ARL_EXPECTS(u < nodes_ && v < nodes_, "edge endpoint out of range");
+  const auto& shorter = adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+  const NodeId needle = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(shorter.begin(), shorter.end(), needle) != shorter.end();
+}
+
+Graph Graph::Builder::build() && { return Graph(std::move(adjacency_)); }
+
+Graph::Graph(std::vector<std::vector<NodeId>> adjacency) {
+  offsets_.reserve(adjacency.size() + 1);
+  offsets_.push_back(0);
+  std::size_t total = 0;
+  for (auto& list : adjacency) {
+    std::sort(list.begin(), list.end());
+    total += list.size();
+    offsets_.push_back(total);
+  }
+  neighbors_.reserve(total);
+  for (const auto& list : adjacency) {
+    neighbors_.insert(neighbors_.end(), list.begin(), list.end());
+  }
+}
+
+Graph Graph::from_edges(NodeId nodes, const std::vector<Edge>& edges) {
+  Builder builder(nodes);
+  for (const auto& [u, v] : edges) {
+    builder.add_edge(u, v);
+  }
+  return std::move(builder).build();
+}
+
+std::span<const NodeId> Graph::neighbors(NodeId v) const {
+  ARL_EXPECTS(v < node_count(), "node out of range");
+  return {neighbors_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+NodeId Graph::degree(NodeId v) const {
+  ARL_EXPECTS(v < node_count(), "node out of range");
+  return static_cast<NodeId>(offsets_[v + 1] - offsets_[v]);
+}
+
+NodeId Graph::max_degree() const {
+  NodeId best = 0;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    best = std::max(best, degree(v));
+  }
+  return best;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto span = neighbors(u);
+  ARL_EXPECTS(v < node_count(), "node out of range");
+  return std::binary_search(span.begin(), span.end(), v);
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(edge_count());
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (const NodeId v : neighbors(u)) {
+      if (u < v) {
+        result.emplace_back(u, v);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace arl::graph

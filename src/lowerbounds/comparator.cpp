@@ -1,0 +1,52 @@
+#include "lowerbounds/comparator.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arl::lowerbounds {
+
+ComparisonResult compare_executions(const config::Configuration& a,
+                                    const config::Configuration& b, const radio::Drip& drip,
+                                    radio::SimulatorOptions options) {
+  ARL_EXPECTS(a.size() == b.size(), "transcript comparison needs equal node counts");
+  options.history_window = std::nullopt;  // keep full histories for the comparison
+
+  const radio::RunResult run_a = radio::simulate(a, drip, options);
+  const radio::RunResult run_b = radio::simulate(b, drip, options);
+
+  ComparisonResult result;
+  for (graph::NodeId v = 0; v < a.size(); ++v) {
+    const radio::NodeOutcome& na = run_a.nodes[v];
+    const radio::NodeOutcome& nb = run_b.nodes[v];
+    auto report = [&](config::Round round, const char* what) {
+      result.divergent_node = v;
+      result.divergence_round = round;
+      result.difference = what;
+    };
+    if (na.wake_round != nb.wake_round || na.forced_wake != nb.forced_wake) {
+      report(std::min(na.wake_round, nb.wake_round), "wake round");
+      return result;
+    }
+    const std::size_t shared = std::min(na.history.size(), nb.history.size());
+    for (std::size_t i = 0; i < shared; ++i) {
+      if (na.history[i] != nb.history[i]) {
+        report(na.wake_round + static_cast<config::Round>(i), "history entry");
+        return result;
+      }
+    }
+    if (na.history.size() != nb.history.size() || na.terminated != nb.terminated ||
+        (na.terminated && na.done_round != nb.done_round)) {
+      report(na.wake_round + static_cast<config::Round>(shared), "termination");
+      return result;
+    }
+    if (na.elected != nb.elected) {
+      report(na.wake_round + na.done_round, "decision");
+      return result;
+    }
+  }
+  result.identical = true;
+  return result;
+}
+
+}  // namespace arl::lowerbounds

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file comparator.hpp
+/// Proposition 4.5 as an executable experiment: no distributed algorithm can
+/// decide feasibility, because for every protocol there is a feasible
+/// configuration (H_{t+1}) and an infeasible one (S_{t+1}) on which every
+/// node's entire transcript is identical.
+///
+/// `compare_executions` runs one protocol on two equal-size configurations
+/// and reports whether any node could ever tell the two runs apart — i.e.
+/// whether wake rounds, wake kinds, per-round histories, termination or
+/// decisions differ anywhere.
+
+#include <optional>
+#include <string>
+
+#include "config/configuration.hpp"
+#include "radio/program.hpp"
+#include "radio/simulator.hpp"
+
+namespace arl::lowerbounds {
+
+/// Result of a transcript comparison.
+struct ComparisonResult {
+  /// True when every node's observable execution is identical in both runs.
+  bool identical = false;
+
+  /// Node and global round of the first observable difference (when any).
+  std::optional<graph::NodeId> divergent_node;
+  std::optional<config::Round> divergence_round;
+
+  /// What differed ("wake round", "history entry", "termination", "decision").
+  std::string difference;
+};
+
+/// Runs `drip` on both configurations (same node count required) and
+/// compares the executions node-by-node, aligned by node index.
+[[nodiscard]] ComparisonResult compare_executions(const config::Configuration& a,
+                                                  const config::Configuration& b,
+                                                  const radio::Drip& drip,
+                                                  radio::SimulatorOptions options = {});
+
+}  // namespace arl::lowerbounds

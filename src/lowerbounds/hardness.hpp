@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file hardness.hpp
+/// Which configurations are HARD?  Proposition 4.1's family G_m drives the
+/// Classifier through Θ(n) iterations — close to the ⌈n/2⌉ ceiling of
+/// Lemma 3.4.  These searches hunt for worst-case tag assignments on a given
+/// topology: exhaustively for small n, by random-restart hill climbing for
+/// larger ones.  They quantify how extremal the paper's hand-built families
+/// are, and supply adversarial workloads for the scaling benchmarks.
+
+#include <cstdint>
+
+#include "config/configuration.hpp"
+#include "support/rng.hpp"
+
+namespace arl::lowerbounds {
+
+/// A configuration together with its Classifier cost.
+struct HardnessResult {
+  std::vector<config::Tag> tags;    ///< the tag assignment found
+  std::uint32_t iterations = 0;     ///< Classifier iterations it forces
+  bool feasible = false;            ///< its verdict
+  std::uint64_t evaluated = 0;      ///< assignments examined by the search
+};
+
+/// Exhaustive search over all tag vectors in {0..max_tag}^n for the
+/// assignment maximizing Classifier iterations (ties: first found).
+/// Requires (max_tag+1)^n manageable — guard: n * log2(max_tag+1) <= 24.
+[[nodiscard]] HardnessResult hardest_tags_exhaustive(const graph::Graph& graph,
+                                                     config::Tag max_tag);
+
+/// Random-restart hill climbing: perturbs one tag at a time, keeps strict
+/// improvements, restarts on plateaus.  `budget` bounds total evaluations.
+[[nodiscard]] HardnessResult hardest_tags_search(const graph::Graph& graph, config::Tag max_tag,
+                                                 support::Rng& rng, std::uint64_t budget);
+
+}  // namespace arl::lowerbounds

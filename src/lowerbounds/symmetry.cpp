@@ -1,0 +1,38 @@
+#include "lowerbounds/symmetry.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arl::lowerbounds {
+
+std::optional<config::Round> first_history_divergence(const radio::NodeOutcome& u,
+                                                      const radio::NodeOutcome& v) {
+  ARL_EXPECTS(u.history_dropped == 0 && v.history_dropped == 0,
+              "divergence measurement needs full histories (disable windowing)");
+  const std::size_t shared = std::min(u.history.size(), v.history.size());
+  for (std::size_t i = 0; i < shared; ++i) {
+    if (u.history[i] != v.history[i]) {
+      return static_cast<config::Round>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<config::Round> uniqueness_round(const radio::RunResult& run, graph::NodeId node) {
+  ARL_EXPECTS(node < run.nodes.size(), "node out of range");
+  config::Round latest = 0;
+  for (graph::NodeId other = 0; other < run.nodes.size(); ++other) {
+    if (other == node) {
+      continue;
+    }
+    const auto divergence = first_history_divergence(run.nodes[node], run.nodes[other]);
+    if (!divergence) {
+      return std::nullopt;  // some node shadows this one forever
+    }
+    latest = std::max(latest, *divergence);
+  }
+  return latest;
+}
+
+}  // namespace arl::lowerbounds

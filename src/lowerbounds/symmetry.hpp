@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file symmetry.hpp
+/// Symmetry-breaking measurements for the Ω(n) and Ω(σ) lower bounds
+/// (Propositions 4.1 and 4.3).
+///
+/// Leader election requires the leader's history to differ from every other
+/// node's (a decision function is a function of the history alone).  These
+/// helpers measure, on an actual execution, when histories separate — the
+/// quantity the lower-bound proofs reason about.
+
+#include <optional>
+
+#include "config/configuration.hpp"
+#include "radio/simulator.hpp"
+
+namespace arl::lowerbounds {
+
+/// First local round i such that H_u[0..i] != H_v[0..i]; nullopt when one
+/// history is a prefix of the other and they agree throughout.
+[[nodiscard]] std::optional<config::Round> first_history_divergence(
+    const radio::NodeOutcome& u, const radio::NodeOutcome& v);
+
+/// First local round by which `node`'s history differs from the history of
+/// EVERY other node — a lower bound on any decision function electing it.
+/// nullopt when some other node's history never diverges (no election
+/// possible at all).
+[[nodiscard]] std::optional<config::Round> uniqueness_round(const radio::RunResult& run,
+                                                            graph::NodeId node);
+
+}  // namespace arl::lowerbounds

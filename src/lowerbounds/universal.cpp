@@ -1,0 +1,130 @@
+#include "lowerbounds/universal.hpp"
+
+#include "config/families.hpp"
+#include "support/assert.hpp"
+
+namespace arl::lowerbounds {
+
+namespace {
+
+constexpr radio::Message kProbe = 1;  ///< first-mover payload
+constexpr radio::Message kAck = 2;    ///< responder payload
+
+/// Program of BeepCandidate (see header for the behaviour).
+class BeepProgram final : public radio::NodeProgram {
+ public:
+  BeepProgram(config::Round wait, config::Round horizon) : wait_(wait), horizon_(horizon) {}
+
+  radio::Action decide(config::Round local_round, const radio::HistoryView& history) override {
+    if (done_) {
+      return radio::Action::terminate();
+    }
+    const radio::HistoryEntry newest = history.entry(local_round - 1);
+    if (newest.is_message() && !transmitted_) {
+      // A message arrived before our own transmission: become a responder.
+      if (!responder_) {
+        responder_ = true;
+        ack_pending_ = true;
+      }
+    }
+    if (local_round >= horizon_) {
+      done_ = true;
+      return radio::Action::terminate();
+    }
+    if (ack_pending_) {
+      ack_pending_ = false;
+      return radio::Action::transmit(kAck);
+    }
+    if (!responder_ && !transmitted_ && local_round == wait_ + 1) {
+      transmitted_ = true;
+      return radio::Action::transmit(kProbe);
+    }
+    return radio::Action::listen();
+  }
+
+  /// Leader iff this node fired the probe without having heard any message.
+  [[nodiscard]] bool elected() const override { return transmitted_ && !responder_; }
+
+ private:
+  config::Round wait_;
+  config::Round horizon_;
+  bool responder_ = false;
+  bool ack_pending_ = false;
+  bool transmitted_ = false;
+  bool done_ = false;
+};
+
+/// Trace sink recording the first global round with any transmission.
+class FirstTxSink final : public radio::TraceSink {
+ public:
+  void on_action(graph::NodeId, config::Round global_round, config::Round,
+                 const radio::Action& action) override {
+    if (action.is_transmit() && !first_) {
+      first_ = global_round;
+    }
+  }
+
+  [[nodiscard]] std::optional<config::Round> first() const { return first_; }
+
+ private:
+  std::optional<config::Round> first_;
+};
+
+}  // namespace
+
+BeepCandidate::BeepCandidate(config::Round wait, config::Round horizon)
+    : wait_(wait), horizon_(horizon) {
+  ARL_EXPECTS(horizon_ > wait_ + 1, "horizon must leave room for the probe transmission");
+}
+
+std::unique_ptr<radio::NodeProgram> BeepCandidate::instantiate(const radio::NodeEnv&) const {
+  return std::make_unique<BeepProgram>(wait_, horizon_);
+}
+
+std::string BeepCandidate::name() const {
+  return "beep-candidate(wait=" + std::to_string(wait_) + ")";
+}
+
+std::optional<config::Round> first_transmission_round(const config::Configuration& configuration,
+                                                      const radio::Drip& candidate,
+                                                      radio::SimulatorOptions options) {
+  FirstTxSink sink;
+  options.trace = &sink;
+  (void)radio::simulate(configuration, candidate, options);
+  return sink.first();
+}
+
+UniversalProbe probe_universal(const radio::Drip& candidate, config::Tag max_m,
+                               radio::SimulatorOptions options) {
+  ARL_EXPECTS(max_m >= 1, "need at least one family member");
+  UniversalProbe probe;
+  probe.candidate = candidate.name();
+
+  // Measure t on the largest family member: with tags m, 0, 0, m+1 the
+  // first transmission comes from the tag-0 nodes as long as t < m.
+  if (const auto t = first_transmission_round(config::family_h(max_m), candidate, options)) {
+    probe.first_tx_round = *t;
+  }
+
+  for (config::Tag m = 1; m <= max_m; ++m) {
+    const config::Configuration configuration = config::family_h(m);
+    const radio::RunResult run = radio::simulate(configuration, candidate, options);
+    const auto leaders = run.leaders();
+    if (run.all_terminated && leaders.size() == 1) {
+      probe.succeeded_on.push_back(m);
+      continue;
+    }
+    probe.breaking_m = m;
+    if (!run.all_terminated) {
+      probe.failure_mode = "not terminated";
+    } else if (leaders.empty()) {
+      probe.failure_mode = "no leader";
+    } else {
+      probe.failure_mode = std::to_string(leaders.size()) + " leaders";
+    }
+    break;
+  }
+  return probe;
+}
+
+}  // namespace arl::lowerbounds

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file universal.hpp
+/// Proposition 4.4 as an executable adversary experiment: no universal
+/// distributed algorithm elects a leader on all feasible configurations,
+/// even restricted to the 4-node family H_m.
+///
+/// The proof: any universal algorithm makes its tag-0 nodes first transmit
+/// in some global round t; on H_{t+1} that very transmission wakes the two
+/// end nodes simultaneously and the execution stays symmetric forever.  The
+/// harness takes any concrete candidate, measures t, sweeps m, and reports
+/// where (and how) the candidate breaks — which the theorem predicts happens
+/// no later than the vicinity of m = t + 1.
+
+#include <optional>
+#include <string>
+
+#include "config/configuration.hpp"
+#include "radio/program.hpp"
+#include "radio/simulator.hpp"
+
+namespace arl::lowerbounds {
+
+/// A natural "universal" attempt (parameterized waiting time):
+///   - a spontaneously woken node listens `wait` rounds; if still unwoken by
+///     a message it transmits '1' once and keeps listening;
+///   - a node woken by a message (or hearing one before its own
+///     transmission) becomes a responder: it transmits the ack '2' once in
+///     the following round, then listens;
+///   - everyone terminates at local round `horizon`.
+/// Decision: leader iff the node transmitted '1' before hearing any message.
+/// This elects correctly on many configurations (e.g. a two-node path with
+/// far-apart tags) but — per Proposition 4.4 — must fail on some H_m.
+class BeepCandidate final : public radio::Drip {
+ public:
+  /// `wait` = listening rounds before the first transmission; `horizon` =
+  /// local round of termination (must exceed wait + 1).
+  BeepCandidate(config::Round wait, config::Round horizon);
+
+  [[nodiscard]] std::unique_ptr<radio::NodeProgram> instantiate(
+      const radio::NodeEnv& env) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::optional<std::size_t> history_window() const override { return 4; }
+
+  [[nodiscard]] config::Round wait() const { return wait_; }
+
+ private:
+  config::Round wait_;
+  config::Round horizon_;
+};
+
+/// Outcome of one candidate-vs-family probe.
+struct UniversalProbe {
+  std::string candidate;                   ///< protocol name
+  config::Round first_tx_round = 0;        ///< measured t: first global transmission (on a large H_M)
+  std::optional<config::Tag> breaking_m;   ///< smallest m in [1, max_m] where election fails
+  std::string failure_mode;                ///< "no leader" / "<k> leaders" / "not terminated"
+  std::vector<config::Tag> succeeded_on;   ///< the m values where the candidate did elect
+};
+
+/// Runs `candidate` on H_1..H_max_m and reports the first failure.
+/// `options` controls the simulation (a default horizon is applied).
+[[nodiscard]] UniversalProbe probe_universal(const radio::Drip& candidate, config::Tag max_m,
+                                             radio::SimulatorOptions options = {});
+
+/// Measures t: the first global round in which any node transmits when
+/// `candidate` runs on `configuration`.  Returns nullopt if nothing was ever
+/// transmitted within the horizon.
+[[nodiscard]] std::optional<config::Round> first_transmission_round(
+    const config::Configuration& configuration, const radio::Drip& candidate,
+    radio::SimulatorOptions options = {});
+
+}  // namespace arl::lowerbounds

@@ -1,0 +1,16 @@
+#include "radio/history.hpp"
+
+namespace arl::radio {
+
+std::string format_history(const History& history) {
+  std::string out;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (i > 0) {
+      out += ' ';
+    }
+    out += history[i].to_string();
+  }
+  return out;
+}
+
+}  // namespace arl::radio

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file history.hpp
+/// Node histories and the windowed view handed to protocols.
+///
+/// Formally a DRIP is a function of the full history H_v[0..i-1].  Storing
+/// full histories for every node is quadratic in rounds x nodes; long
+/// benchmark runs instead retain a sliding suffix window (protocols declare
+/// how far back they look via Drip::history_window()).  HistoryView exposes
+/// the total length plus the retained suffix, and traps any out-of-window
+/// access as a contract violation, so windowing can never silently change
+/// protocol behaviour.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "radio/message.hpp"
+
+namespace arl::radio {
+
+/// A node's full (or suffix-retained) history, oldest entry first.
+using History = std::vector<HistoryEntry>;
+
+/// Read-only view over a possibly-windowed history.
+class HistoryView {
+ public:
+  /// Views `kept`, which holds entries [dropped, dropped + kept.size()).
+  HistoryView(const History& kept, std::size_t dropped) : kept_(&kept), dropped_(dropped) {}
+
+  /// Total number of entries ever recorded (H[0..length-1]).
+  [[nodiscard]] std::size_t length() const { return dropped_ + kept_->size(); }
+
+  /// Index of the oldest retained entry (0 when nothing was dropped).
+  [[nodiscard]] std::size_t first_kept() const { return dropped_; }
+
+  /// Entry H[t]; requires first_kept() <= t < length().
+  [[nodiscard]] const HistoryEntry& entry(std::size_t t) const {
+    ARL_EXPECTS(t >= dropped_, "history entry no longer retained (window too small)");
+    ARL_EXPECTS(t < length(), "history entry not recorded yet");
+    return (*kept_)[t - dropped_];
+  }
+
+  /// Most recent entry; requires length() > 0.
+  [[nodiscard]] const HistoryEntry& last() const {
+    ARL_EXPECTS(!kept_->empty(), "empty history has no last entry");
+    return kept_->back();
+  }
+
+  /// True when no entry has been recorded.
+  [[nodiscard]] bool empty() const { return length() == 0; }
+
+ private:
+  const History* kept_;
+  std::size_t dropped_;
+};
+
+/// Renders a history as space-separated compact entries ("- m1 * -").
+[[nodiscard]] std::string format_history(const History& history);
+
+}  // namespace arl::radio

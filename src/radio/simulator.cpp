@@ -1,0 +1,261 @@
+#include "radio/simulator.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace arl::radio {
+
+namespace {
+
+/// Runtime state of one node.
+struct NodeState {
+  enum class Phase : std::uint8_t { Asleep, Awake, Terminated };
+
+  Phase phase = Phase::Asleep;
+  config::Round wake_round = 0;
+  bool forced = false;
+  bool woke_this_round = false;
+  bool transmitting = false;
+  Message outgoing = 0;
+  std::unique_ptr<NodeProgram> program;
+  History history;
+  std::size_t dropped = 0;
+};
+
+/// Appends an entry, evicting the oldest entries in chunks when a window is
+/// set (amortized O(1) per append).
+void push_entry(NodeState& node, HistoryEntry entry, std::optional<std::size_t> window) {
+  node.history.push_back(entry);
+  if (window && node.history.size() > 2 * *window) {
+    const std::size_t evict = node.history.size() - *window;
+    node.history.erase(node.history.begin(),
+                       node.history.begin() + static_cast<std::ptrdiff_t>(evict));
+    node.dropped += evict;
+  }
+}
+
+}  // namespace
+
+std::vector<graph::NodeId> RunResult::leaders() const {
+  std::vector<graph::NodeId> out;
+  for (graph::NodeId v = 0; v < nodes.size(); ++v) {
+    if (nodes[v].elected) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+Simulator::Simulator(const config::Configuration& configuration, const Drip& drip,
+                     SimulatorOptions options)
+    : configuration_(configuration), drip_(drip), options_(options) {
+  ARL_EXPECTS(options_.max_rounds > 0, "horizon must be positive");
+}
+
+RunResult Simulator::run() {
+  const graph::Graph& graph = configuration_.graph();
+  const graph::NodeId n = graph.node_count();
+  std::optional<std::size_t> window =
+      options_.history_window ? options_.history_window : drip_.history_window();
+  if (window && *window == 0) {
+    window = std::nullopt;  // 0 = explicit "retain everything" override
+  }
+  TraceSink* trace = options_.trace;
+
+  ARL_EXPECTS(options_.labels.empty() || options_.labels.size() == n,
+              "labels must be absent or cover every node");
+  support::Rng seeder(options_.coin_seed);
+  std::vector<NodeState> nodes(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    NodeEnv env;
+    env.coin_seed = seeder.split(v).next();
+    if (!options_.labels.empty()) {
+      env.label = options_.labels[v];
+    }
+    nodes[v].program = drip_.instantiate(env);
+    ARL_ENSURES(nodes[v].program != nullptr, "drip must produce a program");
+  }
+
+  RunResult result;
+  result.nodes.resize(n);
+
+  // Per-round channel resolution uses epoch-stamped counters so no clearing
+  // pass is needed between rounds.
+  std::vector<config::Round> stamp(n, static_cast<config::Round>(-1));
+  std::vector<std::uint32_t> transmitter_count(n, 0);
+  std::vector<Message> pending_message(n, 0);
+  std::vector<graph::NodeId> transmitters;
+
+  std::uint32_t live = n;  // nodes not yet terminated
+
+  config::Round round = 0;
+  for (; round < options_.max_rounds && live > 0; ++round) {
+    if (trace != nullptr) {
+      trace->on_round_begin(round);
+    }
+
+    // 1. Spontaneous wakeups: tag == round.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      NodeState& node = nodes[v];
+      node.woke_this_round = false;
+      node.transmitting = false;
+      if (node.phase == NodeState::Phase::Asleep && configuration_.tag(v) == round) {
+        node.phase = NodeState::Phase::Awake;
+        node.wake_round = round;
+        node.forced = false;
+        node.woke_this_round = true;
+      }
+    }
+
+    // 2. Actions of nodes awake since an earlier round.
+    transmitters.clear();
+    for (graph::NodeId v = 0; v < n; ++v) {
+      NodeState& node = nodes[v];
+      if (node.phase != NodeState::Phase::Awake || node.woke_this_round) {
+        continue;
+      }
+      const config::Round local = round - node.wake_round;
+      const HistoryView view(node.history, node.dropped);
+      ARL_ASSERT(view.length() == local, "history length must equal the local round");
+      const Action action = node.program->decide(local, view);
+      ++result.stats.node_rounds;
+      if (trace != nullptr) {
+        trace->on_action(v, round, local, action);
+      }
+      switch (action.kind) {
+        case Action::Kind::Listen:
+          break;
+        case Action::Kind::Transmit:
+          node.transmitting = true;
+          node.outgoing = action.message;
+          transmitters.push_back(v);
+          ++result.stats.transmissions;
+          break;
+        case Action::Kind::Terminate:
+          node.phase = NodeState::Phase::Terminated;
+          // H[done_v] is recorded as (∅): a terminating node no longer
+          // interacts with the channel (same convention as a transmitter),
+          // and the paper's decision function consumes H[0..done_v].
+          push_entry(node, HistoryEntry::silence(), window);
+          result.nodes[v].terminated = true;
+          result.nodes[v].done_round = local;
+          --live;
+          break;
+      }
+    }
+
+    // 3. Channel resolution: stamp the neighbourhoods of all transmitters.
+    for (const graph::NodeId t : transmitters) {
+      for (const graph::NodeId w : graph.neighbors(t)) {
+        if (stamp[w] != round) {
+          stamp[w] = round;
+          transmitter_count[w] = 0;
+        }
+        ++transmitter_count[w];
+        pending_message[w] = nodes[t].outgoing;
+      }
+    }
+    auto channel_at = [&](graph::NodeId v) -> HistoryEntry {
+      if (stamp[v] != round || transmitter_count[v] == 0) {
+        return HistoryEntry::silence();
+      }
+      if (transmitter_count[v] == 1) {
+        return HistoryEntry::message(pending_message[v]);
+      }
+      // Without collision detection, noise is indistinguishable from silence.
+      return options_.channel_model == ChannelModel::CollisionDetection
+                 ? HistoryEntry::collision()
+                 : HistoryEntry::silence();
+    };
+
+    // 4. Record histories and process wakeups.
+    for (graph::NodeId v = 0; v < n; ++v) {
+      NodeState& node = nodes[v];
+      switch (node.phase) {
+        case NodeState::Phase::Terminated:
+          break;
+        case NodeState::Phase::Awake: {
+          HistoryEntry entry = HistoryEntry::silence();
+          if (node.woke_this_round) {
+            // H[0] of a spontaneous wakeup, subject to the wake policy.
+            const HistoryEntry channel = channel_at(v);
+            if (channel.is_message()) {
+              // Tag round coincides with a clean reception: the paper counts
+              // r <= t_v receptions as forced wakeups.
+              node.forced = true;
+              entry = channel;
+              ++result.stats.forced_wakeups;
+            } else if (options_.wake_policy == WakePolicy::HearAll) {
+              entry = channel;
+            }
+            result.nodes[v].wake_round = node.wake_round;
+            result.nodes[v].forced_wake = node.forced;
+            if (trace != nullptr) {
+              trace->on_wake(v, round, node.forced, entry);
+            }
+          } else if (node.transmitting) {
+            entry = HistoryEntry::silence();  // a transmitter hears nothing
+          } else {
+            entry = channel_at(v);
+            if (entry.is_message()) {
+              ++result.stats.clean_receptions;
+            } else if (entry.is_collision()) {
+              ++result.stats.collisions_heard;
+            }
+          }
+          push_entry(node, entry, window);
+          if (trace != nullptr && !node.woke_this_round) {
+            trace->on_reception(v, round, entry);
+          }
+          break;
+        }
+        case NodeState::Phase::Asleep: {
+          const HistoryEntry channel = channel_at(v);
+          if (channel.is_message()) {
+            // Forced wakeup: a clean message wakes a sleeper; noise does not.
+            node.phase = NodeState::Phase::Awake;
+            node.wake_round = round;
+            node.forced = true;
+            node.woke_this_round = true;
+            push_entry(node, channel, window);
+            result.nodes[v].wake_round = round;
+            result.nodes[v].forced_wake = true;
+            ++result.stats.forced_wakeups;
+            if (trace != nullptr) {
+              trace->on_wake(v, round, true, channel);
+            }
+          }
+          break;
+        }
+      }
+    }
+
+    if (trace != nullptr) {
+      trace->on_round_end(round);
+    }
+  }
+
+  result.rounds_executed = round;
+  result.all_terminated = (live == 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    NodeState& node = nodes[v];
+    result.nodes[v].history = std::move(node.history);
+    result.nodes[v].history_dropped = node.dropped;
+    result.nodes[v].elected = node.program->elected();
+    if (node.phase == NodeState::Phase::Awake || node.phase == NodeState::Phase::Terminated) {
+      result.nodes[v].wake_round = node.wake_round;
+      result.nodes[v].forced_wake = node.forced;
+    }
+  }
+  return result;
+}
+
+RunResult simulate(const config::Configuration& configuration, const Drip& drip,
+                   SimulatorOptions options) {
+  Simulator simulator(configuration, drip, options);
+  return simulator.run();
+}
+
+}  // namespace arl::radio

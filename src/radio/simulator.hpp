@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Discrete synchronous-round simulator for anonymous radio networks with
+/// collision detection (the model of paper §1.1/§2).
+///
+/// Semantics implemented, per global round r:
+///  1. Every sleeping node whose wakeup tag equals r wakes spontaneously.
+///  2. Every node that woke in an earlier round and has not terminated runs
+///     its program: local round i = r - wake_round, action = D(H[0..i-1]).
+///     (A node never acts in its wake round — local round 0 — matching the
+///     model: "the local clock has value 0 in the wakeup round and the node
+///     starts executing in local round 1".)
+///  3. Channel resolution at each node: 0 transmitting neighbours → silence,
+///     exactly 1 → that message, >= 2 → noise (∗).  Transmitters hear (∅).
+///  4. Sleeping nodes (round < tag): a clean message forces a wakeup with
+///     H[0] = (M); noise does NOT wake them (a forced wakeup requires
+///     *receiving a message*, §2.1).  Nodes that woke spontaneously in this
+///     round record H[0] from the channel per the wake policy below.
+///
+/// Wake-round hearing policy: the paper specifies H[0] = (M) for forced
+/// wakeups and (∅) for spontaneous ones, but leaves open what a node waking
+/// at its tag hears if the channel is non-silent in exactly that round.
+/// `WakePolicy::HearAll` (default) records the channel state (∅/M/∗);
+/// `WakePolicy::SilentWake` records (∅) unless a clean message arrived.
+/// Patient protocols — everything the paper's positive results execute —
+/// never transmit while any node sleeps, so the policy is unobservable for
+/// them (asserted by tests).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "graph/graph.hpp"
+#include "radio/history.hpp"
+#include "radio/program.hpp"
+#include "radio/trace.hpp"
+
+namespace arl::radio {
+
+/// What a node waking at its tag records when the channel is non-silent.
+enum class WakePolicy : std::uint8_t {
+  HearAll,     ///< record the channel state: (∅), (M) or (∗)
+  SilentWake,  ///< record (∅) unless a clean message arrived
+};
+
+/// Run-control knobs.
+struct SimulatorOptions {
+  /// Horizon guard: the run aborts (all_terminated = false) after this many
+  /// global rounds, protecting against non-terminating protocols.
+  config::Round max_rounds = 1'000'000;
+
+  /// History retention override.  Unset: the protocol's
+  /// Drip::history_window() decides.  Set to 0: retain everything (useful
+  /// when a test wants full histories from a windowed protocol).  Set to W:
+  /// retain a suffix of >= W entries.
+  std::optional<std::size_t> history_window = {};
+
+  /// Master seed from which per-node private-coin seeds derive.
+  std::uint64_t coin_seed = 0;
+
+  /// Per-node labels for non-anonymous baseline protocols; empty (the
+  /// default) leaves NodeEnv::label unset.  When non-empty, size must equal
+  /// the node count.
+  std::vector<std::uint64_t> labels = {};
+
+  /// Wake-round hearing policy (see file comment).
+  WakePolicy wake_policy = WakePolicy::HearAll;
+
+  /// Channel feedback strength; the paper's model has collision detection.
+  /// Under NoCollisionDetection every (∗) becomes (∅) at the listeners.
+  ChannelModel channel_model = ChannelModel::CollisionDetection;
+
+  /// Optional execution observer (not owned).
+  TraceSink* trace = nullptr;
+};
+
+/// Per-node results of a run.
+struct NodeOutcome {
+  config::Round wake_round = 0;      ///< global round the node woke in
+  bool forced_wake = false;          ///< woken by a message (vs. spontaneously)
+  bool terminated = false;           ///< program reached terminate
+  config::Round done_round = 0;      ///< paper's done_v: local round of termination
+  bool elected = false;              ///< decision function output
+  History history;                   ///< retained entries (suffix if windowed)
+  std::size_t history_dropped = 0;   ///< entries evicted by the window
+
+  /// Total entries ever recorded (dropped + retained).
+  [[nodiscard]] std::size_t history_length() const { return history_dropped + history.size(); }
+};
+
+/// Aggregate channel statistics.
+struct RunStats {
+  std::uint64_t transmissions = 0;      ///< node-rounds spent transmitting
+  std::uint64_t clean_receptions = 0;   ///< messages heard by awake listeners
+  std::uint64_t collisions_heard = 0;   ///< noise heard by awake listeners
+  std::uint64_t forced_wakeups = 0;     ///< sleepers woken by a message
+  std::uint64_t node_rounds = 0;        ///< total awake node-rounds simulated
+};
+
+/// Result of one simulation.
+struct RunResult {
+  std::vector<NodeOutcome> nodes;
+  config::Round rounds_executed = 0;  ///< number of global rounds simulated
+  bool all_terminated = false;        ///< false iff the horizon guard fired
+  RunStats stats;
+
+  /// Nodes whose decision function returned true.
+  [[nodiscard]] std::vector<graph::NodeId> leaders() const;
+};
+
+/// Executes one protocol on one configuration.
+class Simulator {
+ public:
+  /// Captures references; `configuration` and `drip` must outlive run().
+  Simulator(const config::Configuration& configuration, const Drip& drip,
+            SimulatorOptions options = {});
+
+  // Temporaries would dangle before run(); use the simulate() free function
+  // for one-shot calls with temporaries.
+  Simulator(config::Configuration&&, const Drip&, SimulatorOptions = {}) = delete;
+  Simulator(const config::Configuration&, Drip&&, SimulatorOptions = {}) = delete;
+  Simulator(config::Configuration&&, Drip&&, SimulatorOptions = {}) = delete;
+
+  /// Runs to global termination (all programs terminated) or the horizon.
+  [[nodiscard]] RunResult run();
+
+ private:
+  const config::Configuration& configuration_;
+  const Drip& drip_;
+  SimulatorOptions options_;
+};
+
+/// Convenience wrapper: construct and run.
+[[nodiscard]] RunResult simulate(const config::Configuration& configuration, const Drip& drip,
+                                 SimulatorOptions options = {});
+
+}  // namespace arl::radio

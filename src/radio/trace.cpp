@@ -1,0 +1,44 @@
+#include "radio/trace.hpp"
+
+#include <ostream>
+
+namespace arl::radio {
+
+void StreamTrace::on_round_begin(config::Round global_round) {
+  out_ << "== global round " << global_round << " ==\n";
+}
+
+void StreamTrace::on_wake(graph::NodeId v, config::Round global_round, bool forced,
+                          HistoryEntry h0) {
+  out_ << "  r" << global_round << " node " << v << " wakes ("
+       << (forced ? "forced" : "spontaneous") << "), H[0]=" << h0.to_string() << '\n';
+}
+
+void StreamTrace::on_action(graph::NodeId v, config::Round global_round,
+                            config::Round local_round, const Action& action) {
+  switch (action.kind) {
+    case Action::Kind::Listen:
+      if (verbose_) {
+        out_ << "  r" << global_round << " node " << v << " (local " << local_round
+             << ") listens\n";
+      }
+      break;
+    case Action::Kind::Transmit:
+      out_ << "  r" << global_round << " node " << v << " (local " << local_round
+           << ") transmits m" << action.message << '\n';
+      break;
+    case Action::Kind::Terminate:
+      out_ << "  r" << global_round << " node " << v << " (local " << local_round
+           << ") terminates\n";
+      break;
+  }
+}
+
+void StreamTrace::on_reception(graph::NodeId v, config::Round global_round, HistoryEntry entry) {
+  if (entry.is_silence() && !verbose_) {
+    return;
+  }
+  out_ << "  r" << global_round << " node " << v << " hears " << entry.to_string() << '\n';
+}
+
+}  // namespace arl::radio

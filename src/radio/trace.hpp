@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file trace.hpp
+/// Execution tracing hooks for the simulator.  Sinks receive every wakeup,
+/// action and reception; the stream printer renders a compact per-round log
+/// used by the trace example and by debugging sessions.
+
+#include <iosfwd>
+
+#include "config/configuration.hpp"
+#include "graph/graph.hpp"
+#include "radio/message.hpp"
+#include "radio/program.hpp"
+
+namespace arl::radio {
+
+/// Observer interface; all callbacks default to no-ops.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  /// A global round is starting.
+  virtual void on_round_begin(config::Round /*global_round*/) {}
+
+  /// Node `v` woke up in `global_round` (forced by a message or spontaneous).
+  virtual void on_wake(graph::NodeId /*v*/, config::Round /*global_round*/, bool /*forced*/,
+                       HistoryEntry /*h0*/) {}
+
+  /// Node `v` performed `action` in its local round `local_round`.
+  virtual void on_action(graph::NodeId /*v*/, config::Round /*global_round*/,
+                         config::Round /*local_round*/, const Action& /*action*/) {}
+
+  /// Node `v` recorded history entry `entry` for this round.
+  virtual void on_reception(graph::NodeId /*v*/, config::Round /*global_round*/,
+                            HistoryEntry /*entry*/) {}
+
+  /// The global round finished.
+  virtual void on_round_end(config::Round /*global_round*/) {}
+};
+
+/// Prints one line per event to a stream.
+class StreamTrace final : public TraceSink {
+ public:
+  /// `verbose` additionally prints listen actions and silence receptions.
+  explicit StreamTrace(std::ostream& out, bool verbose = false) : out_(out), verbose_(verbose) {}
+
+  void on_round_begin(config::Round global_round) override;
+  void on_wake(graph::NodeId v, config::Round global_round, bool forced,
+               HistoryEntry h0) override;
+  void on_action(graph::NodeId v, config::Round global_round, config::Round local_round,
+                 const Action& action) override;
+  void on_reception(graph::NodeId v, config::Round global_round, HistoryEntry entry) override;
+
+ private:
+  std::ostream& out_;
+  bool verbose_;
+};
+
+}  // namespace arl::radio

@@ -1,0 +1,211 @@
+#include "radio/validator.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace arl::radio {
+
+ExecutionRecorder::NodeRecord& ExecutionRecorder::record_for(graph::NodeId v) {
+  if (v >= nodes_.size()) {
+    nodes_.resize(v + 1);
+  }
+  return nodes_[v];
+}
+
+void ExecutionRecorder::on_wake(graph::NodeId v, config::Round global_round, bool forced,
+                                HistoryEntry h0) {
+  NodeRecord& record = record_for(v);
+  record.wake_round = global_round;
+  record.forced = forced;
+  record.wake_entry = h0;
+}
+
+void ExecutionRecorder::on_action(graph::NodeId v, config::Round global_round,
+                                  config::Round local_round, const Action& action) {
+  record_for(v).actions.push_back(ActionEvent{global_round, local_round, action});
+}
+
+namespace {
+
+/// Transmissions per global round: (node, payload) pairs.
+using TransmissionMap = std::map<config::Round, std::vector<std::pair<graph::NodeId, Message>>>;
+
+TransmissionMap build_transmissions(const ExecutionRecorder& recorder) {
+  TransmissionMap map;
+  for (graph::NodeId v = 0; v < recorder.nodes().size(); ++v) {
+    for (const auto& event : recorder.nodes()[v].actions) {
+      if (event.action.is_transmit()) {
+        map[event.global_round].emplace_back(v, event.action.message);
+      }
+    }
+  }
+  return map;
+}
+
+/// What a listener at `v` hears in `round`, per the model.
+HistoryEntry channel_at(const config::Configuration& configuration,
+                        const TransmissionMap& transmissions, graph::NodeId v,
+                        config::Round round, ChannelModel model) {
+  const auto it = transmissions.find(round);
+  if (it == transmissions.end()) {
+    return HistoryEntry::silence();
+  }
+  std::uint32_t count = 0;
+  Message payload = 0;
+  for (const auto& [w, message] : it->second) {
+    if (configuration.graph().has_edge(v, w)) {
+      ++count;
+      payload = message;
+    }
+  }
+  if (count == 0) {
+    return HistoryEntry::silence();
+  }
+  if (count == 1) {
+    return HistoryEntry::message(payload);
+  }
+  return model == ChannelModel::CollisionDetection ? HistoryEntry::collision()
+                                                   : HistoryEntry::silence();
+}
+
+}  // namespace
+
+ValidationReport validate_execution(const config::Configuration& configuration,
+                                    const ExecutionRecorder& recorder, const RunResult& result,
+                                    ChannelModel model, WakePolicy policy) {
+  ValidationReport report;
+  auto fail = [&report](graph::NodeId v, const std::string& what) {
+    report.ok = false;
+    std::ostringstream out;
+    out << "node " << v << ": " << what;
+    report.error = out.str();
+  };
+
+  const TransmissionMap transmissions = build_transmissions(recorder);
+  const graph::NodeId n = configuration.size();
+  ARL_EXPECTS(result.nodes.size() == n, "run result does not match the configuration");
+
+  for (graph::NodeId v = 0; v < n && report.ok; ++v) {
+    const NodeOutcome& outcome = result.nodes[v];
+    if (outcome.history_dropped != 0) {
+      fail(v, "validation requires full histories (disable windowing)");
+      break;
+    }
+    const ExecutionRecorder::NodeRecord empty{};
+    const auto& record = v < recorder.nodes().size() ? recorder.nodes()[v] : empty;
+    if (!record.wake_round.has_value()) {
+      continue;  // never woke within the horizon; nothing to check
+    }
+    const config::Round wake = *record.wake_round;
+
+    // Wake legality.
+    ++report.checks;
+    if (wake != outcome.wake_round || record.forced != outcome.forced_wake) {
+      fail(v, "wake round/kind disagrees between trace and outcome");
+      break;
+    }
+    if (record.forced) {
+      ++report.checks;
+      if (wake > configuration.tag(v)) {
+        fail(v, "forced wakeup after the spontaneous tag");
+        break;
+      }
+      if (!channel_at(configuration, transmissions, v, wake, model).is_message()) {
+        fail(v, "forced wakeup without a clean message");
+        break;
+      }
+    } else {
+      ++report.checks;
+      if (wake != configuration.tag(v)) {
+        fail(v, "spontaneous wakeup not at the tag");
+        break;
+      }
+    }
+    // No earlier clean message may have been missed.
+    for (const auto& [round, events] : transmissions) {
+      if (round >= wake) {
+        break;
+      }
+      ++report.checks;
+      if (channel_at(configuration, transmissions, v, round, model).is_message()) {
+        fail(v, "slept through a clean message at round " + std::to_string(round));
+        break;
+      }
+    }
+    if (!report.ok) {
+      break;
+    }
+
+    // Action cadence: local rounds 1, 2, 3, ... at global wake+local; nothing
+    // after a terminate.
+    config::Round expected_local = 1;
+    bool terminated = false;
+    for (const auto& event : record.actions) {
+      ++report.checks;
+      if (terminated) {
+        fail(v, "action after termination");
+        break;
+      }
+      if (event.local_round != expected_local || event.global_round != wake + event.local_round) {
+        fail(v, "action cadence broken at local round " + std::to_string(event.local_round));
+        break;
+      }
+      ++expected_local;
+      terminated = event.action.is_terminate();
+    }
+    if (!report.ok) {
+      break;
+    }
+    ++report.checks;
+    if (terminated != outcome.terminated) {
+      fail(v, "termination flag disagrees with the action log");
+      break;
+    }
+
+    // History re-derivation.
+    const History& history = outcome.history;
+    if (history.empty()) {
+      fail(v, "woken node has an empty history");
+      break;
+    }
+    // H[0]: the wake entry.
+    HistoryEntry expected0 = HistoryEntry::silence();
+    const HistoryEntry channel0 = channel_at(configuration, transmissions, v, wake, model);
+    if (channel0.is_message()) {
+      expected0 = channel0;
+    } else if (policy == WakePolicy::HearAll) {
+      expected0 = channel0;
+    }
+    ++report.checks;
+    if (history[0] != expected0) {
+      fail(v, "H[0] mismatch: expected " + expected0.to_string() + ", recorded " +
+                  history[0].to_string());
+      break;
+    }
+    // H[i] for each acted round.
+    for (const auto& event : record.actions) {
+      const std::size_t i = event.local_round;
+      if (i >= history.size()) {
+        if (!event.action.is_terminate()) {
+          fail(v, "history shorter than the action log");
+        }
+        break;
+      }
+      HistoryEntry expected = HistoryEntry::silence();
+      if (event.action.is_listen()) {
+        expected = channel_at(configuration, transmissions, v, event.global_round, model);
+      }
+      ++report.checks;
+      if (history[i] != expected) {
+        fail(v, "H[" + std::to_string(i) + "] mismatch: expected " + expected.to_string() +
+                    ", recorded " + history[i].to_string());
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace arl::radio

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file validator.hpp
+/// Independent execution validation: re-derives the radio model's semantics
+/// from a recorded action log and checks a run against it.
+///
+/// The simulator computes receptions while it runs; the validator recomputes
+/// them after the fact from first principles (the §1.1/§2 rules) and cross-
+/// checks every history entry, wake round and action cadence.  It serves
+/// three audiences: the test suite (differential validation of the engine),
+/// failure injection (malformed protocols get caught with a precise error),
+/// and users developing custom protocols who want the model enforced.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "config/configuration.hpp"
+#include "graph/graph.hpp"
+#include "radio/simulator.hpp"
+#include "radio/trace.hpp"
+
+namespace arl::radio {
+
+/// Trace sink that captures everything needed for validation.
+class ExecutionRecorder final : public TraceSink {
+ public:
+  /// One recorded action.
+  struct ActionEvent {
+    config::Round global_round = 0;
+    config::Round local_round = 0;
+    Action action;
+  };
+
+  /// Everything recorded about one node.
+  struct NodeRecord {
+    std::optional<config::Round> wake_round;
+    bool forced = false;
+    HistoryEntry wake_entry;
+    std::vector<ActionEvent> actions;
+  };
+
+  void on_wake(graph::NodeId v, config::Round global_round, bool forced,
+               HistoryEntry h0) override;
+  void on_action(graph::NodeId v, config::Round global_round, config::Round local_round,
+                 const Action& action) override;
+
+  /// Recorded data, indexed by node (grows on demand).
+  [[nodiscard]] const std::vector<NodeRecord>& nodes() const { return nodes_; }
+
+ private:
+  NodeRecord& record_for(graph::NodeId v);
+
+  std::vector<NodeRecord> nodes_;
+};
+
+/// Validation outcome; `ok` with `checks` performed, or the first error.
+struct ValidationReport {
+  bool ok = true;
+  std::string error;          ///< human-readable description of the first violation
+  std::uint64_t checks = 0;   ///< number of individual model checks performed
+};
+
+/// Re-derives the model semantics from `recorder`'s log and checks `result`.
+/// Requires full histories (run with history_window = 0 or an unwindowed
+/// protocol).  `model` and `policy` must match the simulated options.
+[[nodiscard]] ValidationReport validate_execution(
+    const config::Configuration& configuration, const ExecutionRecorder& recorder,
+    const RunResult& result, ChannelModel model = ChannelModel::CollisionDetection,
+    WakePolicy policy = WakePolicy::HearAll);
+
+}  // namespace arl::radio

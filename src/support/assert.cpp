@@ -1,0 +1,17 @@
+#include "support/assert.hpp"
+
+#include <sstream>
+
+namespace arl::support::detail {
+
+void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                   const std::string& message) {
+  std::ostringstream out;
+  out << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw ContractViolation(out.str());
+}
+
+}  // namespace arl::support::detail

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file assert.hpp
+/// Contract-checking macros in the style of the C++ Core Guidelines (I.6/I.8).
+///
+/// Violations throw arl::support::ContractViolation instead of aborting so
+/// that the test suite can assert on misuse, and so that experiment harnesses
+/// that deliberately drive components out of contract (e.g. running a
+/// canonical protocol on the wrong configuration) can observe the failure.
+
+#include <stdexcept>
+#include <string>
+
+namespace arl::support {
+
+/// Thrown when an ARL_EXPECTS / ARL_ENSURES / ARL_ASSERT condition fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr, const char* file, int line,
+                                const std::string& message);
+}  // namespace detail
+
+}  // namespace arl::support
+
+/// Precondition check: the caller must establish `cond`.
+#define ARL_EXPECTS(cond, msg)                                                          \
+  do {                                                                                  \
+    if (!(cond)) {                                                                      \
+      ::arl::support::detail::contract_fail("precondition", #cond, __FILE__, __LINE__, \
+                                            (msg));                                    \
+    }                                                                                   \
+  } while (false)
+
+/// Postcondition check: the callee promises `cond` on exit.
+#define ARL_ENSURES(cond, msg)                                                           \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      ::arl::support::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__, \
+                                            (msg));                                     \
+    }                                                                                    \
+  } while (false)
+
+/// Internal invariant check.
+#define ARL_ASSERT(cond, msg)                                                        \
+  do {                                                                               \
+    if (!(cond)) {                                                                   \
+      ::arl::support::detail::contract_fail("invariant", #cond, __FILE__, __LINE__, \
+                                            (msg));                                 \
+    }                                                                                \
+  } while (false)

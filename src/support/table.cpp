@@ -1,0 +1,110 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace arl::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ARL_EXPECTS(!headers_.empty(), "a table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<Cell> row) {
+  ARL_EXPECTS(row.size() == headers_.size(), "row width must match header count");
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+Table& Table::set_precision(int digits) {
+  ARL_EXPECTS(digits >= 1 && digits <= 17, "precision out of range");
+  precision_ = digits;
+  return *this;
+}
+
+std::string Table::format_cell(const Cell& cell) const {
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&cell)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision_, *d);
+    return buf;
+  }
+  return std::get<std::string>(cell);
+}
+
+void Table::print_markdown(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rendered) {
+    print_row(row);
+  }
+}
+
+void Table::print_csv(std::ostream& out) const {
+  auto quote = [](const std::string& text) {
+    if (text.find_first_of(",\"\n") == std::string::npos) {
+      return text;
+    }
+    std::string quoted = "\"";
+    for (const char ch : text) {
+      if (ch == '"') {
+        quoted += '"';
+      }
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "" : ",") << quote(headers_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : ",") << quote(format_cell(row[c]));
+    }
+    out << '\n';
+  }
+}
+
+std::string Table::to_markdown() const {
+  std::ostringstream out;
+  print_markdown(out);
+  return out.str();
+}
+
+}  // namespace arl::support

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file table.hpp
+/// Small result-table builder used by benchmarks and examples to print the
+/// paper-style rows (markdown) and machine-readable output (CSV).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace arl::support {
+
+/// One table cell: integer, floating point or text.
+using Cell = std::variant<std::int64_t, double, std::string>;
+
+/// Column-oriented table with aligned markdown rendering.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  Table& add_row(std::vector<Cell> row);
+
+  /// Number of data rows.
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Number of columns.
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  /// Sets the number of significant digits used for double cells (default 4).
+  Table& set_precision(int digits);
+
+  /// Renders as a GitHub-flavoured markdown table.
+  void print_markdown(std::ostream& out) const;
+
+  /// Renders as CSV (RFC-4180 quoting for text cells).
+  void print_csv(std::ostream& out) const;
+
+  /// Renders markdown to a string (convenience for tests).
+  [[nodiscard]] std::string to_markdown() const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace arl::support

@@ -1,0 +1,73 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace arl::support {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned count = threads;
+  if (count == 0) {
+    count = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t total = end - begin;
+  const std::size_t chunks = std::min<std::size_t>(total, pool.size() * 4);
+  const std::size_t chunk_size = (total + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const std::size_t lo = begin + chunk * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) {
+      break;
+    }
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        body(i);
+      }
+    }));
+  }
+  for (auto& future : futures) {
+    future.get();  // propagates the first exception, if any
+  }
+}
+
+}  // namespace arl::support

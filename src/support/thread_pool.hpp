@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool for running independent simulations in parallel.
+///
+/// The radio simulator itself is strictly sequential (synchronous rounds have
+/// an inherent order); parallelism in this repository lives *across*
+/// simulations — parameter sweeps, exhaustive enumeration, benchmark repeats.
+/// `parallel_for` partitions an index range over the pool and preserves
+/// determinism because each index does independent work on its own state.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace arl::support {
+
+/// Fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (defaults to hardware concurrency, at least 1).
+  explicit ThreadPool(unsigned threads = 0);
+
+  /// Drains outstanding tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Schedules `task` and returns a future for its result.
+  template <typename F>
+  auto submit(F task) -> std::future<std::invoke_result_t<F>> {
+    using Result = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<Result()>>(std::move(task));
+    std::future<Result> future = packaged->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([packaged]() { (*packaged)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for every i in [begin, end) across the pool and waits for all
+/// of them.  Exceptions from bodies are rethrown (first one wins).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace arl::support

@@ -1,0 +1,199 @@
+/// \file test_baselines.cpp
+/// The related-work baseline protocols: labeled deterministic election
+/// (binary search, tree splitting) and randomized anonymous election —
+/// including the headline contrast: randomization succeeds on configurations
+/// the paper proves impossible for deterministic anonymous algorithms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "baselines/binary_search.hpp"
+#include "baselines/randomized.hpp"
+#include "baselines/tree_split.hpp"
+#include "config/families.hpp"
+#include "core/classifier.hpp"
+#include "graph/generators.hpp"
+#include "radio/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arl;
+
+config::Configuration simultaneous_single_hop(graph::NodeId n) {
+  return config::single_hop(std::vector<config::Tag>(n, 0));
+}
+
+std::vector<std::uint64_t> identity_labels(graph::NodeId n) {
+  std::vector<std::uint64_t> labels(n);
+  std::iota(labels.begin(), labels.end(), 0);
+  return labels;
+}
+
+// --------------------------------------------------------- binary search
+
+TEST(BinarySearch, ElectsTheMinimumLabel) {
+  support::Rng rng(31);
+  for (const graph::NodeId n : {2u, 3u, 5u, 16u, 33u}) {
+    const config::Configuration c = simultaneous_single_hop(n);
+    auto labels = identity_labels(n);
+    for (auto& label : labels) {
+      label += 5;  // labels need not start at zero
+    }
+    rng.shuffle(labels);
+    const baselines::BinarySearchElection drip(8);
+    radio::SimulatorOptions options;
+    options.labels = labels;
+    const radio::RunResult run = radio::simulate(c, drip, options);
+    ASSERT_TRUE(run.all_terminated);
+    const auto leaders = run.leaders();
+    ASSERT_EQ(leaders.size(), 1u) << "n=" << n;
+    const auto min_position = static_cast<graph::NodeId>(
+        std::min_element(labels.begin(), labels.end()) - labels.begin());
+    EXPECT_EQ(leaders.front(), min_position);
+  }
+}
+
+TEST(BinarySearch, RunsInExactlyLPlusOneRounds) {
+  const unsigned L = 6;
+  const config::Configuration c = simultaneous_single_hop(10);
+  const baselines::BinarySearchElection drip(L);
+  radio::SimulatorOptions options;
+  options.labels = identity_labels(10);
+  const radio::RunResult run = radio::simulate(c, drip, options);
+  ASSERT_TRUE(run.all_terminated);
+  for (const auto& node : run.nodes) {
+    EXPECT_EQ(node.done_round, L + 1);
+  }
+  EXPECT_EQ(drip.rounds(), L + 1);
+}
+
+TEST(BinarySearch, SingleNodeElectsItself) {
+  const config::Configuration c = simultaneous_single_hop(1);
+  const baselines::BinarySearchElection drip(4);
+  radio::SimulatorOptions options;
+  options.labels = {9};
+  const radio::RunResult run = radio::simulate(c, drip, options);
+  EXPECT_EQ(run.leaders().size(), 1u);
+}
+
+TEST(BinarySearch, RequiresLabels) {
+  const config::Configuration c = simultaneous_single_hop(3);
+  const baselines::BinarySearchElection drip(4);
+  EXPECT_THROW((void)radio::simulate(c, drip), support::ContractViolation);
+}
+
+TEST(BinarySearch, RejectsOversizedLabels) {
+  const config::Configuration c = simultaneous_single_hop(2);
+  const baselines::BinarySearchElection drip(3);
+  radio::SimulatorOptions options;
+  options.labels = {1, 200};  // 200 >= 2^3
+  EXPECT_THROW((void)radio::simulate(c, drip, options), support::ContractViolation);
+}
+
+// --------------------------------------------------------- tree splitting
+
+TEST(TreeSplit, ElectsTheMinimumLabel) {
+  support::Rng rng(77);
+  for (const graph::NodeId n : {2u, 3u, 6u, 12u, 20u}) {
+    const config::Configuration c = simultaneous_single_hop(n);
+    auto labels = identity_labels(n);
+    rng.shuffle(labels);
+    const baselines::TreeSplitElection drip(6);
+    radio::SimulatorOptions options;
+    options.labels = labels;
+    const radio::RunResult run = radio::simulate(c, drip, options);
+    ASSERT_TRUE(run.all_terminated) << "n=" << n;
+    const auto leaders = run.leaders();
+    ASSERT_EQ(leaders.size(), 1u) << "n=" << n;
+    const auto min_position = static_cast<graph::NodeId>(
+        std::min_element(labels.begin(), labels.end()) - labels.begin());
+    EXPECT_EQ(leaders.front(), min_position) << "n=" << n;
+  }
+}
+
+TEST(TreeSplit, AllNodesTerminateTogether) {
+  const config::Configuration c = simultaneous_single_hop(7);
+  const baselines::TreeSplitElection drip(5);
+  radio::SimulatorOptions options;
+  options.labels = identity_labels(7);
+  const radio::RunResult run = radio::simulate(c, drip, options);
+  ASSERT_TRUE(run.all_terminated);
+  for (const auto& node : run.nodes) {
+    EXPECT_EQ(node.done_round, run.nodes[0].done_round);
+  }
+}
+
+TEST(TreeSplit, DuplicateLabelsFailDetectably) {
+  // Failure injection: duplicate labels make a fully refined prefix collide;
+  // the protocol must terminate everywhere with no leader rather than loop.
+  const config::Configuration c = simultaneous_single_hop(4);
+  const baselines::TreeSplitElection drip(3);
+  radio::SimulatorOptions options;
+  options.labels = {5, 5, 2, 2};
+  const radio::RunResult run = radio::simulate(c, drip, options);
+  ASSERT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.leaders().empty());
+}
+
+// ------------------------------------------------------------- randomized
+
+TEST(Randomized, ElectsExactlyOneLeaderAcrossSeeds) {
+  // The deterministic-anonymous-impossible configuration: all tags equal.
+  // Private coins must still elect exactly one leader, for every seed.
+  for (const graph::NodeId n : {2u, 5u, 17u}) {
+    const config::Configuration c = simultaneous_single_hop(n);
+    const baselines::RandomizedElection drip;
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+      radio::SimulatorOptions options;
+      options.coin_seed = seed;
+      const radio::RunResult run = radio::simulate(c, drip, options);
+      ASSERT_TRUE(run.all_terminated) << "n=" << n << " seed=" << seed;
+      EXPECT_EQ(run.leaders().size(), 1u) << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Randomized, ContrastWithDeterministicImpossibility) {
+  // The same configuration is infeasible for deterministic anonymous
+  // protocols (Classifier verdict), yet the randomized baseline elects.
+  const config::Configuration c = simultaneous_single_hop(8);
+  EXPECT_FALSE(core::Classifier{}.run(c).feasible());
+  const baselines::RandomizedElection drip;
+  radio::SimulatorOptions options;
+  options.coin_seed = 4242;
+  const radio::RunResult run = radio::simulate(c, drip, options);
+  ASSERT_TRUE(run.all_terminated);
+  EXPECT_EQ(run.leaders().size(), 1u);
+}
+
+TEST(Randomized, SlotGuardForcesTermination) {
+  // With one node there are never echo listeners, so no slot can succeed;
+  // the guard must still terminate the protocol (with no leader).
+  const config::Configuration c = simultaneous_single_hop(1);
+  const baselines::RandomizedElection drip(/*max_slots=*/16);
+  const radio::RunResult run = radio::simulate(c, drip);
+  ASSERT_TRUE(run.all_terminated);
+  EXPECT_TRUE(run.leaders().empty());
+}
+
+TEST(Randomized, DifferentSeedsCanPickDifferentLeaders) {
+  const config::Configuration c = simultaneous_single_hop(6);
+  const baselines::RandomizedElection drip;
+  std::set<graph::NodeId> winners;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    radio::SimulatorOptions options;
+    options.coin_seed = seed;
+    const radio::RunResult run = radio::simulate(c, drip, options);
+    const auto leaders = run.leaders();
+    if (leaders.size() == 1) {
+      winners.insert(leaders.front());
+    }
+  }
+  EXPECT_GT(winners.size(), 1u);  // anonymity: no node is structurally favoured
+}
+
+}  // namespace

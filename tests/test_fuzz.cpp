@@ -1,0 +1,268 @@
+/// \file test_fuzz.cpp
+/// Randomized differential testing: arbitrary protocols on arbitrary
+/// configurations, with the independent validator as the oracle.  Where the
+/// unit suites check hand-picked scenarios, these sweeps check that the
+/// engine and the model definition agree on *whatever* a protocol does —
+/// chaotic transmissions, mid-sleep wakeups, early terminations, both
+/// channel models, both wake policies.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "config/families.hpp"
+#include "config/io.hpp"
+#include "core/canonical_drip.hpp"
+#include "core/classifier.hpp"
+#include "core/election.hpp"
+#include "core/fast_classifier.hpp"
+#include "core/patient.hpp"
+#include "core/schedule.hpp"
+#include "core/schedule_io.hpp"
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+#include "lowerbounds/universal.hpp"
+#include "radio/validator.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arl;
+
+/// A protocol that acts at random (from its private coins): transmits one of
+/// three payloads, listens, or — eventually surely — terminates.
+class ChaosDrip final : public radio::Drip {
+ public:
+  explicit ChaosDrip(config::Round max_life) : max_life_(max_life) {}
+
+  std::unique_ptr<radio::NodeProgram> instantiate(const radio::NodeEnv& env) const override {
+    class Program final : public radio::NodeProgram {
+     public:
+      Program(std::uint64_t seed, config::Round max_life)
+          : coins_(seed), max_life_(max_life) {}
+
+      radio::Action decide(config::Round i, const radio::HistoryView&) override {
+        if (done_) {
+          return radio::Action::terminate();
+        }
+        if (i >= max_life_ || coins_.bernoulli(0.05)) {
+          done_ = true;
+          return radio::Action::terminate();
+        }
+        if (coins_.bernoulli(0.35)) {
+          return radio::Action::transmit(1 + coins_.below(3));
+        }
+        return radio::Action::listen();
+      }
+
+     private:
+      support::Rng coins_;
+      config::Round max_life_;
+      bool done_ = false;
+    };
+    return std::make_unique<Program>(env.coin_seed, max_life_);
+  }
+  std::string name() const override { return "chaos"; }
+
+ private:
+  config::Round max_life_;
+};
+
+config::Configuration random_configuration(support::Rng& rng) {
+  const auto n = static_cast<graph::NodeId>(2 + rng.below(10));
+  const auto sigma = static_cast<config::Tag>(rng.below(6));
+  graph::Graph g;
+  switch (rng.below(4)) {
+    case 0:
+      g = graph::path(n);
+      break;
+    case 1:
+      g = graph::star(n);
+      break;
+    case 2:
+      g = graph::random_tree(n, rng);
+      break;
+    default:
+      g = graph::gnp_connected(n, 0.4, rng);
+      break;
+  }
+  return config::random_tags(std::move(g), sigma, rng);
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, ChaoticRunsValidateUnderEveryModelCombination) {
+  support::Rng rng(GetParam());
+  for (int repeat = 0; repeat < 6; ++repeat) {
+    const config::Configuration c = random_configuration(rng);
+    const ChaosDrip drip(20);
+    for (const auto model : {radio::ChannelModel::CollisionDetection,
+                             radio::ChannelModel::NoCollisionDetection}) {
+      for (const auto policy : {radio::WakePolicy::HearAll, radio::WakePolicy::SilentWake}) {
+        radio::ExecutionRecorder recorder;
+        radio::SimulatorOptions options;
+        options.trace = &recorder;
+        options.history_window = 0;
+        options.channel_model = model;
+        options.wake_policy = policy;
+        options.coin_seed = rng.next();
+        const radio::RunResult run = radio::simulate(c, drip, options);
+        ASSERT_TRUE(run.all_terminated);
+        const radio::ValidationReport report =
+            radio::validate_execution(c, recorder, run, model, policy);
+        ASSERT_TRUE(report.ok) << report.error;
+        ASSERT_GT(report.checks, 0u);
+      }
+    }
+  }
+}
+
+TEST_P(FuzzSweep, SimulationIsDeterministic) {
+  support::Rng rng(GetParam() ^ 0xD5);
+  const config::Configuration c = random_configuration(rng);
+  const ChaosDrip drip(15);
+  radio::SimulatorOptions options;
+  options.history_window = 0;
+  options.coin_seed = 1234;
+  const radio::RunResult first = radio::simulate(c, drip, options);
+  const radio::RunResult second = radio::simulate(c, drip, options);
+  ASSERT_EQ(first.nodes.size(), second.nodes.size());
+  for (graph::NodeId v = 0; v < first.nodes.size(); ++v) {
+    EXPECT_EQ(first.nodes[v].history, second.nodes[v].history);
+    EXPECT_EQ(first.nodes[v].wake_round, second.nodes[v].wake_round);
+    EXPECT_EQ(first.nodes[v].done_round, second.nodes[v].done_round);
+  }
+  EXPECT_EQ(first.stats.transmissions, second.stats.transmissions);
+}
+
+TEST_P(FuzzSweep, PatienceWrapperTamesArbitraryProtocols) {
+  // Claim 1 of Lemma 3.12, for protocols far wilder than the proof needs:
+  // wrap chaos, and nothing transmits through global rounds 0..σ — every
+  // wakeup is spontaneous.
+  support::Rng rng(GetParam() ^ 0xBEEF);
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    const config::Configuration c = random_configuration(rng);
+    const auto inner = std::make_shared<ChaosDrip>(15);
+    const core::PatientWrapper wrapped(inner, c.span());
+    testkit::TransmissionLog log;
+    radio::SimulatorOptions options;
+    options.trace = &log;
+    options.coin_seed = rng.next();
+    const radio::RunResult run = radio::simulate(c, wrapped, options);
+    ASSERT_TRUE(run.all_terminated);
+    if (const auto first = log.first_round()) {
+      EXPECT_GT(*first, c.span());
+    }
+    for (graph::NodeId v = 0; v < c.size(); ++v) {
+      EXPECT_FALSE(run.nodes[v].forced_wake);
+      EXPECT_EQ(run.nodes[v].wake_round, c.tag(v));
+    }
+  }
+}
+
+TEST_P(FuzzSweep, CollisionDetectionRefinesTheNoCdPartition) {
+  // Channel-model monotonicity at every iteration: nodes the CD classifier
+  // separates may merge without CD, never the other way around.
+  support::Rng rng(GetParam() ^ 0xCD);
+  for (int repeat = 0; repeat < 6; ++repeat) {
+    const config::Configuration c = random_configuration(rng);
+    const auto cd = core::Classifier(radio::ChannelModel::CollisionDetection).run(c);
+    const auto nocd = core::Classifier(radio::ChannelModel::NoCollisionDetection).run(c);
+    const std::uint32_t shared = std::min(cd.iterations, nocd.iterations);
+    for (std::uint32_t j = 1; j <= shared; ++j) {
+      const auto fine = cd.classes_after(j);
+      const auto coarse = nocd.classes_after(j);
+      for (graph::NodeId u = 0; u < c.size(); ++u) {
+        for (graph::NodeId v = u + 1; v < c.size(); ++v) {
+          if (fine[u] == fine[v]) {
+            EXPECT_EQ(coarse[u], coarse[v])
+                << "CD merged " << u << "," << v << " but no-CD separated them (iter " << j
+                << ")";
+          }
+        }
+      }
+    }
+    // Verdict monotonicity.
+    EXPECT_TRUE(cd.feasible() || !nocd.feasible());
+  }
+}
+
+TEST_P(FuzzSweep, ScheduleTextRoundTripPreservesElections) {
+  support::Rng rng(GetParam() ^ 0x10);
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    const config::Configuration c = random_configuration(rng);
+    const auto compiled = core::make_schedule(c);
+    const auto parsed = std::make_shared<const core::CanonicalSchedule>(
+        core::schedule_from_text_string(core::schedule_to_text_string(*compiled)));
+    const radio::RunResult original = radio::simulate(c, core::CanonicalDrip(compiled));
+    const radio::RunResult reloaded = radio::simulate(c, core::CanonicalDrip(parsed));
+    EXPECT_EQ(original.leaders(), reloaded.leaders());
+    EXPECT_EQ(original.rounds_executed, reloaded.rounds_executed);
+  }
+}
+
+TEST_P(FuzzSweep, ConfigurationTextRoundTripsExactly) {
+  support::Rng rng(GetParam() ^ 0x70);
+  for (int repeat = 0; repeat < 8; ++repeat) {
+    const config::Configuration original = random_configuration(rng);
+    const config::Configuration parsed =
+        config::from_text_string(config::to_text_string(original));
+    EXPECT_EQ(parsed, original);
+  }
+}
+
+TEST_P(FuzzSweep, ElectReportsAreInternallyConsistent) {
+  // Field-check every invariant the report promises, on random inputs:
+  // classification/schedule/leader coherence, round accounting, stats.
+  support::Rng rng(GetParam() ^ 0xE1);
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    const config::Configuration c = random_configuration(rng);
+    const core::ElectionReport report = core::elect(c);
+    ASSERT_TRUE(report.valid);
+    EXPECT_EQ(report.feasible, report.classification.feasible());
+    EXPECT_EQ(report.feasible, report.schedule->feasible);
+    EXPECT_EQ(report.local_rounds, report.schedule->total_rounds());
+    if (report.feasible) {
+      ASSERT_TRUE(report.leader.has_value());
+      EXPECT_EQ(*report.leader, report.classification.leader);
+    } else {
+      EXPECT_FALSE(report.leader.has_value());
+    }
+    // Each node transmits once per phase (Lemma 3.7's structure).
+    EXPECT_EQ(report.stats.transmissions,
+              static_cast<std::uint64_t>(c.size()) * report.schedule->phases.size());
+    // Global completion covers the last waker's local schedule.
+    const config::Tag max_tag =
+        *std::max_element(c.tags().begin(), c.tags().end());
+    EXPECT_GE(report.global_rounds, max_tag + report.local_rounds);
+  }
+}
+
+TEST_P(FuzzSweep, WakePolicyIsUnobservableForPatientProtocols) {
+  // The wake-round hearing policy only matters when something transmits
+  // while a node wakes; patient protocols never do that, so the canonical
+  // DRIP must behave identically under both policies.
+  support::Rng rng(GetParam() ^ 0x9A);
+  const config::Configuration c = random_configuration(rng);
+  const auto schedule = core::make_schedule(c);
+  const core::CanonicalDrip drip(schedule);
+  radio::RunResult runs[2];
+  int index = 0;
+  for (const auto policy : {radio::WakePolicy::HearAll, radio::WakePolicy::SilentWake}) {
+    radio::SimulatorOptions options;
+    options.wake_policy = policy;
+    options.history_window = 0;
+    runs[index++] = radio::simulate(c, drip, options);
+  }
+  ASSERT_EQ(runs[0].nodes.size(), runs[1].nodes.size());
+  for (graph::NodeId v = 0; v < c.size(); ++v) {
+    EXPECT_EQ(runs[0].nodes[v].history, runs[1].nodes[v].history);
+    EXPECT_EQ(runs[0].nodes[v].elected, runs[1].nodes[v].elected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005, 6006, 7007, 8008,
+                                           9009, 10010));
+
+}  // namespace

@@ -1,0 +1,213 @@
+/// \file test_scenarios.cpp
+/// Cross-module scenario tests: multi-hop wakeup cascades, election across
+/// the topology zoo, composed transformations — behaviours that emerge only
+/// when several modules interact.
+
+#include <gtest/gtest.h>
+
+#include "config/families.hpp"
+#include "core/canonical_drip.hpp"
+#include "core/election.hpp"
+#include "core/patient.hpp"
+#include "core/schedule.hpp"
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+#include "lowerbounds/universal.hpp"
+#include "radio/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arl;
+
+// ------------------------------------------------------------ wakeup cascade
+
+/// Relay protocol: a node that was woken by a message (or has tag 0)
+/// transmits once in its first local round, then idles until termination.
+/// On a path with far-future tags this produces a wakeup wave travelling one
+/// hop per round.
+class RelayDrip final : public radio::Drip {
+ public:
+  explicit RelayDrip(config::Round lifetime) : lifetime_(lifetime) {}
+
+  std::unique_ptr<radio::NodeProgram> instantiate(const radio::NodeEnv&) const override {
+    class Program final : public radio::NodeProgram {
+     public:
+      explicit Program(config::Round lifetime) : lifetime_(lifetime) {}
+      radio::Action decide(config::Round i, const radio::HistoryView& h) override {
+        if (i >= lifetime_) {
+          return radio::Action::terminate();
+        }
+        if (i == 1) {
+          return radio::Action::transmit(7);
+        }
+        (void)h;
+        return radio::Action::listen();
+      }
+
+     private:
+      config::Round lifetime_;
+    };
+    return std::make_unique<Program>(lifetime_);
+  }
+  std::string name() const override { return "relay"; }
+
+ private:
+  config::Round lifetime_;
+};
+
+TEST(Scenario, WakeupWaveTravelsOneHopPerRound) {
+  // Path of 8; only node 0 wakes on its own (tag 0), the rest nominally at
+  // 100.  The relay wave must wake node k at global round k.
+  const graph::NodeId n = 8;
+  std::vector<config::Tag> tags(n, 100);
+  tags[0] = 0;
+  const config::Configuration c(graph::path(n), tags);
+  const radio::RunResult run = radio::simulate(c, RelayDrip(6));
+  ASSERT_TRUE(run.all_terminated);
+  EXPECT_FALSE(run.nodes[0].forced_wake);
+  for (graph::NodeId v = 1; v < n; ++v) {
+    EXPECT_TRUE(run.nodes[v].forced_wake) << "node " << v;
+    EXPECT_EQ(run.nodes[v].wake_round, v) << "node " << v;
+    EXPECT_TRUE(run.nodes[v].history[0].is_message());
+  }
+  EXPECT_EQ(run.stats.forced_wakeups, static_cast<std::uint64_t>(n - 1));
+}
+
+TEST(Scenario, WaveStallsAtACollision) {
+  // Star + two rays: both ray-1 nodes get woken by the hub, then transmit
+  // simultaneously into the hub's other neighbourhood... on a path with TWO
+  // initiators at both ends, the two waves meet in the middle and collide;
+  // the middle node of an odd path never receives a clean message and wakes
+  // only at its tag.
+  const graph::NodeId n = 7;  // middle = 3
+  std::vector<config::Tag> tags(n, 50);
+  tags[0] = 0;
+  tags[n - 1] = 0;
+  const config::Configuration c(graph::path(n), tags);
+  const radio::RunResult run = radio::simulate(c, RelayDrip(8));
+  ASSERT_TRUE(run.all_terminated);
+  // Waves wake 1,2 from the left and 5,4 from the right (rounds 1,2).
+  EXPECT_EQ(run.nodes[1].wake_round, 1u);
+  EXPECT_EQ(run.nodes[2].wake_round, 2u);
+  EXPECT_EQ(run.nodes[5].wake_round, 1u);
+  EXPECT_EQ(run.nodes[4].wake_round, 2u);
+  // At round 3 nodes 2 and 4 transmit together; node 3 hears noise, which
+  // does not wake it.
+  EXPECT_EQ(run.nodes[3].wake_round, 50u);
+  EXPECT_FALSE(run.nodes[3].forced_wake);
+}
+
+// -------------------------------------------------------------- topology zoo
+
+TEST(Scenario, ElectionAcrossTheTopologyZoo) {
+  support::Rng rng(90210);
+  const std::vector<std::pair<std::string, graph::Graph>> zoo = {
+      {"path", graph::path(12)},
+      {"cycle", graph::cycle(12)},
+      {"complete", graph::complete(9)},
+      {"star", graph::star(10)},
+      {"bipartite", graph::complete_bipartite(4, 5)},
+      {"grid", graph::grid(3, 4)},
+      {"torus", graph::torus(3, 4)},
+      {"hypercube", graph::hypercube(3)},
+      {"binary tree", graph::binary_tree(11)},
+      {"barbell", graph::barbell(4, 2)},
+      {"caterpillar", graph::caterpillar(4, 2)},
+  };
+  for (const auto& [name, g] : zoo) {
+    for (const config::Tag sigma : {1u, 3u}) {
+      const config::Configuration c = config::random_tags_with_span(g, sigma, rng);
+      const core::ElectionReport report = core::elect(c);
+      EXPECT_TRUE(report.valid) << name << " sigma=" << sigma;
+    }
+  }
+}
+
+TEST(Scenario, CycleWithOneMarkedNodeIsFeasible) {
+  // Perfectly symmetric ring + a single late riser: the asymmetry is enough,
+  // and the canonical DRIP elects SOME node (not necessarily the marked one
+  // — its neighbours become distinguishable too, and the vertex order picks
+  // the smallest singleton class).
+  for (const graph::NodeId n : {4u, 7u, 10u}) {
+    std::vector<config::Tag> tags(n, 0);
+    tags[2] = 1;
+    const core::ElectionReport report = core::elect(config::Configuration(graph::cycle(n), tags));
+    EXPECT_TRUE(report.feasible) << "n=" << n;
+    EXPECT_TRUE(report.valid) << "n=" << n;
+  }
+}
+
+TEST(Scenario, VertexTransitiveEqualTagsNeverElect) {
+  support::Rng rng(7);
+  const std::vector<graph::Graph> transitive = {
+      graph::cycle(8), graph::complete(6), graph::torus(3, 3), graph::hypercube(3)};
+  for (const auto& g : transitive) {
+    const config::Configuration c(g, std::vector<config::Tag>(g.node_count(), 0));
+    const core::ElectionReport report = core::elect(c);
+    EXPECT_FALSE(report.feasible);
+    EXPECT_TRUE(report.valid);
+  }
+}
+
+// ----------------------------------------------------------- composed layers
+
+TEST(Scenario, DoublyWrappedProtocolStillElects) {
+  // PatientWrapper composes: wrapping an already-patient protocol again just
+  // adds another σ of listening.
+  const config::Configuration c = config::family_h(2);
+  const auto schedule = core::make_schedule(c);
+  const auto once = std::make_shared<core::PatientWrapper>(
+      std::make_shared<core::CanonicalDrip>(schedule), c.span());
+  const core::PatientWrapper twice(once, c.span());
+  const radio::RunResult run = radio::simulate(c, twice);
+  ASSERT_TRUE(run.all_terminated);
+  ASSERT_EQ(run.leaders().size(), 1u);
+  // Two wrappers => termination shifts by exactly 2σ.
+  const radio::RunResult bare = radio::simulate(c, core::CanonicalDrip(schedule));
+  EXPECT_EQ(run.nodes[0].done_round, bare.nodes[0].done_round + 2 * c.span());
+}
+
+TEST(Scenario, ElectionSurvivesNormalization) {
+  // Shifting all tags by a constant must not change anything observable
+  // (nodes cannot see the global clock).
+  support::Rng rng(55);
+  const config::Configuration base =
+      config::random_tags_with_span(graph::gnp_connected(10, 0.4, rng), 3, rng);
+  std::vector<config::Tag> shifted_tags = base.tags();
+  for (auto& tag : shifted_tags) {
+    tag += 7;
+  }
+  const config::Configuration shifted(base.graph(), shifted_tags);
+
+  const core::ElectionReport a = core::elect(base);
+  const core::ElectionReport b = core::elect(shifted);
+  EXPECT_EQ(a.feasible, b.feasible);
+  EXPECT_EQ(a.leader, b.leader);
+  EXPECT_EQ(a.local_rounds, b.local_rounds);
+  EXPECT_EQ(b.global_rounds, a.global_rounds + 7);  // only the clock origin moves
+}
+
+TEST(Scenario, HistoriesAreShiftInvariant) {
+  // The per-node local histories of the canonical run are identical under a
+  // global tag shift — the formal content of "no access to the global clock".
+  const config::Configuration base = config::family_h(3);
+  std::vector<config::Tag> shifted_tags = base.tags();
+  for (auto& tag : shifted_tags) {
+    tag += 5;
+  }
+  const config::Configuration shifted(base.graph(), shifted_tags);
+
+  radio::SimulatorOptions options;
+  options.history_window = 0;
+  const auto schedule = core::make_schedule(base);        // same span, same schedule
+  const auto schedule_shift = core::make_schedule(shifted);
+  const radio::RunResult run_a = radio::simulate(base, core::CanonicalDrip(schedule), options);
+  const radio::RunResult run_b =
+      radio::simulate(shifted, core::CanonicalDrip(schedule_shift), options);
+  for (graph::NodeId v = 0; v < base.size(); ++v) {
+    EXPECT_EQ(run_a.nodes[v].history, run_b.nodes[v].history) << "node " << v;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,38 @@
+/// \file test_smoke.cpp
+/// End-to-end smoke test: the full pipeline on the paper's own families.
+
+#include <gtest/gtest.h>
+
+#include "config/families.hpp"
+#include "core/election.hpp"
+
+namespace {
+
+using namespace arl;
+
+TEST(Smoke, FamilyHIsFeasibleAndElects) {
+  const config::Configuration h3 = config::family_h(3);
+  const core::ElectionReport report = core::elect(h3);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_TRUE(report.valid);
+  ASSERT_TRUE(report.leader.has_value());
+}
+
+TEST(Smoke, FamilySIsInfeasible) {
+  const config::Configuration s3 = config::family_s(3);
+  const core::ElectionReport report = core::elect(s3);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_TRUE(report.valid);
+  EXPECT_FALSE(report.leader.has_value());
+}
+
+TEST(Smoke, FamilyGElectsTheCenter) {
+  const config::Configuration g3 = config::family_g(3);
+  const core::ElectionReport report = core::elect(g3);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_TRUE(report.valid);
+  ASSERT_TRUE(report.leader.has_value());
+  EXPECT_EQ(*report.leader, config::family_g_center(3));
+}
+
+}  // namespace

@@ -1,0 +1,262 @@
+/// \file test_support.cpp
+/// Unit tests for the support library: contracts, PRNG, tables, CLI parsing,
+/// thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "support/assert.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace arl::support;
+
+// ---------------------------------------------------------------- contracts
+
+TEST(Assert, ViolationsThrowWithContext) {
+  try {
+    ARL_EXPECTS(1 == 2, "the message");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("the message"), std::string::npos);
+  }
+}
+
+TEST(Assert, PassingConditionsAreSilent) {
+  EXPECT_NO_THROW(ARL_EXPECTS(true, ""));
+  EXPECT_NO_THROW(ARL_ENSURES(2 + 2 == 4, ""));
+  EXPECT_NO_THROW(ARL_ASSERT(!false, ""));
+}
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next() == b.next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.below(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowZeroIsRejected) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), ContractViolation);
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t value = rng.range(-2, 2);
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 2);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RealIsInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.bernoulli(0.5) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndStable) {
+  const Rng parent(1234);
+  Rng child_a = parent.split(1);
+  Rng child_a_again = parent.split(1);
+  Rng child_b = parent.split(2);
+  int same_ab = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto a = child_a.next();
+    EXPECT_EQ(a, child_a_again.next());  // same stream id → same stream
+    same_ab += (a == child_b.next()) ? 1 : 0;
+  }
+  EXPECT_LT(same_ab, 4);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(77);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST(Rng, PickFromEmptyThrows) {
+  Rng rng(1);
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), ContractViolation);
+}
+
+// -------------------------------------------------------------------- table
+
+TEST(Table, MarkdownLayout) {
+  Table table({"name", "value"});
+  table.add_row({std::string("alpha"), std::int64_t{42}});
+  table.add_row({std::string("b"), 3.5});
+  const std::string markdown = table.to_markdown();
+  EXPECT_NE(markdown.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(markdown.find("| alpha | 42    |"), std::string::npos);
+  EXPECT_NE(markdown.find("| b     | 3.5   |"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting) {
+  Table table({"text"});
+  table.add_row({std::string("plain")});
+  table.add_row({std::string("with,comma")});
+  table.add_row({std::string("with\"quote")});
+  std::ostringstream out;
+  table.print_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("plain\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({std::int64_t{1}}), ContractViolation);
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table table({"x"});
+  table.set_precision(2);
+  table.add_row({3.14159});
+  EXPECT_NE(table.to_markdown().find("3.1"), std::string::npos);
+  EXPECT_EQ(table.to_markdown().find("3.14159"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------- cli
+
+TEST(Args, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "--n=12", "--verbose", "file.txt", "--ratio=0.5"};
+  const Args args(5, argv);
+  EXPECT_EQ(args.get_int("n", 0), 12);
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_FALSE(args.has("quiet"));
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 0.5);
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "file.txt");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  const Args args(1, argv);
+  EXPECT_EQ(args.get_int("n", 99), 99);
+  EXPECT_EQ(args.get_string("mode", "fast"), "fast");
+}
+
+TEST(Args, MalformedNumbersThrow) {
+  const char* argv[] = {"prog", "--n=abc"};
+  const Args args(2, argv);
+  EXPECT_THROW((void)args.get_int("n", 0), ContractViolation);
+}
+
+// -------------------------------------------------------------- thread pool
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 0, 100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(parallel_for(pool, 5, 5, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 0, 10,
+                   [](std::size_t i) {
+                     if (i == 3) {
+                       throw std::runtime_error("boom");
+                     }
+                   }),
+      std::runtime_error);
+}
+
+// ---------------------------------------------------------------- stopwatch
+
+TEST(Stopwatch, MeasuresForwardTime) {
+  Stopwatch watch;
+  const double first = watch.seconds();
+  const double second = watch.seconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+  watch.restart();
+  EXPECT_LT(watch.seconds(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,270 @@
+/// \file arl_cli.cpp
+/// Command-line front end for the library.
+///
+///   arl gen       — emit a configuration in the text format
+///   arl classify  — decide feasibility (Classifier) and show the partition
+///   arl elect     — run the full pipeline and report the election
+///   arl trace     — replay the canonical DRIP with a per-round trace
+///   arl schedule  — compile and print the canonical schedule (deployable)
+///   arl dot       — Graphviz rendering of a configuration
+///   arl orbits    — symmetry analysis (orbits of indistinguishable nodes)
+///   arl validate  — simulate + independently validate the execution
+///
+/// Configurations are read from a file path argument or stdin.  Run with
+/// `--help` (or no arguments) for the full flag reference.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "config/families.hpp"
+#include "config/io.hpp"
+#include "core/canonical_drip.hpp"
+#include "core/election.hpp"
+#include "core/fast_classifier.hpp"
+#include "core/quotient.hpp"
+#include "core/schedule_io.hpp"
+#include "graph/generators.hpp"
+#include "radio/trace.hpp"
+#include "radio/validator.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arl;
+
+int usage() {
+  std::cout <<
+      R"(arl — deterministic leader election in anonymous radio networks
+
+usage: arl <command> [flags] [config-file]
+
+commands:
+  gen        generate a configuration
+               --family=h|g|s|staggered|single-hop|random  (default h)
+               --m=N          family parameter             (default 3)
+               --n=N          node count for staggered/single-hop/random
+               --sigma=N      span for random              (default 3)
+               --p=X          edge probability for random  (default 0.3)
+               --seed=N       RNG seed for random          (default 1)
+  classify   decide feasibility; print verdict, iterations, partition
+               --model=cd|nocd   channel feedback          (default cd)
+               --fast            use the hashed classifier
+  elect      classify + run the canonical DRIP + verify
+               --model=cd|nocd
+  trace      replay the canonical DRIP round by round
+               --verbose         also print listens and silences
+  schedule   compile and print the canonical schedule (text format)
+               --model=cd|nocd
+  dot        Graphviz rendering
+  orbits     symmetry analysis: orbits of indistinguishable nodes + quotient
+  validate   simulate and re-validate the execution independently
+
+configurations are read from the file argument, or stdin when absent.
+)";
+  return 2;
+}
+
+config::Configuration read_configuration(const support::Args& args, std::size_t index) {
+  if (args.positional().size() > index) {
+    std::ifstream file(args.positional()[index]);
+    if (!file) {
+      throw support::ContractViolation("cannot open " + args.positional()[index]);
+    }
+    return config::from_text(file);
+  }
+  return config::from_text(std::cin);
+}
+
+radio::ChannelModel parse_model(const support::Args& args) {
+  const std::string model = args.get_string("model", "cd");
+  if (model == "cd") {
+    return radio::ChannelModel::CollisionDetection;
+  }
+  if (model == "nocd") {
+    return radio::ChannelModel::NoCollisionDetection;
+  }
+  throw support::ContractViolation("--model must be cd or nocd");
+}
+
+int cmd_gen(const support::Args& args) {
+  const std::string family = args.get_string("family", "h");
+  const auto m = static_cast<config::Tag>(args.get_int("m", 3));
+  const auto n = static_cast<graph::NodeId>(args.get_int("n", 8));
+  if (family == "h") {
+    config::to_text(config::family_h(m), std::cout);
+  } else if (family == "g") {
+    config::to_text(config::family_g(m), std::cout);
+  } else if (family == "s") {
+    config::to_text(config::family_s(m), std::cout);
+  } else if (family == "staggered") {
+    config::to_text(config::staggered_path(n), std::cout);
+  } else if (family == "single-hop") {
+    std::vector<config::Tag> tags(n);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      tags[v] = v;
+    }
+    config::to_text(config::single_hop(tags), std::cout);
+  } else if (family == "random") {
+    support::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+    const auto sigma = static_cast<config::Tag>(args.get_int("sigma", 3));
+    const double p = args.get_double("p", 0.3);
+    config::to_text(
+        config::random_tags_with_span(graph::gnp_connected(n, p, rng), sigma, rng),
+        std::cout);
+  } else {
+    std::cerr << "unknown family '" << family << "'\n";
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_classify(const support::Args& args) {
+  const config::Configuration c = read_configuration(args, 1);
+  const radio::ChannelModel model = parse_model(args);
+  const core::ClassifierResult result = args.has("fast")
+                                            ? core::FastClassifier(model).run(c)
+                                            : core::Classifier(model).run(c);
+  std::cout << "verdict:    " << (result.feasible() ? "feasible" : "infeasible") << '\n';
+  std::cout << "iterations: " << result.iterations << '\n';
+  std::cout << "steps:      " << result.steps << '\n';
+  if (result.feasible()) {
+    std::cout << "leader:     node " << result.leader << " (class " << result.leader_class
+              << ")\n";
+  }
+  std::cout << "partition:  ";
+  const auto& final_classes = result.records.back().clazz;
+  for (graph::NodeId v = 0; v < final_classes.size(); ++v) {
+    std::cout << (v ? " " : "") << final_classes[v];
+  }
+  std::cout << '\n';
+  return result.feasible() ? 0 : 1;
+}
+
+int cmd_elect(const support::Args& args) {
+  const config::Configuration c = read_configuration(args, 1);
+  core::ElectionOptions options;
+  options.channel_model = parse_model(args);
+  const core::ElectionReport report = core::elect(c, options);
+  std::cout << "feasible:      " << (report.feasible ? "yes" : "no") << '\n';
+  if (report.leader) {
+    std::cout << "leader:        node " << *report.leader << '\n';
+  }
+  std::cout << "local rounds:  " << report.local_rounds << '\n';
+  std::cout << "global rounds: " << report.global_rounds << '\n';
+  std::cout << "transmissions: " << report.stats.transmissions << '\n';
+  std::cout << "verified:      " << (report.valid ? "ok" : "FAILED") << '\n';
+  return report.valid ? 0 : 1;
+}
+
+int cmd_trace(const support::Args& args) {
+  const config::Configuration c = read_configuration(args, 1);
+  const auto schedule = core::make_schedule(c, parse_model(args));
+  radio::StreamTrace trace(std::cout, args.has("verbose"));
+  radio::SimulatorOptions options;
+  options.trace = &trace;
+  options.channel_model = schedule->model;
+  const core::CanonicalDrip drip(schedule);
+  const radio::RunResult run = radio::simulate(c, drip, options);
+  const auto leaders = run.leaders();
+  std::cout << (leaders.size() == 1
+                    ? "leader: node " + std::to_string(leaders.front())
+                    : "no unique leader")
+            << '\n';
+  return 0;
+}
+
+int cmd_schedule(const support::Args& args) {
+  const config::Configuration c = read_configuration(args, 1);
+  const auto schedule = core::make_schedule(c, parse_model(args));
+  core::schedule_to_text(*schedule, std::cout);
+  return 0;
+}
+
+int cmd_dot(const support::Args& args) {
+  config::to_dot(read_configuration(args, 1), std::cout);
+  return 0;
+}
+
+int cmd_orbits(const support::Args& args) {
+  const config::Configuration c = read_configuration(args, 1);
+  const core::SymmetryReport report = core::analyze_symmetry(c);
+  std::cout << (report.feasible() ? "feasible" : "infeasible") << ": " << report.orbits.size()
+            << " orbit(s) of indistinguishable nodes\n";
+  for (const core::Orbit& orbit : report.orbits) {
+    std::cout << "  orbit " << orbit.id << " {";
+    for (std::size_t i = 0; i < orbit.members.size(); ++i) {
+      std::cout << (i ? " " : "") << orbit.members[i];
+    }
+    std::cout << "}" << (orbit.members.size() == 1 ? "  <- electable" : "") << '\n';
+  }
+  std::cout << "quotient graph: " << report.quotient.node_count() << " orbit(s), "
+            << report.quotient.edge_count() << " edge(s)\n";
+  return report.feasible() ? 0 : 1;
+}
+
+int cmd_validate(const support::Args& args) {
+  const config::Configuration c = read_configuration(args, 1);
+  const auto schedule = core::make_schedule(c, parse_model(args));
+  const core::CanonicalDrip drip(schedule);
+  radio::ExecutionRecorder recorder;
+  radio::SimulatorOptions options;
+  options.trace = &recorder;
+  options.history_window = 0;
+  options.channel_model = schedule->model;
+  const radio::RunResult run = radio::simulate(c, drip, options);
+  const radio::ValidationReport report =
+      radio::validate_execution(c, recorder, run, schedule->model);
+  if (report.ok) {
+    std::cout << "execution valid (" << report.checks << " checks)\n";
+    return 0;
+  }
+  std::cout << "execution INVALID: " << report.error << '\n';
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const support::Args args(argc, argv);
+  if (args.has("help")) {
+    (void)usage();
+    return 0;
+  }
+  if (args.positional().empty()) {
+    return usage();
+  }
+  const std::string& command = args.positional().front();
+  try {
+    if (command == "gen") {
+      return cmd_gen(args);
+    }
+    if (command == "classify") {
+      return cmd_classify(args);
+    }
+    if (command == "elect") {
+      return cmd_elect(args);
+    }
+    if (command == "trace") {
+      return cmd_trace(args);
+    }
+    if (command == "schedule") {
+      return cmd_schedule(args);
+    }
+    if (command == "dot") {
+      return cmd_dot(args);
+    }
+    if (command == "orbits") {
+      return cmd_orbits(args);
+    }
+    if (command == "validate") {
+      return cmd_validate(args);
+    }
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
