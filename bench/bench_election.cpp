@@ -1,61 +1,131 @@
 /// \file bench_election.cpp
 /// E3 (Lemma 3.10 / Theorem 3.15): canonical-DRIP election time in rounds
-/// against the O(n²σ) bound, across topologies, sizes and spans.
+/// against the O(n²σ) bound, across topologies, sizes and spans — plus E3b,
+/// the engine experiment: wall-time of a 1000-configuration sweep through
+/// the serial elect() loop versus the batch election engine.
 
 #include <algorithm>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "config/families.hpp"
 #include "core/election.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/sweep.hpp"
 #include "graph/generators.hpp"
 #include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
 using namespace arl;
 
-double bound_ratio(const core::ElectionReport& report, graph::NodeId n, config::Tag sigma) {
+double bound_ratio(std::uint64_t local_rounds, graph::NodeId n, config::Tag sigma) {
   // Lemma 3.10's explicit envelope: ceil(n/2) phases x (n(2σ+1)+σ) rounds.
   const double bound = ((n + 1.0) / 2.0) * (n * (2.0 * sigma + 1.0) + sigma) + 1.0;
-  return static_cast<double>(report.local_rounds) / bound;
+  return static_cast<double>(local_rounds) / bound;
 }
 
-void print_tables() {
-  support::Table table({"workload", "n", "sigma", "feasible", "phases", "local rounds",
-                        "n^2*sigma", "rounds/bound"});
+void print_e3_table() {
+  // The workload list, materialized once; the engine executes it as a batch
+  // and the table is read off the per-job outcomes.
+  std::vector<std::string> names;
+  std::vector<engine::BatchJob> jobs;
   support::Rng rng(2027);
-  auto row = [&](const std::string& name, const config::Configuration& c) {
-    const core::ElectionReport report = core::elect(c);
-    table.add_row({name, static_cast<std::int64_t>(c.size()),
-                   static_cast<std::int64_t>(c.span()),
-                   std::string(report.feasible ? "yes" : "no"),
-                   static_cast<std::int64_t>(report.classification.iterations),
-                   static_cast<std::int64_t>(report.local_rounds),
-                   static_cast<double>(c.size()) * c.size() * std::max<config::Tag>(c.span(), 1),
-                   bound_ratio(report, c.size(), c.span())});
+  auto add = [&](const std::string& name, config::Configuration c) {
+    names.push_back(name);
+    jobs.push_back({std::move(c), engine::Protocol::Canonical, {}});
   };
 
   for (const config::Tag m : {2u, 4u, 8u, 16u, 32u}) {
-    row("G_m path", config::family_g(m));
+    add("G_m path", config::family_g(m));
   }
   for (const config::Tag m : {2u, 8u, 32u, 128u}) {
-    row("H_m", config::family_h(m));
+    add("H_m", config::family_h(m));
   }
   for (const graph::NodeId n : {8u, 16u, 32u, 64u}) {
-    row("staggered path", config::staggered_path(n));
+    add("staggered path", config::staggered_path(n));
   }
   for (const graph::NodeId n : {8u, 16u, 32u}) {
-    row("random gnp(0.3) sigma=3",
+    add("random gnp(0.3) sigma=3",
         config::random_tags_with_span(graph::gnp_connected(n, 0.3, rng), 3, rng));
   }
   for (const graph::NodeId n : {9u, 16u, 25u}) {
     const auto side = static_cast<graph::NodeId>(n == 9 ? 3 : n == 16 ? 4 : 5);
-    row("grid sigma=2",
-        config::random_tags_with_span(graph::grid(side, side), 2, rng));
+    add("grid sigma=2", config::random_tags_with_span(graph::grid(side, side), 2, rng));
+  }
+
+  engine::BatchRunner runner;
+  const engine::BatchReport report = runner.run(jobs);
+
+  support::Table table({"workload", "n", "sigma", "feasible", "phases", "local rounds",
+                        "n^2*sigma", "rounds/bound"});
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const engine::JobOutcome& outcome = report.jobs[i];
+    table.add_row({names[i], static_cast<std::int64_t>(outcome.nodes),
+                   static_cast<std::int64_t>(outcome.span),
+                   std::string(outcome.feasible ? "yes" : "no"),
+                   static_cast<std::int64_t>(outcome.classifier_iterations),
+                   static_cast<std::int64_t>(outcome.local_rounds),
+                   static_cast<double>(outcome.nodes) * outcome.nodes *
+                       std::max<config::Tag>(outcome.span, 1),
+                   bound_ratio(outcome.local_rounds, outcome.nodes, outcome.span)});
   }
   benchsupport::print_table("E3 — canonical-DRIP election time vs the O(n^2*sigma) bound",
                             table);
+}
+
+void print_e3b_table() {
+  // The sweep behind the engine's reason to exist: 1000 random
+  // configurations, serial elect() loop vs BatchRunner.
+  constexpr engine::JobId kCount = 1000;
+  constexpr std::uint64_t kSeed = 9;
+
+  engine::RandomSweep sweep;
+  sweep.nodes = 16;
+  sweep.span = 3;
+  sweep.seed = kSeed;
+  const engine::JobSource source = engine::random_jobs(sweep);
+  std::vector<engine::BatchJob> jobs;
+  jobs.reserve(kCount);
+  for (engine::JobId i = 0; i < kCount; ++i) {
+    jobs.push_back(source(i));
+  }
+
+  support::Table table({"path", "threads", "wall ms", "configs/s", "speedup vs serial"});
+  table.set_precision(2);
+  double serial_millis = 0.0;
+  {
+    // Reference: the hand-rolled loop every consumer used before the engine.
+    support::Stopwatch watch;
+    std::uint64_t valid = 0;
+    for (engine::JobId i = 0; i < kCount; ++i) {
+      core::ElectionOptions options = jobs[i].options;
+      options.simulator.coin_seed = engine::job_coin_seed(0, i);
+      valid += core::elect(jobs[i].configuration, options).valid ? 1 : 0;
+    }
+    serial_millis = watch.millis();
+    benchmark::DoNotOptimize(valid);
+    table.add_row({std::string("serial elect() loop"), std::int64_t{1}, serial_millis,
+                   static_cast<double>(kCount) / (serial_millis / 1e3), 1.0});
+  }
+  for (const unsigned threads : {1u, 0u}) {  // 0 = hardware concurrency
+    engine::BatchRunner runner({.threads = threads});
+    const engine::BatchReport report = runner.run(jobs);
+    table.add_row({std::string(threads == 1 ? "engine, 1 thread" : "engine, all cores"),
+                   static_cast<std::int64_t>(report.threads_used), report.wall_millis,
+                   report.throughput(), serial_millis / report.wall_millis});
+  }
+  benchsupport::print_table(
+      "E3b — 1000-configuration sweep (n=16, sigma=3): serial loop vs batch engine", table);
+}
+
+void print_tables() {
+  print_e3_table();
+  print_e3b_table();
 }
 
 // ------------------------------------------------------------- timed series
@@ -95,6 +165,46 @@ void BM_ElectOnRandomGnp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ElectOnRandomGnp)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ElectWithScratchReuse(benchmark::State& state) {
+  // The per-worker buffer reuse the engine's workers get, in isolation.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  support::Rng rng(55 + n);
+  const config::Configuration c =
+      config::random_tags_with_span(graph::gnp_connected(n, 0.3, rng), 3, rng);
+  core::ElectionScratch scratch;
+  for (auto _ : state) {
+    const core::ElectionReport report = core::elect(c, {}, scratch);
+    benchmark::DoNotOptimize(report.valid);
+  }
+}
+BENCHMARK(BM_ElectWithScratchReuse)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EngineSweep(benchmark::State& state) {
+  // Whole-batch wall time: `threads` workers over a 64-configuration sweep.
+  const auto threads = static_cast<unsigned>(state.range(0));
+  engine::RandomSweep sweep;
+  sweep.nodes = 16;
+  sweep.span = 3;
+  sweep.seed = 21;
+  const engine::JobSource source = engine::random_jobs(sweep);
+  constexpr engine::JobId kCount = 64;
+  std::vector<engine::BatchJob> jobs;
+  jobs.reserve(kCount);
+  for (engine::JobId i = 0; i < kCount; ++i) {
+    jobs.push_back(source(i));
+  }
+  engine::BatchRunner runner({.threads = threads});
+  std::uint64_t valid = 0;
+  for (auto _ : state) {
+    const engine::BatchReport report = runner.run(jobs);
+    valid = report.valid_count;
+    benchmark::DoNotOptimize(valid);
+  }
+  state.counters["configs/s"] = benchmark::Counter(
+      static_cast<double>(kCount), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_EngineSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

@@ -2,42 +2,60 @@
 /// E8 (extension figure): how common are feasible configurations?  Sampled
 /// feasibility rate of random configurations as a function of size, span and
 /// edge density — the "how much wakeup asymmetry does nature need to give
-/// you" picture the paper's characterization makes computable.  The sweep
-/// fans out over the thread pool (one seed stream per sample).
+/// you" picture the paper's characterization makes computable.  Every sweep
+/// is a classify-only batch on the election engine.
 
-#include <atomic>
+#include <utility>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "config/families.hpp"
 #include "config/mutations.hpp"
 #include "core/fast_classifier.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/sweep.hpp"
 #include "graph/generators.hpp"
 #include "support/rng.hpp"
-#include "support/thread_pool.hpp"
 
 namespace {
 
 using namespace arl;
 
+core::ElectionOptions fast_classify_options() {
+  core::ElectionOptions options;
+  options.use_fast_classifier = true;
+  return options;
+}
+
 double feasibility_rate(graph::NodeId n, config::Tag sigma, double p, std::size_t samples,
-                        support::ThreadPool& pool) {
-  std::atomic<std::uint64_t> feasible{0};
-  const support::Rng master(0xFEA51B1E ^ (static_cast<std::uint64_t>(n) << 32) ^
-                            (static_cast<std::uint64_t>(sigma) << 16) ^
-                            static_cast<std::uint64_t>(p * 1000));
-  support::parallel_for(pool, 0, samples, [&](std::size_t sample) {
-    support::Rng rng = master.split(sample);
-    const config::Configuration c =
-        config::random_tags(graph::gnp_connected(n, p, rng), sigma, rng);
-    if (core::FastClassifier{}.run(c).feasible()) {
-      feasible.fetch_add(1, std::memory_order_relaxed);
-    }
-  });
-  return static_cast<double>(feasible.load()) / static_cast<double>(samples);
+                        engine::BatchRunner& runner) {
+  engine::RandomSweep sweep;
+  sweep.nodes = n;
+  sweep.edge_probability = p;
+  sweep.span = sigma;
+  sweep.exact_span = false;  // uniform tags in [0, sigma], as in the seed experiment
+  sweep.seed = 0xFEA51B1E ^ (static_cast<std::uint64_t>(n) << 32) ^
+               (static_cast<std::uint64_t>(sigma) << 16) ^ static_cast<std::uint64_t>(p * 1000);
+  sweep.protocol = engine::Protocol::ClassifyOnly;
+  sweep.options = fast_classify_options();
+  const engine::BatchReport report = runner.run(samples, engine::random_jobs(sweep));
+  return static_cast<double>(report.feasible_count) / static_cast<double>(samples);
+}
+
+/// Classify-only batch over an explicit configuration list.
+engine::BatchReport classify_all(engine::BatchRunner& runner,
+                                 std::vector<config::Configuration> configurations) {
+  std::vector<engine::BatchJob> jobs;
+  jobs.reserve(configurations.size());
+  for (auto& configuration : configurations) {
+    jobs.push_back(
+        {std::move(configuration), engine::Protocol::ClassifyOnly, fast_classify_options()});
+  }
+  return runner.run(jobs);
 }
 
 void print_tables() {
-  support::ThreadPool pool;
+  engine::BatchRunner runner;
   constexpr std::size_t kSamples = 400;
 
   {
@@ -45,10 +63,10 @@ void print_tables() {
     table.set_precision(3);
     for (const graph::NodeId n : {4u, 6u, 8u, 12u, 16u, 24u}) {
       table.add_row({static_cast<std::int64_t>(n),
-                     feasibility_rate(n, 1, 0.3, kSamples, pool),
-                     feasibility_rate(n, 2, 0.3, kSamples, pool),
-                     feasibility_rate(n, 4, 0.3, kSamples, pool),
-                     feasibility_rate(n, 8, 0.3, kSamples, pool)});
+                     feasibility_rate(n, 1, 0.3, kSamples, runner),
+                     feasibility_rate(n, 2, 0.3, kSamples, runner),
+                     feasibility_rate(n, 4, 0.3, kSamples, runner),
+                     feasibility_rate(n, 8, 0.3, kSamples, runner)});
     }
     benchsupport::print_table(
         "E8a — feasibility rate vs n and sigma (gnp p=0.3, uniform tags, 400 samples)", table);
@@ -57,14 +75,16 @@ void print_tables() {
     support::Table table({"edge probability p", "n=8", "n=16"});
     table.set_precision(3);
     for (const double p : {0.1, 0.2, 0.4, 0.6, 0.8}) {
-      table.add_row({p, feasibility_rate(8, 2, p, kSamples, pool),
-                     feasibility_rate(16, 2, p, kSamples, pool)});
+      table.add_row({p, feasibility_rate(8, 2, p, kSamples, runner),
+                     feasibility_rate(16, 2, p, kSamples, runner)});
     }
     benchsupport::print_table("E8b — feasibility rate vs edge density (sigma = 2)", table);
   }
   {
     // E8c — sensitivity: how often does nudging ONE wakeup tag flip the
-    // verdict?  (The deployment-robustness question mutations.hpp exists for.)
+    // verdict?  (The deployment-robustness question mutations.hpp exists
+    // for.)  Each base configuration's mutations go through the engine as
+    // one classify-only batch.
     support::Table table({"n", "configs", "feasible->infeasible flips %",
                           "infeasible->feasible flips %"});
     table.set_precision(3);
@@ -79,15 +99,14 @@ void print_tables() {
         const config::Configuration c =
             config::random_tags(graph::gnp_connected(n, 0.3, rng), 2, rng);
         const bool feasible = core::FastClassifier{}.run(c).feasible();
-        for (const auto& mutated : config::all_tag_mutations(c, 2)) {
-          const bool mutated_feasible = core::FastClassifier{}.run(mutated).feasible();
-          if (feasible) {
-            ++feasible_mutations;
-            feasible_flips += mutated_feasible ? 0 : 1;
-          } else {
-            ++infeasible_mutations;
-            infeasible_flips += mutated_feasible ? 1 : 0;
-          }
+        const engine::BatchReport mutated = classify_all(runner, config::all_tag_mutations(c, 2));
+        const auto mutations = static_cast<std::uint64_t>(mutated.jobs.size());
+        if (feasible) {
+          feasible_mutations += mutations;
+          feasible_flips += mutations - mutated.feasible_count;
+        } else {
+          infeasible_mutations += mutations;
+          infeasible_flips += mutated.feasible_count;
         }
       }
       auto rate = [](std::uint64_t flips, std::uint64_t total) {
@@ -106,17 +125,13 @@ void print_tables() {
     support::Table table({"S_m", "mutations", "repaired to feasible", "repair %"});
     table.set_precision(3);
     for (const config::Tag m : {1u, 2u, 4u}) {
-      const config::Configuration s = config::family_s(m);
-      const auto mutations = config::all_tag_mutations(s, m + 2);
-      std::uint64_t repaired = 0;
-      for (const auto& mutated : mutations) {
-        repaired += core::FastClassifier{}.run(mutated).feasible() ? 1 : 0;
-      }
+      const engine::BatchReport mutated =
+          classify_all(runner, config::all_tag_mutations(config::family_s(m), m + 2));
       table.add_row({static_cast<std::int64_t>(m),
-                     static_cast<std::int64_t>(mutations.size()),
-                     static_cast<std::int64_t>(repaired),
-                     100.0 * static_cast<double>(repaired) /
-                         static_cast<double>(mutations.size())});
+                     static_cast<std::int64_t>(mutated.jobs.size()),
+                     static_cast<std::int64_t>(mutated.feasible_count),
+                     100.0 * static_cast<double>(mutated.feasible_count) /
+                         static_cast<double>(mutated.jobs.size())});
     }
     benchsupport::print_table(
         "E8d — repairing the infeasible family S_m with one tag change", table);
@@ -135,6 +150,28 @@ void BM_FeasibilitySample(benchmark::State& state) {
   benchmark::DoNotOptimize(feasible);
 }
 BENCHMARK(BM_FeasibilitySample)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FeasibilityBatch(benchmark::State& state) {
+  // Classify-only batch throughput through the engine.
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  engine::RandomSweep sweep;
+  sweep.nodes = n;
+  sweep.span = 2;
+  sweep.exact_span = false;
+  sweep.seed = 99 + n;
+  sweep.protocol = engine::Protocol::ClassifyOnly;
+  sweep.options = fast_classify_options();
+  const engine::JobSource source = engine::random_jobs(sweep);
+  engine::BatchRunner runner;
+  constexpr engine::JobId kCount = 64;
+  for (auto _ : state) {
+    const engine::BatchReport report = runner.run(kCount, source);
+    benchmark::DoNotOptimize(report.feasible_count);
+  }
+  state.counters["configs/s"] = benchmark::Counter(
+      static_cast<double>(kCount), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_FeasibilityBatch)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 

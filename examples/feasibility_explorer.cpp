@@ -5,87 +5,80 @@
 /// small size (the same sweep the paper's characterization makes tractable:
 /// Classifier runs in polynomial time, so millions of configurations are
 /// cheap).  Part 2 estimates feasibility rates for larger random networks
-/// across a span sweep, fanning the samples out over all cores.
+/// across a span sweep.  Both parts hand their configurations to the batch
+/// election engine, which fans the work out over all cores.
 ///
 /// Usage: feasibility_explorer [--max-n=4] [--max-tag=2] [--samples=500]
 ///                             [--random-n=20] [--p=0.3]
 
-#include <atomic>
+#include <algorithm>
 #include <iostream>
-#include <vector>
 
-#include "config/families.hpp"
-#include "core/fast_classifier.hpp"
-#include "graph/enumeration.hpp"
-#include "graph/generators.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/sweep.hpp"
 #include "support/cli.hpp"
-#include "support/rng.hpp"
-#include "support/stopwatch.hpp"
 #include "support/table.hpp"
-#include "support/thread_pool.hpp"
 
 namespace {
 
 using namespace arl;
 
+core::ElectionOptions fast_classify_options() {
+  core::ElectionOptions options;
+  options.use_fast_classifier = true;
+  return options;
+}
+
 void exhaustive_census(graph::NodeId max_n, config::Tag max_tag) {
+  engine::BatchRunner runner;
   support::Table table({"n", "configurations", "feasible", "infeasible", "feasible %",
                         "max iterations", "time_ms"});
   for (graph::NodeId n = 1; n <= max_n; ++n) {
-    support::Stopwatch watch;
-    std::uint64_t configs = 0;
-    std::uint64_t feasible = 0;
+    // Lazy sweep: only the graphs are materialized, so a large census never
+    // holds more than one configuration per worker.
+    const engine::CountedSweep sweep = engine::exhaustive_sweep(
+        n, max_tag, engine::Protocol::ClassifyOnly, fast_classify_options());
+    const engine::BatchReport report = runner.run(sweep.count, sweep.source);
     std::uint32_t max_iterations = 0;
-    graph::for_each_connected_graph(n, [&](const graph::Graph& g) {
-      std::vector<config::Tag> tags(n, 0);
-      for (;;) {
-        ++configs;
-        const auto result = core::FastClassifier{}.run(config::Configuration(g, tags));
-        feasible += result.feasible() ? 1 : 0;
-        max_iterations = std::max(max_iterations, result.iterations);
-        graph::NodeId position = 0;
-        while (position < n && tags[position] == max_tag) {
-          tags[position] = 0;
-          ++position;
-        }
-        if (position == n) {
-          break;
-        }
-        ++tags[position];
-      }
-    });
-    table.add_row({static_cast<std::int64_t>(n), static_cast<std::int64_t>(configs),
-                   static_cast<std::int64_t>(feasible),
-                   static_cast<std::int64_t>(configs - feasible),
-                   100.0 * static_cast<double>(feasible) / static_cast<double>(configs),
-                   static_cast<std::int64_t>(max_iterations), watch.millis()});
+    for (const engine::JobOutcome& outcome : report.jobs) {
+      max_iterations = std::max(max_iterations, outcome.classifier_iterations);
+    }
+    const auto configs = static_cast<std::int64_t>(report.jobs.size());
+    table.add_row({static_cast<std::int64_t>(n), configs,
+                   static_cast<std::int64_t>(report.feasible_count),
+                   configs - static_cast<std::int64_t>(report.feasible_count),
+                   100.0 * static_cast<double>(report.feasible_count) /
+                       static_cast<double>(report.jobs.size()),
+                   static_cast<std::int64_t>(max_iterations), report.wall_millis});
   }
   std::cout << "\n## Exhaustive census (tags 0.." << max_tag << ")\n\n";
   table.print_markdown(std::cout);
 }
 
 void random_survey(graph::NodeId n, double p, std::size_t samples) {
-  support::ThreadPool pool;
+  engine::BatchRunner runner;
   support::Table table({"sigma", "feasible %", "avg iterations"});
   table.set_precision(3);
   for (const config::Tag sigma : {1u, 2u, 3u, 5u, 8u, 13u}) {
-    std::atomic<std::uint64_t> feasible{0};
-    std::atomic<std::uint64_t> iterations{0};
-    const support::Rng master(0xCAFE + sigma);
-    support::parallel_for(pool, 0, samples, [&](std::size_t sample) {
-      support::Rng rng = master.split(sample);
-      const config::Configuration c =
-          config::random_tags_with_span(graph::gnp_connected(n, p, rng), sigma, rng);
-      const auto result = core::FastClassifier{}.run(c);
-      feasible.fetch_add(result.feasible() ? 1 : 0, std::memory_order_relaxed);
-      iterations.fetch_add(result.iterations, std::memory_order_relaxed);
-    });
+    engine::RandomSweep sweep;
+    sweep.nodes = n;
+    sweep.edge_probability = p;
+    sweep.span = sigma;
+    sweep.seed = 0xCAFE + sigma;
+    sweep.protocol = engine::Protocol::ClassifyOnly;
+    sweep.options = fast_classify_options();
+    const engine::BatchReport report = runner.run(samples, engine::random_jobs(sweep));
+    std::uint64_t iterations = 0;
+    for (const engine::JobOutcome& outcome : report.jobs) {
+      iterations += outcome.classifier_iterations;
+    }
     table.add_row({static_cast<std::int64_t>(sigma),
-                   100.0 * static_cast<double>(feasible.load()) / static_cast<double>(samples),
-                   static_cast<double>(iterations.load()) / static_cast<double>(samples)});
+                   100.0 * static_cast<double>(report.feasible_count) /
+                       static_cast<double>(samples),
+                   static_cast<double>(iterations) / static_cast<double>(samples)});
   }
   std::cout << "\n## Random survey: G(n=" << n << ", p=" << p << "), " << samples
-            << " samples per span, " << pool.size() << " worker thread(s)\n\n";
+            << " samples per span, " << runner.threads() << " worker thread(s)\n\n";
   table.print_markdown(std::cout);
 }
 

@@ -8,17 +8,19 @@
 /// by a passing drone).  The operator wants a coordinator: can one be
 /// elected at all, and at what cost?
 ///
-/// The demo plans a deployment, checks feasibility with Classifier, elects a
-/// coordinator with the canonical DRIP, and reports the radio budget.  If a
-/// deployment is infeasible (too much symmetry in the power-up times), it
-/// re-staggers and tries again — exactly what a field engineer would do.
+/// The demo plans a window of candidate deployments (re-staggered power-up
+/// schedules — exactly what a field engineer would prepare), hands the whole
+/// window to the batch election engine, and commissions the first candidate
+/// whose election verifies, reporting its radio budget.
 ///
 /// Usage: sensor_field [--sensors=24] [--reach=0.18] [--stagger=4] [--seed=7]
+///                     [--attempts=10]
 
 #include <iostream>
+#include <vector>
 
 #include "config/families.hpp"
-#include "core/election.hpp"
+#include "engine/batch_runner.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generators.hpp"
 #include "support/cli.hpp"
@@ -44,19 +46,30 @@ int main(int argc, char** argv) {
   const auto sensors = static_cast<graph::NodeId>(args.get_int("sensors", 24));
   const double reach = args.get_double("reach", 0.18);
   const auto stagger = static_cast<config::Tag>(args.get_int("stagger", 4));
+  const auto attempts = static_cast<std::size_t>(args.get_int("attempts", 10));
   support::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
 
   std::cout << "Deploying " << sensors << " anonymous sensors (reach " << reach
             << ", power-up stagger 0.." << stagger << ")\n\n";
 
-  for (int attempt = 1; attempt <= 10; ++attempt) {
-    const config::Configuration deployment = plan_deployment(sensors, reach, stagger, rng);
+  std::vector<engine::BatchJob> candidates;
+  candidates.reserve(attempts);
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    candidates.push_back(
+        {plan_deployment(sensors, reach, stagger, rng), engine::Protocol::Canonical, {}});
+  }
+
+  engine::BatchRunner runner({.keep_reports = true});
+  const engine::BatchReport batch = runner.run(candidates);
+
+  for (std::size_t attempt = 0; attempt < candidates.size(); ++attempt) {
+    const config::Configuration& deployment = candidates[attempt].configuration;
     const auto& g = deployment.graph();
-    std::cout << "attempt " << attempt << ": " << g.edge_count() << " links, max degree "
+    std::cout << "attempt " << (attempt + 1) << ": " << g.edge_count() << " links, max degree "
               << g.max_degree() << ", diameter " << graph::diameter(g) << ", span "
               << deployment.span() << '\n';
 
-    const core::ElectionReport report = core::elect(deployment);
+    const core::ElectionReport& report = batch.reports[attempt];
     if (!report.feasible) {
       std::cout << "  -> power-up schedule too symmetric, no coordinator possible; "
                    "re-staggering...\n";
@@ -82,10 +95,13 @@ int main(int argc, char** argv) {
     table.print_markdown(std::cout);
 
     std::cout << "\nEvery sensor ran the identical program; the coordinator emerged only\n"
-                 "from who woke when.  The election transcript above is reproducible:\n"
-                 "re-run with the same --seed to get the same deployment and leader.\n";
+                 "from who woke when.  All " << candidates.size()
+              << " candidate schedules were vetted in one engine batch ("
+              << batch.threads_used << " worker thread(s), " << batch.wall_millis
+              << " ms); re-run with the same --seed to get the same deployment and leader.\n";
     return 0;
   }
-  std::cout << "no feasible deployment found in 10 attempts — increase --stagger\n";
+  std::cout << "no feasible deployment found in " << candidates.size()
+            << " attempts — increase --stagger\n";
   return 1;
 }

@@ -41,6 +41,8 @@ struct IterationRecord {
 
   /// Number of classes at the end of the iteration.
   ClassId num_classes = 0;
+
+  friend bool operator==(const IterationRecord& a, const IterationRecord& b) = default;
 };
 
 /// Full result of a Classifier run.

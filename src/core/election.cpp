@@ -8,6 +8,12 @@
 namespace arl::core {
 
 ElectionReport elect(const config::Configuration& configuration, const ElectionOptions& options) {
+  ElectionScratch scratch;
+  return elect(configuration, options, scratch);
+}
+
+ElectionReport elect(const config::Configuration& configuration, const ElectionOptions& options,
+                     ElectionScratch& scratch) {
   ElectionReport report;
   if (options.use_fast_classifier) {
     report.classification = FastClassifier(options.channel_model).run(configuration);
@@ -15,13 +21,14 @@ ElectionReport elect(const config::Configuration& configuration, const ElectionO
     report.classification = Classifier(options.channel_model).run(configuration);
   }
   report.feasible = report.classification.feasible();
-  report.schedule = std::make_shared<const CanonicalSchedule>(
-      build_schedule(configuration, report.classification));
 
   if (!options.simulate) {
-    report.valid = true;  // nothing further to verify
+    report.valid = true;  // nothing further to verify (and no schedule needed)
     return report;
   }
+
+  report.schedule = std::make_shared<const CanonicalSchedule>(
+      build_schedule(configuration, report.classification));
 
   const CanonicalDrip drip(report.schedule, MismatchPolicy::Strict);
   radio::SimulatorOptions simulator_options = options.simulator;
@@ -32,7 +39,8 @@ ElectionReport elect(const config::Configuration& configuration, const ElectionO
   simulator_options.max_rounds = static_cast<config::Round>(
       std::max<std::uint64_t>(simulator_options.max_rounds, needed_horizon));
 
-  const radio::RunResult run = radio::simulate(configuration, drip, simulator_options);
+  const radio::RunResult run =
+      radio::simulate(configuration, drip, simulator_options, scratch.simulator);
   report.simulated = true;
   report.global_rounds = run.rounds_executed;
   report.local_rounds = report.schedule->total_rounds();

@@ -45,7 +45,8 @@ struct ElectionReport {
   /// The Classifier run (verdict, iterations, partitions, step counts).
   ClassifierResult classification;
 
-  /// The compiled canonical schedule.
+  /// The compiled canonical schedule; null when simulation was skipped
+  /// (classify-only runs never pay for schedule compilation).
   std::shared_ptr<const CanonicalSchedule> schedule;
 
   /// Classifier verdict (== classification.feasible()).
@@ -72,8 +73,20 @@ struct ElectionReport {
   radio::RunStats stats;
 };
 
+/// Reusable working memory for elect().  A worker running many elections
+/// back to back passes the same scratch to every call and amortizes the
+/// simulator's per-run allocations; results are unaffected (asserted by the
+/// engine parity tests).
+struct ElectionScratch {
+  radio::SimulatorScratch simulator;
+};
+
 /// Classifies `configuration` and (by default) runs the canonical DRIP on it.
 [[nodiscard]] ElectionReport elect(const config::Configuration& configuration,
                                    const ElectionOptions& options = {});
+
+/// Same as elect(), reusing `scratch`'s buffers instead of allocating.
+[[nodiscard]] ElectionReport elect(const config::Configuration& configuration,
+                                   const ElectionOptions& options, ElectionScratch& scratch);
 
 }  // namespace arl::core

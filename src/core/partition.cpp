@@ -67,9 +67,9 @@ std::optional<std::pair<ClassId, graph::NodeId>> find_singleton(const std::vecto
   const auto sizes = class_sizes(clazz, num_classes);
   for (ClassId k = 1; k <= num_classes; ++k) {
     if (sizes[k - 1] == 1) {
-      for (graph::NodeId v = 0; v < clazz.size(); ++v) {
+      for (std::size_t v = 0; v < clazz.size(); ++v) {
         if (clazz[v] == k) {
-          return std::make_pair(k, v);
+          return std::make_pair(k, static_cast<graph::NodeId>(v));
         }
       }
     }

@@ -1,0 +1,140 @@
+#include "engine/batch_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+namespace arl::engine {
+
+std::uint64_t job_coin_seed(std::uint64_t batch_seed, JobId id) {
+  return support::Rng(batch_seed).split(id).next();
+}
+
+double BatchReport::throughput() const {
+  if (wall_millis <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(jobs.size()) / (wall_millis / 1e3);
+}
+
+namespace {
+
+/// Executes one job on one worker's scratch and condenses the report.
+JobOutcome execute_job(const BatchJob& job, JobId id, std::uint64_t batch_seed,
+                       core::ElectionScratch& scratch, core::ElectionReport* keep) {
+  core::ElectionOptions options = job.options;
+  options.simulate = (job.protocol == Protocol::Canonical);
+  options.simulator.coin_seed = job_coin_seed(batch_seed, id);
+
+  core::ElectionReport report = core::elect(job.configuration, options, scratch);
+
+  JobOutcome outcome;
+  outcome.id = id;
+  outcome.nodes = job.configuration.size();
+  outcome.span = job.configuration.span();
+  outcome.feasible = report.feasible;
+  outcome.simulated = report.simulated;
+  outcome.valid = report.valid;
+  outcome.leader = report.leader;
+  outcome.classifier_iterations = report.classification.iterations;
+  outcome.classifier_steps = report.classification.steps;
+  outcome.local_rounds = report.local_rounds;
+  outcome.global_rounds = report.global_rounds;
+  outcome.stats = report.stats;
+  if (keep != nullptr) {
+    *keep = std::move(report);
+  }
+  return outcome;
+}
+
+void accumulate(radio::RunStats& total, const radio::RunStats& stats) {
+  total.transmissions += stats.transmissions;
+  total.clean_receptions += stats.clean_receptions;
+  total.collisions_heard += stats.collisions_heard;
+  total.forced_wakeups += stats.forced_wakeups;
+  total.node_rounds += stats.node_rounds;
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(BatchOptions options)
+    : options_(options), pool_(options.threads) {}
+
+template <typename Fetch>
+BatchReport BatchRunner::run_batch(JobId count, const Fetch& fetch) {
+  support::Stopwatch watch;
+  BatchReport report;
+  report.jobs.resize(count);
+  if (options_.keep_reports) {
+    report.reports.resize(count);
+  }
+
+  // One long-lived task per worker, pulling job ids from a shared counter:
+  // dynamic load balancing without per-job scheduling overhead, and each
+  // worker's ElectionScratch is reused across every job it claims.
+  const std::size_t workers =
+      count == 0 ? 0 : std::min<std::size_t>(pool_.size(), static_cast<std::size_t>(count));
+  std::atomic<JobId> next{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    futures.push_back(pool_.submit([this, count, &fetch, &next, &report]() {
+      core::ElectionScratch scratch;
+      for (JobId id = next.fetch_add(1); id < count; id = next.fetch_add(1)) {
+        decltype(auto) job = fetch(id);
+        core::ElectionReport* keep = options_.keep_reports ? &report.reports[id] : nullptr;
+        report.jobs[id] = execute_job(job, id, options_.seed, scratch, keep);
+      }
+    }));
+  }
+
+  // Wait for every worker before rethrowing: the tasks capture locals by
+  // reference, so no worker may outlive this frame.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  for (const JobOutcome& outcome : report.jobs) {
+    report.feasible_count += outcome.feasible ? 1 : 0;
+    report.valid_count += outcome.valid ? 1 : 0;
+    report.total_local_rounds += outcome.local_rounds;
+    report.max_local_rounds = std::max(report.max_local_rounds, outcome.local_rounds);
+    accumulate(report.total_stats, outcome.stats);
+  }
+  report.threads_used = workers;
+  report.wall_millis = watch.millis();
+  return report;
+}
+
+BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs) {
+  return run_batch(static_cast<JobId>(jobs.size()),
+                   [&jobs](JobId id) -> const BatchJob& {
+                     return jobs[static_cast<std::size_t>(id)];
+                   });
+}
+
+BatchReport BatchRunner::run(JobId count, const JobSource& source) {
+  return run_batch(count, [&source](JobId id) { return source(id); });
+}
+
+BatchReport run_batch(const std::vector<BatchJob>& jobs, BatchOptions options) {
+  BatchRunner runner(options);
+  return runner.run(jobs);
+}
+
+}  // namespace arl::engine

@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file batch_runner.hpp
+/// The batch election engine: runs many election jobs across the thread
+/// pool and aggregates the outcomes.
+///
+/// This is the one "run many configurations" loop in the repository — the
+/// CLI sweep command, the examples and the benchmarks all submit their work
+/// here instead of hand-rolling parallel loops.  Each worker owns one
+/// `core::ElectionScratch` and reuses its simulator buffers across every job
+/// it executes; job results land in a slot indexed by job id, so the
+/// assembled `BatchReport` is independent of scheduling (and, by the seeding
+/// contract in job.hpp, of the thread count).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "radio/simulator.hpp"
+#include "support/thread_pool.hpp"
+
+namespace arl::engine {
+
+/// Engine-level knobs (per BatchRunner, not per job).
+struct BatchOptions {
+  /// Worker threads; 0 means hardware concurrency.
+  unsigned threads = 0;
+
+  /// Batch master seed; per-job coin seeds derive from it (job_coin_seed).
+  std::uint64_t seed = 0;
+
+  /// Retain the full ElectionReport of every job in BatchReport::reports.
+  /// Off by default: condensed outcomes are enough for sweeps, and full
+  /// reports keep schedules and per-iteration records alive.
+  bool keep_reports = false;
+};
+
+/// Condensed outcome of one job (always recorded).
+struct JobOutcome {
+  JobId id = 0;
+  graph::NodeId nodes = 0;                 ///< configuration size n
+  config::Tag span = 0;                    ///< configuration span σ
+  bool feasible = false;                   ///< Classifier verdict
+  bool simulated = false;                  ///< canonical DRIP was executed
+  bool valid = false;                      ///< elect() verification flag
+  std::optional<graph::NodeId> leader = {};
+  std::uint32_t classifier_iterations = 0;
+  std::uint64_t classifier_steps = 0;
+  std::uint64_t local_rounds = 0;
+  config::Round global_rounds = 0;
+  radio::RunStats stats;
+
+  friend bool operator==(const JobOutcome& a, const JobOutcome& b) = default;
+};
+
+/// Aggregated result of one batch.
+struct BatchReport {
+  /// Per-job outcomes, indexed by job id (jobs[i].id == i).
+  std::vector<JobOutcome> jobs;
+
+  /// Full reports, indexed by job id; empty unless BatchOptions::keep_reports.
+  std::vector<core::ElectionReport> reports;
+
+  std::uint64_t feasible_count = 0;        ///< jobs with a feasible verdict
+  std::uint64_t valid_count = 0;           ///< jobs whose verification passed
+  std::uint64_t total_local_rounds = 0;    ///< sum of election times
+  std::uint64_t max_local_rounds = 0;      ///< slowest election in the batch
+  radio::RunStats total_stats;             ///< channel statistics, summed
+  double wall_millis = 0.0;                ///< wall time of the whole batch
+  std::size_t threads_used = 1;            ///< workers actually spawned (<= pool size)
+
+  /// Jobs per second of wall time.
+  [[nodiscard]] double throughput() const;
+};
+
+/// Runs batches of election jobs over an owned thread pool.
+class BatchRunner {
+ public:
+  explicit BatchRunner(BatchOptions options = {});
+
+  BatchRunner(const BatchRunner&) = delete;
+  BatchRunner& operator=(const BatchRunner&) = delete;
+
+  /// Number of worker threads in the pool.
+  [[nodiscard]] std::size_t threads() const { return pool_.size(); }
+
+  /// Runs every job in `jobs`; jobs[i] gets job id i.
+  [[nodiscard]] BatchReport run(const std::vector<BatchJob>& jobs);
+
+  /// Runs jobs 0..count-1 produced on demand by `source`.
+  [[nodiscard]] BatchReport run(JobId count, const JobSource& source);
+
+ private:
+  template <typename Fetch>
+  BatchReport run_batch(JobId count, const Fetch& fetch);
+
+  BatchOptions options_;
+  support::ThreadPool pool_;
+};
+
+/// One-shot convenience: construct a runner, execute, return the report.
+[[nodiscard]] BatchReport run_batch(const std::vector<BatchJob>& jobs, BatchOptions options = {});
+
+}  // namespace arl::engine

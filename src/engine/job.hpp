@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file job.hpp
+/// Batch-election job descriptions.
+///
+/// A *job* is one configuration to run through the election pipeline: the
+/// cross product the engine executes is (configuration source) × (protocol
+/// choice) × (ElectionOptions).  Jobs come either materialized
+/// (`std::vector<BatchJob>`) or lazily from a `JobSource`, so a sweep over a
+/// million random configurations never holds more than one configuration per
+/// worker in memory.
+///
+/// Determinism contract: the coin seed of job i in a batch with master seed
+/// s is `job_coin_seed(s, i)` — a pure function of (s, i), never of the
+/// thread that happens to execute the job.  A BatchRunner sweep is therefore
+/// bit-identical across thread counts (asserted by tests/test_engine.cpp).
+
+#include <cstdint>
+#include <functional>
+
+#include "config/configuration.hpp"
+#include "core/election.hpp"
+
+namespace arl::engine {
+
+/// Index of a job within its batch.
+using JobId = std::uint64_t;
+
+/// Which pipeline a job runs.
+enum class Protocol : std::uint8_t {
+  Canonical,     ///< classify + simulate the canonical DRIP + verify
+  ClassifyOnly,  ///< feasibility verdict only (no simulation)
+};
+
+/// One unit of work: a configuration plus how to run it.
+struct BatchJob {
+  config::Configuration configuration;
+  Protocol protocol = Protocol::Canonical;
+
+  /// Election knobs.  `options.simulate` is derived from `protocol` and
+  /// `options.simulator.coin_seed` from the batch seed; both are overwritten
+  /// by the engine.
+  core::ElectionOptions options = {};
+};
+
+/// Produces the job with index `id` on demand.  Called concurrently from
+/// worker threads, so it must be a pure function of `id` (derive any
+/// randomness from a per-index Rng split, never from shared mutable state).
+using JobSource = std::function<BatchJob(JobId id)>;
+
+/// Deterministic per-job coin seed (see the determinism contract above).
+[[nodiscard]] std::uint64_t job_coin_seed(std::uint64_t batch_seed, JobId id);
+
+}  // namespace arl::engine

@@ -1,0 +1,81 @@
+#include "engine/sweep.hpp"
+
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "config/families.hpp"
+#include "graph/enumeration.hpp"
+#include "graph/generators.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace arl::engine {
+
+JobSource random_jobs(RandomSweep sweep) {
+  return [sweep = std::move(sweep)](JobId id) {
+    support::Rng rng = support::Rng(sweep.seed).split(id);
+    graph::Graph graph = graph::gnp_connected(sweep.nodes, sweep.edge_probability, rng);
+    config::Configuration configuration =
+        sweep.exact_span ? config::random_tags_with_span(std::move(graph), sweep.span, rng)
+                         : config::random_tags(std::move(graph), sweep.span, rng);
+    return BatchJob{std::move(configuration), sweep.protocol, sweep.options};
+  };
+}
+
+CountedSweep exhaustive_sweep(graph::NodeId n, config::Tag max_tag, Protocol protocol,
+                              core::ElectionOptions options) {
+  auto graphs = std::make_shared<std::vector<graph::Graph>>();
+  graph::for_each_connected_graph(
+      n, [&graphs](const graph::Graph& graph) { graphs->push_back(graph); });
+
+  const std::uint64_t base = static_cast<std::uint64_t>(max_tag) + 1;
+  std::uint64_t tag_vectors = 1;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    ARL_EXPECTS(tag_vectors <= std::numeric_limits<std::uint64_t>::max() / base,
+                "tag space exceeds 64 bits");
+    tag_vectors *= base;
+  }
+
+  CountedSweep sweep;
+  sweep.count = static_cast<JobId>(graphs->size()) * tag_vectors;
+  sweep.source = [graphs, n, base, tag_vectors, protocol,
+                  options = std::move(options)](JobId id) {
+    // Decode (graph index, tag odometer) from the job id; node 0 is the
+    // fastest digit, matching the materialized enumeration order.
+    const auto graph_index = static_cast<std::size_t>(id / tag_vectors);
+    std::uint64_t code = id % tag_vectors;
+    std::vector<config::Tag> tags(n);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      tags[v] = static_cast<config::Tag>(code % base);
+      code /= base;
+    }
+    return BatchJob{config::Configuration((*graphs)[graph_index], std::move(tags)), protocol,
+                    options};
+  };
+  return sweep;
+}
+
+std::vector<BatchJob> exhaustive_jobs(graph::NodeId n, config::Tag max_tag, Protocol protocol,
+                                      core::ElectionOptions options) {
+  const CountedSweep sweep = exhaustive_sweep(n, max_tag, protocol, std::move(options));
+  std::vector<BatchJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(sweep.count));
+  for (JobId id = 0; id < sweep.count; ++id) {
+    jobs.push_back(sweep.source(id));
+  }
+  return jobs;
+}
+
+std::vector<BatchJob> staggered_jobs(graph::NodeId first, std::size_t count, Protocol protocol,
+                                     core::ElectionOptions options) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs.push_back(BatchJob{
+        config::staggered_path(first + static_cast<graph::NodeId>(i)), protocol, options});
+  }
+  return jobs;
+}
+
+}  // namespace arl::engine

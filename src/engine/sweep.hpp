@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file sweep.hpp
+/// Ready-made job sources for the sweeps every consumer runs: seeded random
+/// G(n,p) families and exhaustive enumerations of small configurations.
+/// Shared by the CLI `sweep` command, the examples, the benchmarks and the
+/// engine tests so they all measure exactly the same workloads.
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/job.hpp"
+
+namespace arl::engine {
+
+/// Parameters of a seeded random-configuration sweep.
+struct RandomSweep {
+  graph::NodeId nodes = 16;      ///< nodes per configuration
+  double edge_probability = 0.3; ///< G(n,p) density (connectivity is enforced)
+  config::Tag span = 3;          ///< tag span σ
+  bool exact_span = true;        ///< span exactly σ (else tags uniform in [0, σ])
+  std::uint64_t seed = 1;        ///< configuration stream seed (independent of coin seeds)
+  Protocol protocol = Protocol::Canonical;
+  core::ElectionOptions options = {};
+};
+
+/// Lazy source of the sweep's configurations: job i is a pure function of
+/// (sweep.seed, i), so any prefix of the stream is reproducible on any
+/// thread count.
+[[nodiscard]] JobSource random_jobs(RandomSweep sweep);
+
+/// A counted lazy sweep: `count` jobs produced on demand by `source`.
+struct CountedSweep {
+  JobId count = 0;
+  JobSource source;
+};
+
+/// Every connected configuration with exactly `n` nodes and tags drawn from
+/// [0, max_tag], enumerated lazily in deterministic order (per graph, the
+/// tag odometer with node 0 as the fastest digit).  Only the graphs are
+/// materialized — their count is exponentially smaller than the
+/// configuration count, so a census that sweeps millions of configurations
+/// holds one configuration per worker in memory.
+[[nodiscard]] CountedSweep exhaustive_sweep(graph::NodeId n, config::Tag max_tag,
+                                            Protocol protocol = Protocol::Canonical,
+                                            core::ElectionOptions options = {});
+
+/// Materialized form of exhaustive_sweep (convenient for small n).
+[[nodiscard]] std::vector<BatchJob> exhaustive_jobs(graph::NodeId n, config::Tag max_tag,
+                                                    Protocol protocol = Protocol::Canonical,
+                                                    core::ElectionOptions options = {});
+
+/// Staggered paths of n = first, first+1, ..., first+count-1 nodes.
+[[nodiscard]] std::vector<BatchJob> staggered_jobs(graph::NodeId first, std::size_t count,
+                                                   Protocol protocol = Protocol::Canonical,
+                                                   core::ElectionOptions options = {});
+
+}  // namespace arl::engine

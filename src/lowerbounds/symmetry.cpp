@@ -22,7 +22,7 @@ std::optional<config::Round> first_history_divergence(const radio::NodeOutcome& 
 std::optional<config::Round> uniqueness_round(const radio::RunResult& run, graph::NodeId node) {
   ARL_EXPECTS(node < run.nodes.size(), "node out of range");
   config::Round latest = 0;
-  for (graph::NodeId other = 0; other < run.nodes.size(); ++other) {
+  for (std::size_t other = 0; other < run.nodes.size(); ++other) {
     if (other == node) {
       continue;
     }

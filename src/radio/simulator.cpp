@@ -1,6 +1,7 @@
 #include "radio/simulator.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/assert.hpp"
 #include "support/rng.hpp"
@@ -40,9 +41,9 @@ void push_entry(NodeState& node, HistoryEntry entry, std::optional<std::size_t> 
 
 std::vector<graph::NodeId> RunResult::leaders() const {
   std::vector<graph::NodeId> out;
-  for (graph::NodeId v = 0; v < nodes.size(); ++v) {
+  for (std::size_t v = 0; v < nodes.size(); ++v) {
     if (nodes[v].elected) {
-      out.push_back(v);
+      out.push_back(static_cast<graph::NodeId>(v));
     }
   }
   return out;
@@ -54,7 +55,12 @@ Simulator::Simulator(const config::Configuration& configuration, const Drip& dri
   ARL_EXPECTS(options_.max_rounds > 0, "horizon must be positive");
 }
 
-RunResult Simulator::run() {
+RunResult Simulator::run() const {
+  SimulatorScratch scratch;
+  return run(scratch);
+}
+
+RunResult Simulator::run(SimulatorScratch& scratch) const {
   const graph::Graph& graph = configuration_.graph();
   const graph::NodeId n = graph.node_count();
   std::optional<std::size_t> window =
@@ -83,10 +89,14 @@ RunResult Simulator::run() {
 
   // Per-round channel resolution uses epoch-stamped counters so no clearing
   // pass is needed between rounds.
-  std::vector<config::Round> stamp(n, static_cast<config::Round>(-1));
-  std::vector<std::uint32_t> transmitter_count(n, 0);
-  std::vector<Message> pending_message(n, 0);
-  std::vector<graph::NodeId> transmitters;
+  std::vector<config::Round>& stamp = scratch.stamp_;
+  std::vector<std::uint32_t>& transmitter_count = scratch.transmitter_count_;
+  std::vector<Message>& pending_message = scratch.pending_message_;
+  std::vector<graph::NodeId>& transmitters = scratch.transmitters_;
+  stamp.assign(n, static_cast<config::Round>(-1));
+  transmitter_count.assign(n, 0);
+  pending_message.assign(n, 0);
+  transmitters.clear();
 
   std::uint32_t live = n;  // nodes not yet terminated
 
@@ -254,8 +264,14 @@ RunResult Simulator::run() {
 
 RunResult simulate(const config::Configuration& configuration, const Drip& drip,
                    SimulatorOptions options) {
-  Simulator simulator(configuration, drip, options);
+  Simulator simulator(configuration, drip, std::move(options));
   return simulator.run();
+}
+
+RunResult simulate(const config::Configuration& configuration, const Drip& drip,
+                   SimulatorOptions options, SimulatorScratch& scratch) {
+  Simulator simulator(configuration, drip, std::move(options));
+  return simulator.run(scratch);
 }
 
 }  // namespace arl::radio

@@ -97,6 +97,8 @@ struct RunStats {
   std::uint64_t collisions_heard = 0;   ///< noise heard by awake listeners
   std::uint64_t forced_wakeups = 0;     ///< sleepers woken by a message
   std::uint64_t node_rounds = 0;        ///< total awake node-rounds simulated
+
+  friend bool operator==(const RunStats& a, const RunStats& b) = default;
 };
 
 /// Result of one simulation.
@@ -108,6 +110,22 @@ struct RunResult {
 
   /// Nodes whose decision function returned true.
   [[nodiscard]] std::vector<graph::NodeId> leaders() const;
+};
+
+/// Reusable per-run working memory.  A sweep that executes many simulations
+/// on one thread (e.g. an engine worker) hands the same scratch to every
+/// run() and amortizes the channel-resolution allocations; contents are
+/// overwritten each run and never carry information between runs.
+class SimulatorScratch {
+ public:
+  SimulatorScratch() = default;
+
+ private:
+  friend class Simulator;
+  std::vector<config::Round> stamp_;
+  std::vector<std::uint32_t> transmitter_count_;
+  std::vector<Message> pending_message_;
+  std::vector<graph::NodeId> transmitters_;
 };
 
 /// Executes one protocol on one configuration.
@@ -124,7 +142,10 @@ class Simulator {
   Simulator(config::Configuration&&, Drip&&, SimulatorOptions = {}) = delete;
 
   /// Runs to global termination (all programs terminated) or the horizon.
-  [[nodiscard]] RunResult run();
+  [[nodiscard]] RunResult run() const;
+
+  /// Same as run(), reusing `scratch`'s buffers instead of allocating.
+  [[nodiscard]] RunResult run(SimulatorScratch& scratch) const;
 
  private:
   const config::Configuration& configuration_;
@@ -135,5 +156,9 @@ class Simulator {
 /// Convenience wrapper: construct and run.
 [[nodiscard]] RunResult simulate(const config::Configuration& configuration, const Drip& drip,
                                  SimulatorOptions options = {});
+
+/// Convenience wrapper with buffer reuse (see SimulatorScratch).
+[[nodiscard]] RunResult simulate(const config::Configuration& configuration, const Drip& drip,
+                                 SimulatorOptions options, SimulatorScratch& scratch);
 
 }  // namespace arl::radio

@@ -145,7 +145,7 @@ inline std::vector<core::ClassId> history_partition(const radio::RunResult& run,
                                                     std::size_t upto) {
   std::map<std::vector<radio::HistoryEntry>, core::ClassId> buckets;
   std::vector<core::ClassId> partition(run.nodes.size(), 0);
-  for (graph::NodeId v = 0; v < run.nodes.size(); ++v) {
+  for (std::size_t v = 0; v < run.nodes.size(); ++v) {
     const auto& history = run.nodes[v].history;
     std::vector<radio::HistoryEntry> prefix(history.begin(),
                                             history.begin() + static_cast<std::ptrdiff_t>(

@@ -127,7 +127,7 @@ TEST_P(FuzzSweep, SimulationIsDeterministic) {
   const radio::RunResult first = radio::simulate(c, drip, options);
   const radio::RunResult second = radio::simulate(c, drip, options);
   ASSERT_EQ(first.nodes.size(), second.nodes.size());
-  for (graph::NodeId v = 0; v < first.nodes.size(); ++v) {
+  for (std::size_t v = 0; v < first.nodes.size(); ++v) {
     EXPECT_EQ(first.nodes[v].history, second.nodes[v].history);
     EXPECT_EQ(first.nodes[v].wake_round, second.nodes[v].wake_round);
     EXPECT_EQ(first.nodes[v].done_round, second.nodes[v].done_round);

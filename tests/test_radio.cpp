@@ -221,7 +221,7 @@ TEST(Simulator, WindowingDoesNotChangeBehaviour) {
   options.history_window = 2;
   const radio::RunResult windowed = radio::simulate(c, testkit::BeaconDrip(2, 5, 9), options);
   ASSERT_EQ(full.nodes.size(), windowed.nodes.size());
-  for (graph::NodeId v = 0; v < full.nodes.size(); ++v) {
+  for (std::size_t v = 0; v < full.nodes.size(); ++v) {
     EXPECT_EQ(full.nodes[v].wake_round, windowed.nodes[v].wake_round);
     EXPECT_EQ(full.nodes[v].done_round, windowed.nodes[v].done_round);
     EXPECT_EQ(full.nodes[v].history_length(), windowed.nodes[v].history_length());

@@ -4,6 +4,7 @@
 ///   arl gen       — emit a configuration in the text format
 ///   arl classify  — decide feasibility (Classifier) and show the partition
 ///   arl elect     — run the full pipeline and report the election
+///   arl sweep     — batch many elections across the thread pool (engine)
 ///   arl trace     — replay the canonical DRIP with a per-round trace
 ///   arl schedule  — compile and print the canonical schedule (deployable)
 ///   arl dot       — Graphviz rendering of a configuration
@@ -24,11 +25,14 @@
 #include "core/fast_classifier.hpp"
 #include "core/quotient.hpp"
 #include "core/schedule_io.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/sweep.hpp"
 #include "graph/generators.hpp"
 #include "radio/trace.hpp"
 #include "radio/validator.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
+#include "support/table.hpp"
 
 namespace {
 
@@ -53,6 +57,17 @@ commands:
                --fast            use the hashed classifier
   elect      classify + run the canonical DRIP + verify
                --model=cd|nocd
+  sweep      run a batch of elections across the thread pool
+               --count=N         configurations in the batch  (default 100)
+               --family=random|staggered|h|g|s               (default random)
+               --n=N             node count for random        (default 16)
+               --sigma=N         span for random              (default 3)
+               --p=X             edge probability for random  (default 0.3)
+               --seed=N          batch master seed            (default 1)
+               --threads=N       worker threads (default: hardware)
+               --model=cd|nocd   channel feedback
+               --fast            use the hashed classifier
+               --classify-only   skip the simulation, verdicts only
   trace      replay the canonical DRIP round by round
                --verbose         also print listens and silences
   schedule   compile and print the canonical schedule (text format)
@@ -135,7 +150,7 @@ int cmd_classify(const support::Args& args) {
   }
   std::cout << "partition:  ";
   const auto& final_classes = result.records.back().clazz;
-  for (graph::NodeId v = 0; v < final_classes.size(); ++v) {
+  for (std::size_t v = 0; v < final_classes.size(); ++v) {
     std::cout << (v ? " " : "") << final_classes[v];
   }
   std::cout << '\n';
@@ -156,6 +171,93 @@ int cmd_elect(const support::Args& args) {
   std::cout << "transmissions: " << report.stats.transmissions << '\n';
   std::cout << "verified:      " << (report.valid ? "ok" : "FAILED") << '\n';
   return report.valid ? 0 : 1;
+}
+
+int cmd_sweep(const support::Args& args) {
+  const std::int64_t count_flag = args.get_int("count", 100);
+  if (count_flag < 0) {
+    throw support::ContractViolation("--count must be >= 0");
+  }
+  const auto count = static_cast<std::size_t>(count_flag);
+  const std::int64_t threads_flag = args.get_int("threads", 0);
+  if (threads_flag < 0 || threads_flag > 4096) {
+    throw support::ContractViolation("--threads must be in [0, 4096]");
+  }
+  const std::string family = args.get_string("family", "random");
+
+  engine::BatchOptions batch_options;
+  batch_options.threads = static_cast<unsigned>(threads_flag);
+  batch_options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  core::ElectionOptions options;
+  options.channel_model = parse_model(args);
+  options.use_fast_classifier = args.has("fast");
+  const engine::Protocol protocol = args.has("classify-only") ? engine::Protocol::ClassifyOnly
+                                                              : engine::Protocol::Canonical;
+
+  engine::BatchRunner runner(batch_options);
+  engine::BatchReport report;
+  if (family == "random") {
+    const std::int64_t n = args.get_int("n", 16);
+    if (n < 1 || n > 1'000'000) {
+      throw support::ContractViolation("--n must be in [1, 1000000]");
+    }
+    const std::int64_t sigma = args.get_int("sigma", 3);
+    if (sigma < 0 || sigma > 1'000'000) {
+      throw support::ContractViolation("--sigma must be in [0, 1000000]");
+    }
+    const double p = args.get_double("p", 0.3);
+    if (p < 0.0 || p > 1.0) {
+      throw support::ContractViolation("--p must be in [0, 1]");
+    }
+    engine::RandomSweep sweep;
+    sweep.nodes = static_cast<graph::NodeId>(n);
+    sweep.edge_probability = p;
+    sweep.span = static_cast<config::Tag>(sigma);
+    // Derive the configuration stream from the batch seed on a dedicated
+    // split, keeping it independent of the per-job coin-seed stream
+    // (job_coin_seed uses Rng(batch seed).split(job id)).
+    sweep.seed = support::Rng(batch_options.seed).split(0x5EEDF00D).next();
+    sweep.protocol = protocol;
+    sweep.options = options;
+    report = runner.run(count, engine::random_jobs(sweep));
+  } else if (family == "staggered") {
+    report = runner.run(engine::staggered_jobs(2, count, protocol, options));
+  } else if (family == "h" || family == "g" || family == "s") {
+    std::vector<engine::BatchJob> jobs;
+    jobs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto m = static_cast<config::Tag>(i + (family == "g" ? 2 : 1));
+      config::Configuration c = family == "h"   ? config::family_h(m)
+                                : family == "g" ? config::family_g(m)
+                                                : config::family_s(m);
+      jobs.push_back({std::move(c), protocol, options});
+    }
+    report = runner.run(jobs);
+  } else {
+    std::cerr << "unknown family '" << family << "'\n";
+    return 2;
+  }
+
+  const auto total = static_cast<double>(report.jobs.size());
+  support::Table table({"metric", "value"});
+  table.set_precision(3);
+  table.add_row({std::string("jobs"), static_cast<std::int64_t>(report.jobs.size())});
+  table.add_row({std::string("worker threads"), static_cast<std::int64_t>(report.threads_used)});
+  table.add_row({std::string("feasible"), static_cast<std::int64_t>(report.feasible_count)});
+  table.add_row({std::string("feasible %"),
+                 total == 0 ? 0.0 : 100.0 * static_cast<double>(report.feasible_count) / total});
+  table.add_row({std::string("verified"), static_cast<std::int64_t>(report.valid_count)});
+  table.add_row({std::string("avg local rounds"),
+                 total == 0 ? 0.0 : static_cast<double>(report.total_local_rounds) / total});
+  table.add_row({std::string("max local rounds"),
+                 static_cast<std::int64_t>(report.max_local_rounds)});
+  table.add_row({std::string("radio transmissions"),
+                 static_cast<std::int64_t>(report.total_stats.transmissions)});
+  table.add_row({std::string("wall time ms"), report.wall_millis});
+  table.add_row({std::string("jobs per second"), report.throughput()});
+  table.print_markdown(std::cout);
+  return report.valid_count == report.jobs.size() ? 0 : 1;
 }
 
 int cmd_trace(const support::Args& args) {
@@ -245,6 +347,9 @@ int main(int argc, char** argv) {
     }
     if (command == "elect") {
       return cmd_elect(args);
+    }
+    if (command == "sweep") {
+      return cmd_sweep(args);
     }
     if (command == "trace") {
       return cmd_trace(args);
