@@ -10,39 +10,38 @@
 /// The headline: labels or coins buy exponentially faster election than
 /// time-based symmetry breaking, and the canonical DRIP is the only option
 /// that needs no identity and no randomness at all.
+///
+/// Every run goes through the one protocol API (core::run_protocol with a
+/// ProtocolSpec) — the same dispatch the engine, the CLI sweep and the tests
+/// use — so the numbers here are the numbers a head-to-head sweep reports.
 
-#include <cmath>
 #include <numeric>
 
-#include "baselines/binary_search.hpp"
-#include "baselines/randomized.hpp"
-#include "baselines/tree_split.hpp"
 #include "bench_common.hpp"
 #include "config/families.hpp"
-#include "core/election.hpp"
-#include "radio/simulator.hpp"
+#include "core/protocol.hpp"
 
 namespace {
 
 using namespace arl;
 
-unsigned label_bits_for(graph::NodeId n) {
-  unsigned bits = 1;
-  while ((std::uint64_t{1} << bits) < n) {
-    ++bits;
-  }
-  return bits;
+config::Configuration flat_single_hop(graph::NodeId n) {
+  return config::single_hop(std::vector<config::Tag>(n, 0));
+}
+
+config::Configuration staggered_single_hop(graph::NodeId n) {
+  std::vector<config::Tag> tags(n);
+  std::iota(tags.begin(), tags.end(), config::Tag{0});
+  return config::single_hop(tags);
 }
 
 config::Round randomized_average_rounds(graph::NodeId n, int trials) {
-  const config::Configuration c = config::single_hop(std::vector<config::Tag>(n, 0));
-  const baselines::RandomizedElection drip;
+  const config::Configuration c = flat_single_hop(n);
   std::uint64_t total = 0;
   for (int trial = 0; trial < trials; ++trial) {
-    radio::SimulatorOptions options;
-    options.coin_seed = 1000 + static_cast<std::uint64_t>(trial);
-    const radio::RunResult run = radio::simulate(c, drip, options);
-    total += run.nodes[0].done_round;
+    core::ElectionOptions options;
+    options.simulator.coin_seed = 1000 + static_cast<std::uint64_t>(trial);
+    total += core::run_protocol(c, core::ProtocolSpec::randomized(), options).local_rounds;
   }
   return static_cast<config::Round>(total / static_cast<std::uint64_t>(trials));
 }
@@ -51,27 +50,19 @@ void print_tables() {
   support::Table table({"n", "canonical (anon det, sigma=n-1)", "binary search (labels)",
                         "tree split (labels)", "randomized avg (anon, coins)"});
   for (const graph::NodeId n : {4u, 8u, 16u, 32u, 64u}) {
-    // Canonical: staggered single-hop, the natural feasible instance.
-    std::vector<config::Tag> tags(n);
-    std::iota(tags.begin(), tags.end(), config::Tag{0});
-    const core::ElectionReport canonical = core::elect(config::single_hop(tags));
-
-    const unsigned bits = label_bits_for(n);
-    const config::Configuration flat = config::single_hop(std::vector<config::Tag>(n, 0));
-    std::vector<std::uint64_t> labels(n);
-    std::iota(labels.begin(), labels.end(), 0);
-
-    radio::SimulatorOptions labeled;
-    labeled.labels = labels;
-    const radio::RunResult binary =
-        radio::simulate(flat, baselines::BinarySearchElection(bits), labeled);
-    const radio::RunResult tree =
-        radio::simulate(flat, baselines::TreeSplitElection(bits), labeled);
+    // Each protocol on its natural feasible instance; labels are the
+    // harness's wakeup-order assignment.
+    const core::ElectionReport canonical =
+        core::run_protocol(staggered_single_hop(n), core::ProtocolSpec::canonical());
+    const config::Configuration flat = flat_single_hop(n);
+    const core::ElectionReport binary =
+        core::run_protocol(flat, core::ProtocolSpec::binary_search());
+    const core::ElectionReport tree = core::run_protocol(flat, core::ProtocolSpec::tree_split());
 
     table.add_row({static_cast<std::int64_t>(n),
                    static_cast<std::int64_t>(canonical.local_rounds),
-                   static_cast<std::int64_t>(binary.nodes[0].done_round),
-                   static_cast<std::int64_t>(tree.nodes[0].done_round),
+                   static_cast<std::int64_t>(binary.local_rounds),
+                   static_cast<std::int64_t>(tree.local_rounds),
                    static_cast<std::int64_t>(randomized_average_rounds(n, 20))});
   }
   benchsupport::print_table(
@@ -80,50 +71,47 @@ void print_tables() {
 
 void BM_CanonicalSingleHop(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  std::vector<config::Tag> tags(n);
-  std::iota(tags.begin(), tags.end(), config::Tag{0});
-  const config::Configuration c = config::single_hop(tags);
+  const config::Configuration c = staggered_single_hop(n);
+  core::ElectionScratch scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::elect(c).valid);
+    benchmark::DoNotOptimize(
+        core::run_protocol(c, core::ProtocolSpec::canonical(), {}, scratch).valid);
   }
 }
 BENCHMARK(BM_CanonicalSingleHop)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_BinarySearchSingleHop(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const config::Configuration c = config::single_hop(std::vector<config::Tag>(n, 0));
-  const baselines::BinarySearchElection drip(label_bits_for(n));
-  radio::SimulatorOptions options;
-  options.labels.resize(n);
-  std::iota(options.labels.begin(), options.labels.end(), 0);
+  const config::Configuration c = flat_single_hop(n);
+  core::ElectionScratch scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(radio::simulate(c, drip, options).all_terminated);
+    benchmark::DoNotOptimize(
+        core::run_protocol(c, core::ProtocolSpec::binary_search(), {}, scratch).valid);
   }
 }
 BENCHMARK(BM_BinarySearchSingleHop)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_TreeSplitSingleHop(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const config::Configuration c = config::single_hop(std::vector<config::Tag>(n, 0));
-  const baselines::TreeSplitElection drip(label_bits_for(n));
-  radio::SimulatorOptions options;
-  options.labels.resize(n);
-  std::iota(options.labels.begin(), options.labels.end(), 0);
+  const config::Configuration c = flat_single_hop(n);
+  core::ElectionScratch scratch;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(radio::simulate(c, drip, options).all_terminated);
+    benchmark::DoNotOptimize(
+        core::run_protocol(c, core::ProtocolSpec::tree_split(), {}, scratch).valid);
   }
 }
 BENCHMARK(BM_TreeSplitSingleHop)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_RandomizedSingleHop(benchmark::State& state) {
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  const config::Configuration c = config::single_hop(std::vector<config::Tag>(n, 0));
-  const baselines::RandomizedElection drip;
+  const config::Configuration c = flat_single_hop(n);
+  core::ElectionScratch scratch;
   std::uint64_t seed = 0;
   for (auto _ : state) {
-    radio::SimulatorOptions options;
-    options.coin_seed = ++seed;
-    benchmark::DoNotOptimize(radio::simulate(c, drip, options).all_terminated);
+    core::ElectionOptions options;
+    options.simulator.coin_seed = ++seed;
+    benchmark::DoNotOptimize(
+        core::run_protocol(c, core::ProtocolSpec::randomized(), options, scratch).valid);
   }
 }
 BENCHMARK(BM_RandomizedSingleHop)->Arg(4)->Arg(16)->Arg(64);

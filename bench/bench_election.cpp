@@ -1,10 +1,13 @@
 /// \file bench_election.cpp
 /// E3 (Lemma 3.10 / Theorem 3.15): canonical-DRIP election time in rounds
 /// against the O(n²σ) bound, across topologies, sizes and spans — plus E3b,
-/// the engine experiment: wall-time of a 1000-configuration sweep through
-/// the serial elect() loop versus the batch election engine.
+/// the engine experiment (wall-time of a 1000-configuration sweep through
+/// the serial elect() loop versus the batch election engine) and E3c, a
+/// mixed-protocol engine batch putting the canonical Θ(n²σ) election time
+/// next to the O(log n) labeled baselines on single-hop configurations.
 
 #include <algorithm>
+#include <numeric>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,7 +40,7 @@ void print_e3_table() {
   support::Rng rng(2027);
   auto add = [&](const std::string& name, config::Configuration c) {
     names.push_back(name);
-    jobs.push_back({std::move(c), engine::Protocol::Canonical, {}});
+    jobs.push_back({std::move(c), core::ProtocolSpec::canonical(), {}});
   };
 
   for (const config::Tag m : {2u, 4u, 8u, 16u, 32u}) {
@@ -123,9 +126,61 @@ void print_e3b_table() {
       "E3b — 1000-configuration sweep (n=16, sigma=3): serial loop vs batch engine", table);
 }
 
+void print_e3c_table() {
+  // The protocol axis head-to-head: one mixed-protocol engine batch, each
+  // protocol on its natural single-hop instance — the canonical DRIP on
+  // staggered wakeups (tags 0..n-1, so σ = n-1, and Lemma 3.10 charges
+  // Θ(n²σ) rounds) against the labeled O(log n) baselines on simultaneous
+  // wakeups with wakeup-order labels.
+  const std::vector<graph::NodeId> sizes = {8, 16, 32, 64};
+  std::vector<engine::BatchJob> jobs;
+  for (const graph::NodeId n : sizes) {
+    std::vector<config::Tag> staggered(n);
+    std::iota(staggered.begin(), staggered.end(), config::Tag{0});
+    jobs.push_back({config::single_hop(staggered), core::ProtocolSpec::canonical(), {}});
+    const config::Configuration flat = config::single_hop(std::vector<config::Tag>(n, 0));
+    jobs.push_back({flat, core::ProtocolSpec::binary_search(), {}});
+    jobs.push_back({flat, core::ProtocolSpec::tree_split(), {}});
+  }
+
+  engine::BatchRunner runner;
+  const engine::BatchReport report = runner.run(jobs);
+
+  support::Table table({"n", "canonical rounds (sigma=n-1)", "binary-search rounds",
+                        "tree-split rounds", "canonical/binary ratio"});
+  table.set_precision(3);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const engine::JobOutcome& canonical = report.jobs[3 * i];
+    const engine::JobOutcome& binary = report.jobs[3 * i + 1];
+    const engine::JobOutcome& tree = report.jobs[3 * i + 2];
+    table.add_row({static_cast<std::int64_t>(sizes[i]),
+                   static_cast<std::int64_t>(canonical.local_rounds),
+                   static_cast<std::int64_t>(binary.local_rounds),
+                   static_cast<std::int64_t>(tree.local_rounds),
+                   static_cast<double>(canonical.local_rounds) /
+                       static_cast<double>(std::max<std::uint64_t>(binary.local_rounds, 1))});
+  }
+  benchsupport::print_table(
+      "E3c — single-hop head-to-head (one engine batch): Theta(n^2*sigma) canonical vs "
+      "O(log n) labeled election",
+      table);
+
+  support::Table throughput({"protocol", "jobs", "elected", "avg rounds", "max rounds",
+                             "transmissions"});
+  throughput.set_precision(3);
+  for (const engine::ProtocolBreakdown& row : report.by_protocol) {
+    throughput.add_row({row.protocol.name(), static_cast<std::int64_t>(row.jobs),
+                        static_cast<std::int64_t>(row.elected), row.average_local_rounds(),
+                        static_cast<std::int64_t>(row.max_local_rounds),
+                        static_cast<std::int64_t>(row.stats.transmissions)});
+  }
+  benchsupport::print_table("E3c — per-protocol breakdown of the same batch", throughput);
+}
+
 void print_tables() {
   print_e3_table();
   print_e3b_table();
+  print_e3c_table();
 }
 
 // ------------------------------------------------------------- timed series

@@ -36,7 +36,7 @@ double feasibility_rate(graph::NodeId n, config::Tag sigma, double p, std::size_
   sweep.exact_span = false;  // uniform tags in [0, sigma], as in the seed experiment
   sweep.seed = 0xFEA51B1E ^ (static_cast<std::uint64_t>(n) << 32) ^
                (static_cast<std::uint64_t>(sigma) << 16) ^ static_cast<std::uint64_t>(p * 1000);
-  sweep.protocol = engine::Protocol::ClassifyOnly;
+  sweep.protocols = {core::ProtocolSpec::classify_only()};
   sweep.options = fast_classify_options();
   const engine::BatchReport report = runner.run(samples, engine::random_jobs(sweep));
   return static_cast<double>(report.feasible_count) / static_cast<double>(samples);
@@ -49,7 +49,7 @@ engine::BatchReport classify_all(engine::BatchRunner& runner,
   jobs.reserve(configurations.size());
   for (auto& configuration : configurations) {
     jobs.push_back(
-        {std::move(configuration), engine::Protocol::ClassifyOnly, fast_classify_options()});
+        {std::move(configuration), core::ProtocolSpec::classify_only(), fast_classify_options()});
   }
   return runner.run(jobs);
 }
@@ -159,7 +159,7 @@ void BM_FeasibilityBatch(benchmark::State& state) {
   sweep.span = 2;
   sweep.exact_span = false;
   sweep.seed = 99 + n;
-  sweep.protocol = engine::Protocol::ClassifyOnly;
+  sweep.protocols = {core::ProtocolSpec::classify_only()};
   sweep.options = fast_classify_options();
   const engine::JobSource source = engine::random_jobs(sweep);
   engine::BatchRunner runner;

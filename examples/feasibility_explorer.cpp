@@ -37,7 +37,7 @@ void exhaustive_census(graph::NodeId max_n, config::Tag max_tag) {
     // Lazy sweep: only the graphs are materialized, so a large census never
     // holds more than one configuration per worker.
     const engine::CountedSweep sweep = engine::exhaustive_sweep(
-        n, max_tag, engine::Protocol::ClassifyOnly, fast_classify_options());
+        n, max_tag, core::ProtocolSpec::classify_only(), fast_classify_options());
     const engine::BatchReport report = runner.run(sweep.count, sweep.source);
     std::uint32_t max_iterations = 0;
     for (const engine::JobOutcome& outcome : report.jobs) {
@@ -65,7 +65,7 @@ void random_survey(graph::NodeId n, double p, std::size_t samples) {
     sweep.edge_probability = p;
     sweep.span = sigma;
     sweep.seed = 0xCAFE + sigma;
-    sweep.protocol = engine::Protocol::ClassifyOnly;
+    sweep.protocols = {core::ProtocolSpec::classify_only()};
     sweep.options = fast_classify_options();
     const engine::BatchReport report = runner.run(samples, engine::random_jobs(sweep));
     std::uint64_t iterations = 0;

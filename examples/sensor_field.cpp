@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   candidates.reserve(attempts);
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     candidates.push_back(
-        {plan_deployment(sensors, reach, stagger, rng), engine::Protocol::Canonical, {}});
+        {plan_deployment(sensors, reach, stagger, rng), core::ProtocolSpec::canonical(), {}});
   }
 
   engine::BatchRunner runner({.keep_reports = true});

@@ -1,9 +1,6 @@
 #include "core/election.hpp"
 
-#include <algorithm>
-
-#include "core/fast_classifier.hpp"
-#include "support/assert.hpp"
+#include "core/protocol.hpp"
 
 namespace arl::core {
 
@@ -14,55 +11,11 @@ ElectionReport elect(const config::Configuration& configuration, const ElectionO
 
 ElectionReport elect(const config::Configuration& configuration, const ElectionOptions& options,
                      ElectionScratch& scratch) {
-  ElectionReport report;
-  if (options.use_fast_classifier) {
-    report.classification = FastClassifier(options.channel_model).run(configuration);
-  } else {
-    report.classification = Classifier(options.channel_model).run(configuration);
-  }
-  report.feasible = report.classification.feasible();
-
-  if (!options.simulate) {
-    report.valid = true;  // nothing further to verify (and no schedule needed)
-    return report;
-  }
-
-  report.schedule = std::make_shared<const CanonicalSchedule>(
-      build_schedule(configuration, report.classification));
-
-  const CanonicalDrip drip(report.schedule, MismatchPolicy::Strict);
-  radio::SimulatorOptions simulator_options = options.simulator;
-  simulator_options.channel_model = report.schedule->model;
-  const config::Tag max_tag =
-      *std::max_element(configuration.tags().begin(), configuration.tags().end());
-  const std::uint64_t needed_horizon = max_tag + report.schedule->total_rounds() + 2;
-  simulator_options.max_rounds = static_cast<config::Round>(
-      std::max<std::uint64_t>(simulator_options.max_rounds, needed_horizon));
-
-  const radio::RunResult run =
-      radio::simulate(configuration, drip, simulator_options, scratch.simulator);
-  report.simulated = true;
-  report.global_rounds = run.rounds_executed;
-  report.local_rounds = report.schedule->total_rounds();
-  report.stats = run.stats;
-
-  // Verification: termination discipline + decision correctness.
-  bool valid = run.all_terminated;
-  for (const auto& node : run.nodes) {
-    valid = valid && node.terminated && node.done_round == report.schedule->total_rounds() &&
-            !node.forced_wake;  // Lemma 3.6: patient ⇒ all wakeups spontaneous
-  }
-  const auto leaders = run.leaders();
-  if (report.feasible) {
-    valid = valid && leaders.size() == 1 && leaders.front() == report.classification.leader;
-    if (leaders.size() == 1) {
-      report.leader = leaders.front();
-    }
-  } else {
-    valid = valid && leaders.empty();
-  }
-  report.valid = valid;
-  return report;
+  // The canonical pipeline lives behind the protocol registry now; elect()
+  // is the source-compatible entry point for canonical-only callers.
+  const ProtocolSpec spec =
+      options.simulate ? ProtocolSpec::canonical() : ProtocolSpec::classify_only();
+  return run_protocol(configuration, spec, options, scratch);
 }
 
 }  // namespace arl::core

@@ -13,6 +13,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "config/configuration.hpp"
 #include "core/canonical_drip.hpp"
@@ -21,6 +22,29 @@
 #include "radio/simulator.hpp"
 
 namespace arl::core {
+
+/// How an election run ended.  Every protocol — canonical, classify-only,
+/// labeled, randomized — reports one of these, so a no-leader outcome (an
+/// infeasible configuration, or a randomized run that exhausted its slot
+/// guard) is a representable result rather than an unspoken invariant.
+enum class Disposition : std::uint8_t {
+  NotSimulated,  ///< classify-only: feasibility decided, no election attempted
+
+  Elected,       ///< exactly one leader, verification passed
+
+  /// Terminated everywhere with no leader.  For the canonical protocol this
+  /// is the correct outcome on an infeasible configuration (valid stays
+  /// true); for a baseline it is a cleanly detected election failure — slot
+  /// guard exhausted, duplicate labels — and valid is false.
+  NoLeader,
+
+  /// Verification failed: multiple leaders, non-termination (horizon guard
+  /// fired), or the run could not be set up (label universe too small).
+  Failed,
+};
+
+/// Display name of a disposition ("elected", "no leader", ...).
+[[nodiscard]] const char* to_string(Disposition disposition);
 
 /// Knobs for elect().
 struct ElectionOptions {
@@ -40,9 +64,17 @@ struct ElectionOptions {
   radio::SimulatorOptions simulator = {};
 };
 
-/// Everything elect() learned about a configuration.
+/// Everything elect() / run_protocol() learned about a configuration.
 struct ElectionReport {
+  /// Registry name of the protocol that produced this report ("canonical",
+  /// "classify", "binary-search", ... — see core/protocol.hpp).
+  std::string protocol;
+
+  /// How the run ended (see Disposition).
+  Disposition disposition = Disposition::NotSimulated;
+
   /// The Classifier run (verdict, iterations, partitions, step counts).
+  /// Default-constructed for the baseline protocols, which never classify.
   ClassifierResult classification;
 
   /// The compiled canonical schedule; null when simulation was skipped
@@ -82,6 +114,9 @@ struct ElectionScratch {
 };
 
 /// Classifies `configuration` and (by default) runs the canonical DRIP on it.
+/// A thin wrapper over run_protocol() with the canonical spec (or the
+/// classify-only spec when `options.simulate` is false) — see
+/// core/protocol.hpp for the full protocol axis.
 [[nodiscard]] ElectionReport elect(const config::Configuration& configuration,
                                    const ElectionOptions& options = {});
 

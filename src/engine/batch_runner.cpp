@@ -15,6 +15,13 @@ std::uint64_t job_coin_seed(std::uint64_t batch_seed, JobId id) {
   return support::Rng(batch_seed).split(id).next();
 }
 
+double ProtocolBreakdown::average_local_rounds() const {
+  if (jobs == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_local_rounds) / static_cast<double>(jobs);
+}
+
 double BatchReport::throughput() const {
   if (wall_millis <= 0.0) {
     return 0.0;
@@ -28,13 +35,15 @@ namespace {
 JobOutcome execute_job(const BatchJob& job, JobId id, std::uint64_t batch_seed,
                        core::ElectionScratch& scratch, core::ElectionReport* keep) {
   core::ElectionOptions options = job.options;
-  options.simulate = (job.protocol == Protocol::Canonical);
   options.simulator.coin_seed = job_coin_seed(batch_seed, id);
 
-  core::ElectionReport report = core::elect(job.configuration, options, scratch);
+  core::ElectionReport report = core::run_protocol(job.configuration, job.protocol, options,
+                                                   scratch);
 
   JobOutcome outcome;
   outcome.id = id;
+  outcome.protocol = job.protocol;
+  outcome.disposition = report.disposition;
   outcome.nodes = job.configuration.size();
   outcome.span = job.configuration.span();
   outcome.feasible = report.feasible;
@@ -115,6 +124,27 @@ BatchReport BatchRunner::run_batch(JobId count, const Fetch& fetch) {
     report.total_local_rounds += outcome.local_rounds;
     report.max_local_rounds = std::max(report.max_local_rounds, outcome.local_rounds);
     accumulate(report.total_stats, outcome.stats);
+
+    // Per-protocol breakdown, keyed by registry name in order of first
+    // appearance (job-id order, so the rows are deterministic).
+    auto row =
+        std::find_if(report.by_protocol.begin(), report.by_protocol.end(),
+                     [&](const ProtocolBreakdown& b) { return b.protocol == outcome.protocol; });
+    if (row == report.by_protocol.end()) {
+      ProtocolBreakdown fresh;
+      fresh.protocol = outcome.protocol;
+      report.by_protocol.push_back(std::move(fresh));
+      row = std::prev(report.by_protocol.end());
+    }
+    row->jobs += 1;
+    row->feasible += outcome.feasible ? 1 : 0;
+    row->valid += outcome.valid ? 1 : 0;
+    row->elected += outcome.disposition == core::Disposition::Elected ? 1 : 0;
+    row->no_leader += outcome.disposition == core::Disposition::NoLeader ? 1 : 0;
+    row->failed += outcome.disposition == core::Disposition::Failed ? 1 : 0;
+    row->total_local_rounds += outcome.local_rounds;
+    row->max_local_rounds = std::max(row->max_local_rounds, outcome.local_rounds);
+    accumulate(row->stats, outcome.stats);
   }
   report.threads_used = workers;
   report.wall_millis = watch.millis();

@@ -39,11 +39,13 @@ struct BatchOptions {
 /// Condensed outcome of one job (always recorded).
 struct JobOutcome {
   JobId id = 0;
+  core::ProtocolSpec protocol = {};        ///< the protocol that ran (protocol.name() to print)
+  core::Disposition disposition = core::Disposition::NotSimulated;
   graph::NodeId nodes = 0;                 ///< configuration size n
   config::Tag span = 0;                    ///< configuration span σ
-  bool feasible = false;                   ///< Classifier verdict
-  bool simulated = false;                  ///< canonical DRIP was executed
-  bool valid = false;                      ///< elect() verification flag
+  bool feasible = false;                   ///< Classifier verdict (canonical/classify only)
+  bool simulated = false;                  ///< a protocol was executed on the simulator
+  bool valid = false;                      ///< run_protocol() verification flag
   std::optional<graph::NodeId> leader = {};
   std::uint32_t classifier_iterations = 0;
   std::uint64_t classifier_steps = 0;
@@ -54,10 +56,33 @@ struct JobOutcome {
   friend bool operator==(const JobOutcome& a, const JobOutcome& b) = default;
 };
 
+/// Per-protocol aggregate of a batch — one row of a head-to-head comparison.
+struct ProtocolBreakdown {
+  core::ProtocolSpec protocol = {};        ///< the spec this row aggregates
+  std::uint64_t jobs = 0;
+  std::uint64_t feasible = 0;              ///< feasible verdicts (canonical/classify)
+  std::uint64_t valid = 0;                 ///< verification passed
+  std::uint64_t elected = 0;               ///< Disposition::Elected
+  std::uint64_t no_leader = 0;             ///< Disposition::NoLeader
+  std::uint64_t failed = 0;                ///< Disposition::Failed
+  std::uint64_t total_local_rounds = 0;
+  std::uint64_t max_local_rounds = 0;
+  radio::RunStats stats;
+
+  /// Mean election time across this protocol's jobs.
+  [[nodiscard]] double average_local_rounds() const;
+
+  friend bool operator==(const ProtocolBreakdown& a, const ProtocolBreakdown& b) = default;
+};
+
 /// Aggregated result of one batch.
 struct BatchReport {
   /// Per-job outcomes, indexed by job id (jobs[i].id == i).
   std::vector<JobOutcome> jobs;
+
+  /// Per-protocol aggregates, ordered by first appearance in job-id order
+  /// (deterministic, hence thread-count-invariant like everything else).
+  std::vector<ProtocolBreakdown> by_protocol;
 
   /// Full reports, indexed by job id; empty unless BatchOptions::keep_reports.
   std::vector<core::ElectionReport> reports;

@@ -4,8 +4,8 @@
 /// Batch-election job descriptions.
 ///
 /// A *job* is one configuration to run through the election pipeline: the
-/// cross product the engine executes is (configuration source) × (protocol
-/// choice) × (ElectionOptions).  Jobs come either materialized
+/// cross product the engine executes is (configuration source) ×
+/// (ProtocolSpec) × (ElectionOptions).  Jobs come either materialized
 /// (`std::vector<BatchJob>`) or lazily from a `JobSource`, so a sweep over a
 /// million random configurations never holds more than one configuration per
 /// worker in memory.
@@ -19,27 +19,23 @@
 #include <functional>
 
 #include "config/configuration.hpp"
-#include "core/election.hpp"
+#include "core/protocol.hpp"
 
 namespace arl::engine {
 
 /// Index of a job within its batch.
 using JobId = std::uint64_t;
 
-/// Which pipeline a job runs.
-enum class Protocol : std::uint8_t {
-  Canonical,     ///< classify + simulate the canonical DRIP + verify
-  ClassifyOnly,  ///< feasibility verdict only (no simulation)
-};
-
 /// One unit of work: a configuration plus how to run it.
 struct BatchJob {
   config::Configuration configuration;
-  Protocol protocol = Protocol::Canonical;
 
-  /// Election knobs.  `options.simulate` is derived from `protocol` and
-  /// `options.simulator.coin_seed` from the batch seed; both are overwritten
-  /// by the engine.
+  /// Which protocol to run (see core/protocol.hpp); defaults to canonical.
+  core::ProtocolSpec protocol = {};
+
+  /// Election knobs.  `options.simulate` is ignored (the protocol spec
+  /// decides whether to simulate) and `options.simulator.coin_seed` is
+  /// overwritten by the engine from the batch seed.
   core::ElectionOptions options = {};
 };
 

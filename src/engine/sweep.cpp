@@ -13,17 +13,59 @@
 namespace arl::engine {
 
 JobSource random_jobs(RandomSweep sweep) {
+  ARL_EXPECTS(!sweep.protocols.empty(), "RandomSweep needs at least one protocol");
   return [sweep = std::move(sweep)](JobId id) {
-    support::Rng rng = support::Rng(sweep.seed).split(id);
+    const auto protocols = static_cast<JobId>(sweep.protocols.size());
+    const JobId configuration_id = id / protocols;
+    support::Rng rng = support::Rng(sweep.seed).split(configuration_id);
     graph::Graph graph = graph::gnp_connected(sweep.nodes, sweep.edge_probability, rng);
     config::Configuration configuration =
         sweep.exact_span ? config::random_tags_with_span(std::move(graph), sweep.span, rng)
                          : config::random_tags(std::move(graph), sweep.span, rng);
-    return BatchJob{std::move(configuration), sweep.protocol, sweep.options};
+    return BatchJob{std::move(configuration),
+                    sweep.protocols[static_cast<std::size_t>(id % protocols)], sweep.options};
   };
 }
 
-CountedSweep exhaustive_sweep(graph::NodeId n, config::Tag max_tag, Protocol protocol,
+std::uint64_t sweep_configuration_seed(std::uint64_t batch_seed) {
+  // Stream id reserved for the configuration stream (any job-id collision
+  // would correlate a job's configuration with its coins); the value is
+  // arbitrary but fixed forever so published sweeps stay reproducible.
+  constexpr std::uint64_t kConfigurationStream = 0x5EEDF00D;
+  return support::Rng(batch_seed).split(kConfigurationStream).next();
+}
+
+CountedSweep cross_protocols(CountedSweep base, std::vector<core::ProtocolSpec> protocols) {
+  ARL_EXPECTS(!protocols.empty(), "cross_protocols needs at least one protocol");
+  const auto count = static_cast<JobId>(protocols.size());
+  ARL_EXPECTS(base.count <= std::numeric_limits<JobId>::max() / count,
+              "protocol cross product overflows the job-id space");
+  CountedSweep crossed;
+  crossed.count = base.count * count;
+  crossed.source = [source = std::move(base.source), protocols = std::move(protocols),
+                    count](JobId id) {
+    BatchJob job = source(id / count);
+    job.protocol = protocols[static_cast<std::size_t>(id % count)];
+    return job;
+  };
+  return crossed;
+}
+
+std::vector<BatchJob> cross_jobs(std::vector<config::Configuration> configurations,
+                                 const std::vector<core::ProtocolSpec>& protocols,
+                                 const core::ElectionOptions& options) {
+  ARL_EXPECTS(!protocols.empty(), "cross_jobs needs at least one protocol");
+  std::vector<BatchJob> jobs;
+  jobs.reserve(configurations.size() * protocols.size());
+  for (config::Configuration& configuration : configurations) {
+    for (const core::ProtocolSpec& protocol : protocols) {
+      jobs.push_back(BatchJob{configuration, protocol, options});
+    }
+  }
+  return jobs;
+}
+
+CountedSweep exhaustive_sweep(graph::NodeId n, config::Tag max_tag, core::ProtocolSpec protocol,
                               core::ElectionOptions options) {
   auto graphs = std::make_shared<std::vector<graph::Graph>>();
   graph::for_each_connected_graph(
@@ -56,7 +98,8 @@ CountedSweep exhaustive_sweep(graph::NodeId n, config::Tag max_tag, Protocol pro
   return sweep;
 }
 
-std::vector<BatchJob> exhaustive_jobs(graph::NodeId n, config::Tag max_tag, Protocol protocol,
+std::vector<BatchJob> exhaustive_jobs(graph::NodeId n, config::Tag max_tag,
+                                      core::ProtocolSpec protocol,
                                       core::ElectionOptions options) {
   const CountedSweep sweep = exhaustive_sweep(n, max_tag, protocol, std::move(options));
   std::vector<BatchJob> jobs;
@@ -67,7 +110,8 @@ std::vector<BatchJob> exhaustive_jobs(graph::NodeId n, config::Tag max_tag, Prot
   return jobs;
 }
 
-std::vector<BatchJob> staggered_jobs(graph::NodeId first, std::size_t count, Protocol protocol,
+std::vector<BatchJob> staggered_jobs(graph::NodeId first, std::size_t count,
+                                     core::ProtocolSpec protocol,
                                      core::ElectionOptions options) {
   std::vector<BatchJob> jobs;
   jobs.reserve(count);

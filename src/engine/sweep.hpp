@@ -2,9 +2,11 @@
 
 /// \file sweep.hpp
 /// Ready-made job sources for the sweeps every consumer runs: seeded random
-/// G(n,p) families and exhaustive enumerations of small configurations.
-/// Shared by the CLI `sweep` command, the examples, the benchmarks and the
-/// engine tests so they all measure exactly the same workloads.
+/// G(n,p) families and exhaustive enumerations of small configurations,
+/// optionally crossed with a list of protocol specs for head-to-head
+/// comparisons.  Shared by the CLI `sweep` command, the examples, the
+/// benchmarks and the engine tests so they all measure exactly the same
+/// workloads.
 
 #include <cstdint>
 #include <vector>
@@ -20,20 +22,47 @@ struct RandomSweep {
   config::Tag span = 3;          ///< tag span σ
   bool exact_span = true;        ///< span exactly σ (else tags uniform in [0, σ])
   std::uint64_t seed = 1;        ///< configuration stream seed (independent of coin seeds)
-  Protocol protocol = Protocol::Canonical;
+
+  /// Protocols to run; more than one makes the sweep a cross product where
+  /// consecutive job ids share a configuration (head-to-head comparison).
+  std::vector<core::ProtocolSpec> protocols = {core::ProtocolSpec::canonical()};
+
   core::ElectionOptions options = {};
 };
 
-/// Lazy source of the sweep's configurations: job i is a pure function of
-/// (sweep.seed, i), so any prefix of the stream is reproducible on any
-/// thread count.
+/// Lazy source of the sweep's (configuration × protocol) jobs: job i runs
+/// configuration i / P under protocols[i % P] where P = protocols.size(), so
+/// the P jobs of one configuration are consecutive and any prefix of the
+/// stream is reproducible on any thread count (configuration i / P is a pure
+/// function of (sweep.seed, i / P)).  A batch of C configurations therefore
+/// has C * P jobs.
 [[nodiscard]] JobSource random_jobs(RandomSweep sweep);
+
+/// The configuration-stream seed the CLI sweep derives from the batch master
+/// seed: a dedicated Rng split, keeping the configuration stream independent
+/// of the per-job coin-seed stream (job_coin_seed uses
+/// Rng(batch_seed).split(job id); this uses a reserved stream id far outside
+/// any job-id range).  Exposed so scripts can reproduce a CLI sweep's
+/// configurations from its --seed alone.
+[[nodiscard]] std::uint64_t sweep_configuration_seed(std::uint64_t batch_seed);
 
 /// A counted lazy sweep: `count` jobs produced on demand by `source`.
 struct CountedSweep {
   JobId count = 0;
   JobSource source;
 };
+
+/// Crosses an existing sweep with a protocol list: job i * P + k runs base
+/// configuration i under protocols[k].  The base sweep's own protocol
+/// assignment is overwritten.
+[[nodiscard]] CountedSweep cross_protocols(CountedSweep base,
+                                           std::vector<core::ProtocolSpec> protocols);
+
+/// Materialized cross product: every configuration under every protocol,
+/// protocols consecutive per configuration (same order as cross_protocols).
+[[nodiscard]] std::vector<BatchJob> cross_jobs(std::vector<config::Configuration> configurations,
+                                               const std::vector<core::ProtocolSpec>& protocols,
+                                               const core::ElectionOptions& options = {});
 
 /// Every connected configuration with exactly `n` nodes and tags drawn from
 /// [0, max_tag], enumerated lazily in deterministic order (per graph, the
@@ -42,17 +71,17 @@ struct CountedSweep {
 /// configuration count, so a census that sweeps millions of configurations
 /// holds one configuration per worker in memory.
 [[nodiscard]] CountedSweep exhaustive_sweep(graph::NodeId n, config::Tag max_tag,
-                                            Protocol protocol = Protocol::Canonical,
+                                            core::ProtocolSpec protocol = {},
                                             core::ElectionOptions options = {});
 
 /// Materialized form of exhaustive_sweep (convenient for small n).
 [[nodiscard]] std::vector<BatchJob> exhaustive_jobs(graph::NodeId n, config::Tag max_tag,
-                                                    Protocol protocol = Protocol::Canonical,
+                                                    core::ProtocolSpec protocol = {},
                                                     core::ElectionOptions options = {});
 
 /// Staggered paths of n = first, first+1, ..., first+count-1 nodes.
 [[nodiscard]] std::vector<BatchJob> staggered_jobs(graph::NodeId first, std::size_t count,
-                                                   Protocol protocol = Protocol::Canonical,
+                                                   core::ProtocolSpec protocol = {},
                                                    core::ElectionOptions options = {});
 
 }  // namespace arl::engine

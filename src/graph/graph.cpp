@@ -19,7 +19,8 @@ Graph::Builder& Graph::Builder::add_edge(NodeId u, NodeId v) {
 
 bool Graph::Builder::has_edge(NodeId u, NodeId v) const {
   ARL_EXPECTS(u < nodes_ && v < nodes_, "edge endpoint out of range");
-  const auto& shorter = adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+  const auto& shorter =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
   const NodeId needle = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
   return std::find(shorter.begin(), shorter.end(), needle) != shorter.end();
 }

@@ -56,7 +56,9 @@ class Graph {
   static Graph from_edges(NodeId nodes, const std::vector<Edge>& edges);
 
   /// Number of nodes.
-  [[nodiscard]] NodeId node_count() const { return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
+  [[nodiscard]] NodeId node_count() const {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
 
   /// Number of undirected edges.
   [[nodiscard]] std::size_t edge_count() const { return neighbors_.size() / 2; }

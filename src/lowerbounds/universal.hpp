@@ -52,7 +52,7 @@ class BeepCandidate final : public radio::Drip {
 /// Outcome of one candidate-vs-family probe.
 struct UniversalProbe {
   std::string candidate;                   ///< protocol name
-  config::Round first_tx_round = 0;        ///< measured t: first global transmission (on a large H_M)
+  config::Round first_tx_round = 0;        ///< measured t: first global tx (on a large H_M)
   std::optional<config::Tag> breaking_m;   ///< smallest m in [1, max_m] where election fails
   std::string failure_mode;                ///< "no leader" / "<k> leaders" / "not terminated"
   std::vector<config::Tag> succeeded_on;   ///< the m values where the candidate did elect

@@ -40,6 +40,16 @@ std::string Args::get_string(const std::string& name, const std::string& fallbac
   return value ? *value : fallback;
 }
 
+std::vector<std::string> Args::get_strings(const std::string& name) const {
+  std::vector<std::string> values;
+  for (const auto& [flag, value] : flags_) {
+    if (flag == name) {
+      values.push_back(value);
+    }
+  }
+  return values;
+}
+
 std::int64_t Args::get_int(const std::string& name, std::int64_t fallback) const {
   const auto value = find(name);
   if (!value) {

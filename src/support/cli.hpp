@@ -26,6 +26,10 @@ class Args {
   /// String value of `--name=value`, or `fallback` when absent.
   [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback) const;
 
+  /// Every value of a repeatable `--name=value` flag, in command-line order
+  /// (empty when the flag was never given).
+  [[nodiscard]] std::vector<std::string> get_strings(const std::string& name) const;
+
   /// Integer value of `--name=value`, or `fallback` when absent.
   [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
 

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Flag-validation checks for the arl CLI, run by ctest (see CMakeLists.txt).
+# Usage: check_cli.sh <path-to-arl-binary>
+set -u
+
+cli="$1"
+failures=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# Unknown --protocol values exit 2 with an error listing the registry.
+out=$("$cli" sweep --protocol=bogus --count=1 2>&1)
+status=$?
+[ "$status" -eq 2 ] || fail "unknown protocol: expected exit 2, got $status"
+case "$out" in
+  *bogus*) ;;
+  *) fail "unknown-protocol error should echo the offending name: $out" ;;
+esac
+for name in canonical classify binary-search tree-split randomized; do
+  case "$out" in
+    *"$name"*) ;;
+    *) fail "unknown-protocol error should list '$name': $out" ;;
+  esac
+done
+
+# Malformed protocol parameters exit 2 as well.
+"$cli" sweep --protocol=binary-search:nope --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "malformed protocol parameter should exit 2"
+"$cli" sweep --protocol=canonical:3 --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "parameter on a parameterless protocol should exit 2"
+
+# The legacy shorthand conflicts with the explicit flag instead of being
+# silently ignored.
+"$cli" sweep --classify-only --protocol=canonical --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--classify-only with --protocol should exit 2"
+
+# A mixed-protocol cross-product sweep runs and prints one comparison row
+# per protocol.  (Exit 0 when every job verifies, 1 otherwise — baselines
+# legitimately fail on out-of-model configurations.)
+out=$("$cli" sweep --count=6 --family=staggered \
+      --protocol=canonical --protocol=binary-search --protocol=randomized 2>&1)
+status=$?
+[ "$status" -le 1 ] || fail "mixed-protocol sweep should run, got exit $status"
+for name in canonical binary-search randomized; do
+  case "$out" in
+    *"$name"*) ;;
+    *) fail "sweep output should contain a '$name' row: $out" ;;
+  esac
+done
+
+# Unknown families still exit 2 (pre-existing contract, kept).
+"$cli" sweep --family=bogus --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "unknown family should exit 2"
+
+if [ "$failures" -gt 0 ]; then
+  exit 1
+fi
+echo "cli flag validation ok"

@@ -147,9 +147,9 @@ inline std::vector<core::ClassId> history_partition(const radio::RunResult& run,
   std::vector<core::ClassId> partition(run.nodes.size(), 0);
   for (std::size_t v = 0; v < run.nodes.size(); ++v) {
     const auto& history = run.nodes[v].history;
-    std::vector<radio::HistoryEntry> prefix(history.begin(),
-                                            history.begin() + static_cast<std::ptrdiff_t>(
-                                                                  std::min(history.size(), upto + 1)));
+    const auto prefix_length =
+        static_cast<std::ptrdiff_t>(std::min(history.size(), upto + 1));
+    std::vector<radio::HistoryEntry> prefix(history.begin(), history.begin() + prefix_length);
     const auto [it, inserted] =
         buckets.emplace(std::move(prefix), static_cast<core::ClassId>(buckets.size() + 1));
     partition[v] = it->second;

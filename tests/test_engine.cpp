@@ -29,10 +29,10 @@ std::vector<engine::BatchJob> parity_jobs() {
     }
   }
   for (const config::Tag m : {1u, 2u, 3u}) {
-    jobs.push_back({config::family_h(m), engine::Protocol::Canonical, {}});
-    jobs.push_back({config::family_s(m), engine::Protocol::Canonical, {}});
+    jobs.push_back({config::family_h(m), core::ProtocolSpec::canonical(), {}});
+    jobs.push_back({config::family_s(m), core::ProtocolSpec::canonical(), {}});
   }
-  jobs.push_back({config::family_g(2), engine::Protocol::Canonical, {}});
+  jobs.push_back({config::family_g(2), core::ProtocolSpec::canonical(), {}});
   for (auto& job : engine::staggered_jobs(2, 4)) {
     jobs.push_back(std::move(job));
   }
@@ -40,14 +40,24 @@ std::vector<engine::BatchJob> parity_jobs() {
   for (std::uint64_t i = 0; i < 20; ++i) {
     support::Rng stream = rng.split(i);
     jobs.push_back({config::random_tags_with_span(graph::gnp_connected(8, 0.3, stream), 3, stream),
-                    engine::Protocol::Canonical,
+                    core::ProtocolSpec::canonical(),
                     {}});
   }
   return jobs;
 }
 
+/// The protocol mix head-to-head sweeps exercise: the canonical DRIP, the
+/// classify-only fast path, both labeled baselines and the randomized one.
+std::vector<core::ProtocolSpec> protocol_mix() {
+  return {core::ProtocolSpec::canonical(), core::ProtocolSpec::classify_only(),
+          core::ProtocolSpec::binary_search(), core::ProtocolSpec::tree_split(),
+          core::ProtocolSpec::randomized(64)};
+}
+
 /// Deep equality of two election reports (schedule compared by content).
 void expect_reports_identical(const core::ElectionReport& a, const core::ElectionReport& b) {
+  EXPECT_EQ(a.protocol, b.protocol);
+  EXPECT_EQ(a.disposition, b.disposition);
   EXPECT_EQ(a.classification.verdict, b.classification.verdict);
   EXPECT_EQ(a.classification.model, b.classification.model);
   EXPECT_EQ(a.classification.iterations, b.classification.iterations);
@@ -149,8 +159,8 @@ TEST(BatchRunner, CoinSeedingIsAPureFunctionOfBatchSeedAndJobId) {
 
 TEST(BatchRunner, ClassifyOnlySkipsTheSimulator) {
   std::vector<engine::BatchJob> jobs;
-  jobs.push_back({config::family_h(2), engine::Protocol::ClassifyOnly, {}});
-  jobs.push_back({config::family_s(2), engine::Protocol::ClassifyOnly, {}});
+  jobs.push_back({config::family_h(2), core::ProtocolSpec::classify_only(), {}});
+  jobs.push_back({config::family_s(2), core::ProtocolSpec::classify_only(), {}});
   const engine::BatchReport report = engine::run_batch(jobs, {.threads = 2});
   ASSERT_EQ(report.jobs.size(), 2u);
   EXPECT_TRUE(report.jobs[0].feasible);
@@ -215,10 +225,101 @@ TEST(BatchRunner, ExhaustiveSweepAllVerify) {
   EXPECT_EQ(lazy.jobs, report.jobs);
 }
 
+TEST(BatchRunner, MixedProtocolSweepIsInvariantAcrossThreadCounts) {
+  // The acceptance bar of the protocol-axis redesign: one cross-product
+  // batch running the canonical DRIP and every baseline is bit-identical
+  // regardless of the thread count, per-job outcomes and per-protocol
+  // breakdowns alike.
+  engine::RandomSweep sweep;
+  sweep.nodes = 10;
+  sweep.span = 2;
+  sweep.seed = 5;
+  sweep.protocols = protocol_mix();
+  const engine::JobSource source = engine::random_jobs(sweep);
+  constexpr engine::JobId kConfigurations = 24;
+  const auto count = kConfigurations * static_cast<engine::JobId>(sweep.protocols.size());
+
+  std::vector<engine::BatchReport> reports;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    engine::BatchRunner runner({.threads = threads, .seed = 13});
+    reports.push_back(runner.run(count, source));
+  }
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].jobs, reports[0].jobs);
+    EXPECT_EQ(reports[i].by_protocol, reports[0].by_protocol);
+  }
+
+  // The cross product is head-to-head: one breakdown row per protocol, in
+  // sweep order, each over the same number of configurations.
+  ASSERT_EQ(reports[0].by_protocol.size(), sweep.protocols.size());
+  for (std::size_t k = 0; k < sweep.protocols.size(); ++k) {
+    EXPECT_EQ(reports[0].by_protocol[k].protocol, sweep.protocols[k]);
+    EXPECT_EQ(reports[0].by_protocol[k].jobs, kConfigurations);
+  }
+  // The comparison has signal: the canonical protocol elects on the
+  // feasible configurations, while the baselines — whose single-hop
+  // simultaneous-wakeup model these random staggered networks violate —
+  // report their failures as dispositions instead of crashing the batch.
+  EXPECT_GT(reports[0].by_protocol.front().elected, 0u);
+  EXPECT_EQ(reports[0].by_protocol.front().elected +
+                reports[0].by_protocol.front().no_leader,
+            kConfigurations);
+}
+
+TEST(BatchRunner, CrossProductJobsShareConfigurations) {
+  engine::RandomSweep sweep;
+  sweep.nodes = 8;
+  sweep.span = 2;
+  sweep.seed = 77;
+  sweep.protocols = protocol_mix();
+  const engine::JobSource source = engine::random_jobs(sweep);
+  const auto P = static_cast<engine::JobId>(sweep.protocols.size());
+  for (const engine::JobId configuration : {engine::JobId{0}, engine::JobId{5}}) {
+    const engine::BatchJob first = source(configuration * P);
+    for (engine::JobId k = 0; k < P; ++k) {
+      const engine::BatchJob job = source(configuration * P + k);
+      EXPECT_EQ(job.configuration, first.configuration);
+      EXPECT_EQ(job.protocol, sweep.protocols[static_cast<std::size_t>(k)]);
+    }
+  }
+}
+
+TEST(BatchRunner, CrossProtocolsWrapsAnyCountedSweep) {
+  const std::vector<core::ProtocolSpec> protocols = {core::ProtocolSpec::canonical(),
+                                                     core::ProtocolSpec::classify_only()};
+  const engine::CountedSweep base = engine::exhaustive_sweep(3, 1);
+  const engine::CountedSweep crossed = engine::cross_protocols(engine::exhaustive_sweep(3, 1),
+                                                               protocols);
+  ASSERT_EQ(crossed.count, base.count * 2);
+  for (const engine::JobId id : {engine::JobId{0}, engine::JobId{7}}) {
+    EXPECT_EQ(crossed.source(2 * id).configuration, base.source(id).configuration);
+    EXPECT_EQ(crossed.source(2 * id).protocol, protocols[0]);
+    EXPECT_EQ(crossed.source(2 * id + 1).configuration, base.source(id).configuration);
+    EXPECT_EQ(crossed.source(2 * id + 1).protocol, protocols[1]);
+  }
+
+  engine::BatchRunner runner({.threads = 4});
+  const engine::BatchReport report = runner.run(crossed.count, crossed.source);
+  ASSERT_EQ(report.by_protocol.size(), 2u);
+  EXPECT_EQ(report.by_protocol[0].protocol, protocols[0]);
+  EXPECT_EQ(report.by_protocol[1].protocol, protocols[1]);
+  // Same configurations, same classifier: identical feasible counts.
+  EXPECT_EQ(report.by_protocol[0].feasible, report.by_protocol[1].feasible);
+}
+
+TEST(BatchRunner, SweepConfigurationSeedIsAPureDocumentedDerivation) {
+  EXPECT_EQ(engine::sweep_configuration_seed(1), engine::sweep_configuration_seed(1));
+  EXPECT_NE(engine::sweep_configuration_seed(1), engine::sweep_configuration_seed(2));
+  // Independent of the per-job coin-seed stream: no job id collides with it.
+  for (engine::JobId id = 0; id < 64; ++id) {
+    EXPECT_NE(engine::sweep_configuration_seed(1), engine::job_coin_seed(1, id));
+  }
+}
+
 TEST(BatchRunner, ClassifyOnlyOmitsTheSchedule) {
   // Classify-only jobs never pay for schedule compilation.
   std::vector<engine::BatchJob> jobs;
-  jobs.push_back({config::family_h(2), engine::Protocol::ClassifyOnly, {}});
+  jobs.push_back({config::family_h(2), core::ProtocolSpec::classify_only(), {}});
   engine::BatchRunner runner({.threads = 1, .keep_reports = true});
   const engine::BatchReport report = runner.run(jobs);
   ASSERT_EQ(report.reports.size(), 1u);

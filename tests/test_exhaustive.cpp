@@ -25,8 +25,9 @@ using namespace arl;
 
 /// Applies `body` to every configuration of `n` nodes with tags over
 /// {0..max_tag}; returns how many configurations were visited.
-std::uint64_t for_each_configuration(graph::NodeId n, config::Tag max_tag,
-                                     const std::function<void(const config::Configuration&)>& body) {
+std::uint64_t for_each_configuration(
+    graph::NodeId n, config::Tag max_tag,
+    const std::function<void(const config::Configuration&)>& body) {
   std::uint64_t visited = 0;
   graph::for_each_connected_graph(n, [&](const graph::Graph& g) {
     std::vector<config::Tag> tags(n, 0);

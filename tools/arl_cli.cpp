@@ -23,6 +23,7 @@
 #include "core/canonical_drip.hpp"
 #include "core/election.hpp"
 #include "core/fast_classifier.hpp"
+#include "core/protocol.hpp"
 #include "core/quotient.hpp"
 #include "core/schedule_io.hpp"
 #include "engine/batch_runner.hpp"
@@ -60,6 +61,12 @@ commands:
   sweep      run a batch of elections across the thread pool
                --count=N         configurations in the batch  (default 100)
                --family=random|staggered|h|g|s               (default random)
+               --protocol=NAME   protocol to run: canonical, classify,
+                                 binary-search[:BITS], tree-split[:BITS],
+                                 randomized[:SLOTS]           (default canonical)
+                                 repeatable — several protocols make the batch a
+                                 cross product (every configuration under every
+                                 protocol) with a per-protocol comparison table
                --n=N             node count for random        (default 16)
                --sigma=N         span for random              (default 3)
                --p=X             edge probability for random  (default 0.3)
@@ -67,7 +74,7 @@ commands:
                --threads=N       worker threads (default: hardware)
                --model=cd|nocd   channel feedback
                --fast            use the hashed classifier
-               --classify-only   skip the simulation, verdicts only
+               --classify-only   shorthand for --protocol=classify
   trace      replay the canonical DRIP round by round
                --verbose         also print listens and silences
   schedule   compile and print the canonical schedule (text format)
@@ -162,7 +169,9 @@ int cmd_elect(const support::Args& args) {
   core::ElectionOptions options;
   options.channel_model = parse_model(args);
   const core::ElectionReport report = core::elect(c, options);
+  std::cout << "protocol:      " << report.protocol << '\n';
   std::cout << "feasible:      " << (report.feasible ? "yes" : "no") << '\n';
+  std::cout << "disposition:   " << core::to_string(report.disposition) << '\n';
   if (report.leader) {
     std::cout << "leader:        node " << *report.leader << '\n';
   }
@@ -192,8 +201,27 @@ int cmd_sweep(const support::Args& args) {
   core::ElectionOptions options;
   options.channel_model = parse_model(args);
   options.use_fast_classifier = args.has("fast");
-  const engine::Protocol protocol = args.has("classify-only") ? engine::Protocol::ClassifyOnly
-                                                              : engine::Protocol::Canonical;
+
+  // The protocol axis: repeatable --protocol flags, validated against the
+  // registry; several protocols make the batch a head-to-head cross product.
+  std::vector<core::ProtocolSpec> protocols;
+  for (const std::string& name : args.get_strings("protocol")) {
+    try {
+      protocols.push_back(core::parse_protocol(name));
+    } catch (const support::ContractViolation& error) {
+      std::cerr << "error: " << error.what() << '\n';
+      return 2;
+    }
+  }
+  if (args.has("classify-only") && !protocols.empty()) {
+    std::cerr << "error: --classify-only conflicts with --protocol; "
+                 "use --protocol=classify instead\n";
+    return 2;
+  }
+  if (protocols.empty()) {
+    protocols.push_back(args.has("classify-only") ? core::ProtocolSpec::classify_only()
+                                                  : core::ProtocolSpec::canonical());
+  }
 
   engine::BatchRunner runner(batch_options);
   engine::BatchReport report;
@@ -214,42 +242,64 @@ int cmd_sweep(const support::Args& args) {
     sweep.nodes = static_cast<graph::NodeId>(n);
     sweep.edge_probability = p;
     sweep.span = static_cast<config::Tag>(sigma);
-    // Derive the configuration stream from the batch seed on a dedicated
-    // split, keeping it independent of the per-job coin-seed stream
-    // (job_coin_seed uses Rng(batch seed).split(job id)).
-    sweep.seed = support::Rng(batch_options.seed).split(0x5EEDF00D).next();
-    sweep.protocol = protocol;
+    // Configuration stream seed: an explicit, documented function of the
+    // batch seed (see engine::sweep_configuration_seed), independent of the
+    // per-job coin-seed stream.
+    sweep.seed = engine::sweep_configuration_seed(batch_options.seed);
+    sweep.protocols = protocols;
     sweep.options = options;
-    report = runner.run(count, engine::random_jobs(sweep));
+    report = runner.run(count * protocols.size(), engine::random_jobs(sweep));
   } else if (family == "staggered") {
-    report = runner.run(engine::staggered_jobs(2, count, protocol, options));
+    std::vector<config::Configuration> configurations;
+    configurations.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      configurations.push_back(config::staggered_path(2 + static_cast<graph::NodeId>(i)));
+    }
+    report = runner.run(engine::cross_jobs(std::move(configurations), protocols, options));
   } else if (family == "h" || family == "g" || family == "s") {
-    std::vector<engine::BatchJob> jobs;
-    jobs.reserve(count);
+    std::vector<config::Configuration> configurations;
+    configurations.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
       const auto m = static_cast<config::Tag>(i + (family == "g" ? 2 : 1));
-      config::Configuration c = family == "h"   ? config::family_h(m)
-                                : family == "g" ? config::family_g(m)
-                                                : config::family_s(m);
-      jobs.push_back({std::move(c), protocol, options});
+      configurations.push_back(family == "h"   ? config::family_h(m)
+                               : family == "g" ? config::family_g(m)
+                                               : config::family_s(m));
     }
-    report = runner.run(jobs);
+    report = runner.run(engine::cross_jobs(std::move(configurations), protocols, options));
   } else {
     std::cerr << "unknown family '" << family << "'\n";
     return 2;
   }
 
-  const auto total = static_cast<double>(report.jobs.size());
+  // Feasibility is a verdict only the classifying protocols produce, so the
+  // percentage is over their jobs — not over baseline jobs that never
+  // classify (which would understate it in mixed-protocol sweeps).
+  std::uint64_t classified_jobs = 0;
+  std::uint64_t simulated_jobs = 0;
+  for (const engine::ProtocolBreakdown& row : report.by_protocol) {
+    if (row.protocol.classifies()) {
+      classified_jobs += row.jobs;
+    }
+    if (row.protocol.simulates()) {
+      simulated_jobs += row.jobs;
+    }
+  }
   support::Table table({"metric", "value"});
   table.set_precision(3);
   table.add_row({std::string("jobs"), static_cast<std::int64_t>(report.jobs.size())});
   table.add_row({std::string("worker threads"), static_cast<std::int64_t>(report.threads_used)});
   table.add_row({std::string("feasible"), static_cast<std::int64_t>(report.feasible_count)});
   table.add_row({std::string("feasible %"),
-                 total == 0 ? 0.0 : 100.0 * static_cast<double>(report.feasible_count) / total});
+                 classified_jobs == 0 ? 0.0
+                                      : 100.0 * static_cast<double>(report.feasible_count) /
+                                            static_cast<double>(classified_jobs)});
   table.add_row({std::string("verified"), static_cast<std::int64_t>(report.valid_count)});
+  // Rounds only accrue on simulating protocols, so average over their jobs
+  // (same reasoning as the feasible % denominator above).
   table.add_row({std::string("avg local rounds"),
-                 total == 0 ? 0.0 : static_cast<double>(report.total_local_rounds) / total});
+                 simulated_jobs == 0 ? 0.0
+                                     : static_cast<double>(report.total_local_rounds) /
+                                           static_cast<double>(simulated_jobs)});
   table.add_row({std::string("max local rounds"),
                  static_cast<std::int64_t>(report.max_local_rounds)});
   table.add_row({std::string("radio transmissions"),
@@ -257,6 +307,23 @@ int cmd_sweep(const support::Args& args) {
   table.add_row({std::string("wall time ms"), report.wall_millis});
   table.add_row({std::string("jobs per second"), report.throughput()});
   table.print_markdown(std::cout);
+
+  // Head-to-head comparison: one row per protocol in the batch.
+  std::cout << "\nper-protocol breakdown:\n\n";
+  support::Table comparison({"protocol", "jobs", "feasible", "elected", "no leader", "failed",
+                             "verified", "avg rounds", "max rounds", "transmissions"});
+  comparison.set_precision(3);
+  for (const engine::ProtocolBreakdown& row : report.by_protocol) {
+    comparison.add_row({row.protocol.name(), static_cast<std::int64_t>(row.jobs),
+                        static_cast<std::int64_t>(row.feasible),
+                        static_cast<std::int64_t>(row.elected),
+                        static_cast<std::int64_t>(row.no_leader),
+                        static_cast<std::int64_t>(row.failed),
+                        static_cast<std::int64_t>(row.valid), row.average_local_rounds(),
+                        static_cast<std::int64_t>(row.max_local_rounds),
+                        static_cast<std::int64_t>(row.stats.transmissions)});
+  }
+  comparison.print_markdown(std::cout);
   return report.valid_count == report.jobs.size() ? 0 : 1;
 }
 
