@@ -14,8 +14,10 @@
 
 #include "bench_common.hpp"
 #include "config/families.hpp"
+#include "config/mutations.hpp"
 #include "core/election.hpp"
 #include "engine/batch_runner.hpp"
+#include "engine/schedule_cache.hpp"
 #include "engine/sweep.hpp"
 #include "graph/generators.hpp"
 #include "support/rng.hpp"
@@ -177,10 +179,65 @@ void print_e3c_table() {
   benchsupport::print_table("E3c — per-protocol breakdown of the same batch", throughput);
 }
 
+void print_e4_table() {
+  // The schedule cache's reason to exist: a deployment planner iterating on
+  // a candidate network re-evaluates the same mutation neighbourhood on
+  // every refinement step, and without the cache each pass re-classifies
+  // (O(n³Δ)) and re-compiles every candidate from scratch.  Same jobs, same
+  // outcomes (asserted by tests/test_schedule_cache.cpp) — only the compile
+  // count and the wall time move.
+  constexpr int kPasses = 3;
+  support::Rng rng(4040);
+  const config::Configuration base =
+      config::random_tags_with_span(graph::gnp_connected(12, 0.3, rng), 3, rng);
+  const std::vector<config::Configuration> neighbourhood =
+      config::all_tag_mutations(base, base.span());
+
+  std::vector<engine::BatchJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(kPasses) * neighbourhood.size());
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (const config::Configuration& candidate : neighbourhood) {
+      jobs.push_back({candidate, core::ProtocolSpec::canonical(), {}});
+    }
+  }
+
+  support::Table table({"path", "wall ms", "classifier runs", "schedule builds", "hit rate %",
+                        "speedup"});
+  table.set_precision(2);
+  double uncached_millis = 0.0;
+  {
+    // One thread on both paths: with workers racing, duplicate compiles at
+    // pass boundaries would smear the compile counts run to run; serial
+    // execution pins them to exactly jobs vs neighbourhood size.
+    engine::BatchRunner runner({.threads = 1});
+    const engine::BatchReport report = runner.run(jobs);
+    uncached_millis = report.wall_millis;
+    table.add_row({std::string("uncached"), report.wall_millis,
+                   static_cast<std::int64_t>(jobs.size()),
+                   static_cast<std::int64_t>(jobs.size()), 0.0, 1.0});
+  }
+  {
+    engine::BatchRunner runner(
+        {.threads = 1, .cache_capacity = engine::ScheduleCache::kDefaultCapacity});
+    const engine::BatchReport report = runner.run(jobs);
+    const engine::ScheduleCacheStats stats = report.cache.value();
+    table.add_row({std::string("cached"), report.wall_millis,
+                   static_cast<std::int64_t>(stats.misses),
+                   static_cast<std::int64_t>(stats.schedule_builds), 100.0 * stats.hit_rate(),
+                   uncached_millis / report.wall_millis});
+  }
+  benchsupport::print_table(
+      "E4 — mutation-sweep schedule cache (" + std::to_string(kPasses) + " passes over " +
+          std::to_string(neighbourhood.size()) +
+          " single-tag mutations): compiles per batch, cached vs uncached",
+      table);
+}
+
 void print_tables() {
   print_e3_table();
   print_e3b_table();
   print_e3c_table();
+  print_e4_table();
 }
 
 // ------------------------------------------------------------- timed series
@@ -260,6 +317,33 @@ void BM_EngineSweep(benchmark::State& state) {
       static_cast<double>(kCount), benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_EngineSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MutationSweepScheduleCache(benchmark::State& state) {
+  // E4's workload as a tracked series: three passes over a single-tag
+  // mutation neighbourhood, arg 0 = uncached, arg 1 = cached.
+  const bool cached = state.range(0) != 0;
+  support::Rng rng(4040);
+  const config::Configuration base =
+      config::random_tags_with_span(graph::gnp_connected(12, 0.3, rng), 3, rng);
+  std::vector<engine::BatchJob> jobs;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const config::Configuration& candidate : config::all_tag_mutations(base, base.span())) {
+      jobs.push_back({candidate, core::ProtocolSpec::canonical(), {}});
+    }
+  }
+  engine::BatchRunner runner(  // one thread: keeps the builds counter exact (see E4)
+      {.threads = 1,
+       .cache_capacity = cached ? engine::ScheduleCache::kDefaultCapacity : std::size_t{0}});
+  std::uint64_t builds = 0;
+  for (auto _ : state) {
+    const engine::BatchReport report = runner.run(jobs);
+    builds = report.cache ? report.cache->schedule_builds : jobs.size();
+    benchmark::DoNotOptimize(builds);
+  }
+  state.counters["schedule_builds"] = static_cast<double>(builds);
+  state.counters["jobs"] = static_cast<double>(jobs.size());
+}
+BENCHMARK(BM_MutationSweepScheduleCache)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -1,0 +1,29 @@
+#include "config/fingerprint.hpp"
+
+#include "support/hash.hpp"
+
+namespace arl::config {
+
+Fingerprint fingerprint(const Configuration& configuration) {
+  // Domain-separated from every other Hash64 user so configuration keys can
+  // never alias schedule keys in a shared artifact store.
+  support::Hash64 hash(0xC0F1C0F1ULL);
+  const graph::Graph& graph = configuration.graph();
+  const graph::NodeId n = graph.node_count();
+  hash.absorb(n);
+  for (const Tag tag : configuration.tags()) {
+    hash.absorb(tag);
+  }
+  // Neighbour lists are sorted, so this walks the edge set {u < v} in one
+  // deterministic order without materializing graph.edges().
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (const graph::NodeId v : graph.neighbors(u)) {
+      if (u < v) {
+        hash.absorb((static_cast<std::uint64_t>(u) << 32) | v);
+      }
+    }
+  }
+  return hash.digest();
+}
+
+}  // namespace arl::config

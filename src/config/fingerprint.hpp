@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file fingerprint.hpp
+/// Canonical content fingerprint of a configuration.
+///
+/// The engine's schedule cache — and, next, the sharded-sweep artifact layer
+/// that serializes compiled schedules across processes — keys per-
+/// configuration knowledge by this digest: a stable 64-bit function of the
+/// exact topology and tag vector.  Equal configurations always collide;
+/// distinct ones collide with probability ~2^-64 (and callers that cannot
+/// tolerate even that verify the configuration on every key match, as the
+/// schedule cache does).
+///
+/// The digest is over the *exact* configuration, not its normalized form:
+/// a global tag shift changes observable outcomes (global rounds move with
+/// the clock origin), so shifted configurations must not share cache entries.
+
+#include <cstdint>
+
+#include "config/configuration.hpp"
+
+namespace arl::config {
+
+/// Stable 64-bit content digest of a configuration.
+using Fingerprint = std::uint64_t;
+
+/// Digest of (node count, tag vector, sorted edge list).  Deterministic
+/// across runs, platforms and thread counts; equal configurations (operator==)
+/// have equal fingerprints.
+[[nodiscard]] Fingerprint fingerprint(const Configuration& configuration);
+
+}  // namespace arl::config

@@ -105,12 +105,56 @@ struct ElectionReport {
   radio::RunStats stats;
 };
 
+/// The compiled per-configuration knowledge a schedule cache stores: the
+/// Classifier run and (once some simulating job needed it) the canonical
+/// schedule built from it.  Both are pure functions of (configuration,
+/// channel model, classifier choice), which is what makes memoizing them
+/// safe: a cache hit yields bit-identical artifacts to a fresh compile.
+struct CompiledConfiguration {
+  ClassifierResult classification;
+
+  /// Null until a simulating run pays for schedule compilation (classify-only
+  /// jobs never do); an entry may later be upgraded in place of a rebuild.
+  std::shared_ptr<const CanonicalSchedule> schedule;
+};
+
+/// Cache of compiled configuration knowledge, consulted by run_protocol()
+/// for the classifying kinds.  The interface lives in core so the election
+/// pipeline can use a cache without depending on any concrete store; the
+/// engine's sharded LRU (engine/schedule_cache.hpp) is the implementation.
+///
+/// Contract: lookup() may only return an entry previously store()d for an
+/// equal (configuration, model, fast_classifier) key — implementations keyed
+/// by a digest must verify the configuration on a match, so a hash collision
+/// degrades to a miss, never to wrong artifacts.  Both calls must be safe
+/// from concurrent worker threads.
+class ScheduleCacheHandle {
+ public:
+  virtual ~ScheduleCacheHandle() = default;
+
+  /// The cached artifacts for the key, or null on a miss.
+  [[nodiscard]] virtual std::shared_ptr<const CompiledConfiguration> lookup(
+      const config::Configuration& configuration, radio::ChannelModel model,
+      bool fast_classifier) = 0;
+
+  /// Stores (or replaces) the key's artifacts; returns the stored entry.
+  virtual std::shared_ptr<const CompiledConfiguration> store(
+      const config::Configuration& configuration, radio::ChannelModel model, bool fast_classifier,
+      CompiledConfiguration compiled) = 0;
+};
+
 /// Reusable working memory for elect().  A worker running many elections
 /// back to back passes the same scratch to every call and amortizes the
 /// simulator's per-run allocations; results are unaffected (asserted by the
 /// engine parity tests).
 struct ElectionScratch {
   radio::SimulatorScratch simulator;
+
+  /// Optional schedule/classification cache consulted by the classifying
+  /// protocol kinds; null (the default) compiles from scratch every run.
+  /// Not owned; outcomes are unaffected by hits vs misses (asserted by
+  /// tests/test_schedule_cache.cpp).
+  ScheduleCacheHandle* schedule_cache = nullptr;
 };
 
 /// Classifies `configuration` and (by default) runs the canonical DRIP on it.

@@ -75,27 +75,70 @@ std::vector<std::uint64_t> wakeup_order_labels(const config::Configuration& conf
   return labels;
 }
 
+/// Classifies `configuration` (and, for simulating runs, compiles the
+/// canonical schedule) through the scratch's schedule cache when one is
+/// attached: a hit reuses the compiled artifacts, a miss — or a hit holding
+/// only the classification when a schedule is now needed — compiles the
+/// missing piece and stores the result back.  Both artifacts are pure
+/// functions of the key, so the returned entry is bit-identical to a fresh
+/// compile (asserted by tests/test_schedule_cache.cpp).
+std::shared_ptr<const CompiledConfiguration> classify_and_compile(
+    const config::Configuration& configuration, const ElectionOptions& options,
+    bool need_schedule, ScheduleCacheHandle& cache) {
+  std::shared_ptr<const CompiledConfiguration> compiled =
+      cache.lookup(configuration, options.channel_model, options.use_fast_classifier);
+  if (compiled != nullptr && (!need_schedule || compiled->schedule != nullptr)) {
+    return compiled;
+  }
+
+  CompiledConfiguration fresh;
+  if (compiled != nullptr) {
+    fresh.classification = compiled->classification;  // upgrade: only the schedule is missing
+  } else if (options.use_fast_classifier) {
+    fresh.classification = FastClassifier(options.channel_model).run(configuration);
+  } else {
+    fresh.classification = Classifier(options.channel_model).run(configuration);
+  }
+  if (need_schedule) {
+    fresh.schedule = std::make_shared<const CanonicalSchedule>(
+        build_schedule(configuration, fresh.classification));
+  }
+  return cache.store(configuration, options.channel_model, options.use_fast_classifier,
+                     std::move(fresh));
+}
+
 /// The canonical pipeline (previously the body of elect()): classify,
 /// compile the schedule, execute the canonical DRIP, verify.
 ElectionReport run_canonical(const config::Configuration& configuration,
                              const ElectionOptions& options, bool simulate,
                              ElectionScratch& scratch) {
   ElectionReport report;
-  if (options.use_fast_classifier) {
-    report.classification = FastClassifier(options.channel_model).run(configuration);
+  if (scratch.schedule_cache != nullptr) {
+    const std::shared_ptr<const CompiledConfiguration> compiled = classify_and_compile(
+        configuration, options, /*need_schedule=*/simulate, *scratch.schedule_cache);
+    report.classification = compiled->classification;
+    report.schedule = compiled->schedule;  // null for classify-only entries
   } else {
-    report.classification = Classifier(options.channel_model).run(configuration);
+    // Uncached: classify straight into the report (no artifact copy — this
+    // is elect()'s default path and large uncached sweeps run through it).
+    if (options.use_fast_classifier) {
+      report.classification = FastClassifier(options.channel_model).run(configuration);
+    } else {
+      report.classification = Classifier(options.channel_model).run(configuration);
+    }
+    if (simulate) {
+      report.schedule = std::make_shared<const CanonicalSchedule>(
+          build_schedule(configuration, report.classification));
+    }
   }
   report.feasible = report.classification.feasible();
 
   if (!simulate) {
-    report.valid = true;  // nothing further to verify (and no schedule needed)
+    report.schedule = nullptr;  // classify-only reports never carry one
+    report.valid = true;        // nothing further to verify (and no schedule needed)
     report.disposition = Disposition::NotSimulated;
     return report;
   }
-
-  report.schedule = std::make_shared<const CanonicalSchedule>(
-      build_schedule(configuration, report.classification));
 
   const CanonicalDrip drip(report.schedule, MismatchPolicy::Strict);
   radio::SimulatorOptions simulator_options = options.simulator;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/assert.hpp"
+#include "support/hash.hpp"
 
 namespace arl::core {
 
@@ -163,6 +164,41 @@ CanonicalSchedule schedule_from_text(std::istream& in) {
 CanonicalSchedule schedule_from_text_string(const std::string& text) {
   std::istringstream in(text);
   return schedule_from_text(in);
+}
+
+namespace {
+
+void absorb_label(support::Hash64& hash, const Label& label) {
+  hash.absorb(label.size());
+  for (const LabelTriple& triple : label) {
+    hash.absorb(triple.cls);
+    hash.absorb(triple.round);
+    hash.absorb(triple.star ? 1 : 0);
+  }
+}
+
+}  // namespace
+
+std::uint64_t schedule_fingerprint(const CanonicalSchedule& schedule) {
+  // Domain-separated from config::fingerprint (different seed), so the two
+  // key spaces never alias in a shared artifact store.
+  support::Hash64 hash(0x5CED0FEEULL);
+  hash.absorb(schedule.sigma);
+  hash.absorb(static_cast<std::uint64_t>(schedule.model));
+  hash.absorb(schedule.feasible ? 1 : 0);
+  if (schedule.feasible) {
+    hash.absorb(schedule.leader_old_class);
+    absorb_label(hash, schedule.leader_label);
+  }
+  hash.absorb(schedule.phases.size());
+  for (const PhaseSpec& phase : schedule.phases) {
+    hash.absorb(phase.num_classes);
+    for (const PhaseEntry& entry : phase.entries) {
+      hash.absorb(entry.old_class);
+      absorb_label(hash, entry.label);
+    }
+  }
+  return hash.digest();
 }
 
 }  // namespace arl::core

@@ -39,4 +39,12 @@ void schedule_to_text(const CanonicalSchedule& schedule, std::ostream& out);
 /// Parses from a string.
 [[nodiscard]] CanonicalSchedule schedule_from_text_string(const std::string& text);
 
+/// Stable 64-bit content digest of a compiled schedule — the artifact-level
+/// twin of `config::fingerprint`: two schedules digest equal iff every field
+/// the canonical DRIP consumes (σ, model, feasibility, leader signature and
+/// the full list sequence L_j) is equal, so a text round-trip preserves the
+/// fingerprint and a keyed artifact store can verify a deserialized schedule
+/// against its key (asserted by tests/test_scenarios.cpp).
+[[nodiscard]] std::uint64_t schedule_fingerprint(const CanonicalSchedule& schedule);
+
 }  // namespace arl::core

@@ -83,6 +83,16 @@ BatchReport BatchRunner::run_batch(JobId count, const Fetch& fetch) {
     report.reports.resize(count);
   }
 
+  // One schedule cache per batch, shared by every worker (it is sharded and
+  // thread-safe), so jobs that repeat a configuration — cross-protocol
+  // head-to-heads, mutation sweeps — compile it once.  Per batch, not per
+  // runner: stats describe one batch and entries never leak across runs.
+  std::optional<ScheduleCache> cache;
+  if (options_.cache_capacity > 0) {
+    cache.emplace(options_.cache_capacity);
+  }
+  core::ScheduleCacheHandle* const cache_handle = cache ? &*cache : nullptr;
+
   // One long-lived task per worker, pulling job ids from a shared counter:
   // dynamic load balancing without per-job scheduling overhead, and each
   // worker's ElectionScratch is reused across every job it claims.
@@ -92,8 +102,9 @@ BatchReport BatchRunner::run_batch(JobId count, const Fetch& fetch) {
   std::vector<std::future<void>> futures;
   futures.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    futures.push_back(pool_.submit([this, count, &fetch, &next, &report]() {
+    futures.push_back(pool_.submit([this, count, &fetch, &next, &report, cache_handle]() {
       core::ElectionScratch scratch;
+      scratch.schedule_cache = cache_handle;
       for (JobId id = next.fetch_add(1); id < count; id = next.fetch_add(1)) {
         decltype(auto) job = fetch(id);
         core::ElectionReport* keep = options_.keep_reports ? &report.reports[id] : nullptr;
@@ -147,6 +158,9 @@ BatchReport BatchRunner::run_batch(JobId count, const Fetch& fetch) {
     accumulate(row->stats, outcome.stats);
   }
   report.threads_used = workers;
+  if (cache) {
+    report.cache = cache->stats();
+  }
   report.wall_millis = watch.millis();
   return report;
 }

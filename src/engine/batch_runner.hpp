@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "engine/job.hpp"
+#include "engine/schedule_cache.hpp"
 #include "radio/simulator.hpp"
 #include "support/thread_pool.hpp"
 
@@ -34,6 +35,13 @@ struct BatchOptions {
   /// Off by default: condensed outcomes are enough for sweeps, and full
   /// reports keep schedules and per-iteration records alive.
   bool keep_reports = false;
+
+  /// Capacity (entries) of the schedule/classification cache shared by all
+  /// workers of a batch; 0 (the default) runs uncached.  Jobs that share a
+  /// configuration — mutation sweeps, cross_protocols head-to-heads —
+  /// classify once instead of once per job; outcomes are bit-identical
+  /// either way (tests/test_schedule_cache.cpp).
+  std::size_t cache_capacity = 0;
 };
 
 /// Condensed outcome of one job (always recorded).
@@ -94,6 +102,10 @@ struct BatchReport {
   radio::RunStats total_stats;             ///< channel statistics, summed
   double wall_millis = 0.0;                ///< wall time of the whole batch
   std::size_t threads_used = 1;            ///< workers actually spawned (<= pool size)
+
+  /// Schedule-cache counters of this batch; nullopt when it ran uncached
+  /// (BatchOptions::cache_capacity == 0).
+  std::optional<ScheduleCacheStats> cache;
 
   /// Jobs per second of wall time.
   [[nodiscard]] double throughput() const;

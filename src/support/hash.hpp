@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file hash.hpp
+/// Streaming 64-bit digest for keyed artifacts.
+///
+/// The schedule cache and the distributed-sweep artifact layer key compiled
+/// knowledge (configurations, canonical schedules) by a stable 64-bit
+/// fingerprint.  This hasher is the one mixing function behind those keys:
+/// every absorbed word is avalanched with the SplitMix64 finalizer and
+/// chained into the state, so the digest is order-sensitive and a single-bit
+/// change in any word flips about half of the output bits.  It is a content
+/// digest, not a cryptographic hash — collision resistance is statistical
+/// (~2^-64 per pair), which the cache backstops by verifying the stored
+/// configuration on every hit.
+
+#include <cstdint>
+
+namespace arl::support {
+
+/// Order-sensitive streaming 64-bit hasher (SplitMix64 finalizer chain).
+class Hash64 {
+ public:
+  /// Starts a stream; distinct seeds give independent digest families, so
+  /// callers can domain-separate their key spaces.
+  explicit constexpr Hash64(std::uint64_t seed = 0) : state_(avalanche(seed ^ kDomain)) {}
+
+  /// Mixes one word into the stream.
+  constexpr Hash64& absorb(std::uint64_t word) {
+    state_ = avalanche(state_ ^ avalanche(word ^ kDomain));
+    return *this;
+  }
+
+  /// Digest of everything absorbed so far (the stream may continue after).
+  [[nodiscard]] constexpr std::uint64_t digest() const { return avalanche(state_); }
+
+ private:
+  // Fixed offset keeping absorb(0) from being a no-op on a zero state.
+  static constexpr std::uint64_t kDomain = 0x9E3779B97F4A7C15ULL;
+
+  /// SplitMix64 finalizer: full avalanche in three xor-shift-multiply steps.
+  [[nodiscard]] static constexpr std::uint64_t avalanche(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  std::uint64_t state_;
+};
+
+}  // namespace arl::support

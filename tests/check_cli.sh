@@ -55,6 +55,41 @@ done
 "$cli" sweep --family=bogus --count=1 >/dev/null 2>&1
 [ $? -eq 2 ] || fail "unknown family should exit 2"
 
+# Bad --cache values exit 2 with a usage error.
+for value in bogus -3 12cats 9999999999; do
+  out=$("$cli" sweep --cache=$value --count=1 2>&1)
+  status=$?
+  [ "$status" -eq 2 ] || fail "--cache=$value: expected exit 2, got $status"
+  case "$out" in
+    *cache*) ;;
+    *) fail "--cache=$value error should mention the flag: $out" ;;
+  esac
+done
+
+# The cache stats line appears exactly when the cache is enabled.
+out=$("$cli" sweep --count=4 --n=6 --cache=on \
+      --protocol=canonical --protocol=classify 2>&1)
+[ $? -eq 0 ] || fail "cached sweep should verify and exit 0"
+case "$out" in
+  *"schedule cache:"*) ;;
+  *) fail "--cache=on sweep should print the schedule cache stats line: $out" ;;
+esac
+out=$("$cli" sweep --count=4 --n=6 --cache=16 \
+      --protocol=canonical --protocol=classify 2>&1)
+[ $? -eq 0 ] || fail "capacity-cached sweep should verify and exit 0"
+case "$out" in
+  *"schedule cache:"*) ;;
+  *) fail "--cache=16 sweep should print the schedule cache stats line: $out" ;;
+esac
+for flags in "" "--cache=off" "--cache=0"; do
+  out=$("$cli" sweep --count=4 --n=6 $flags 2>&1)
+  [ $? -eq 0 ] || fail "uncached sweep ($flags) should verify and exit 0"
+  case "$out" in
+    *"schedule cache:"*) fail "uncached sweep ($flags) must not print cache stats: $out" ;;
+    *) ;;
+  esac
+done
+
 if [ "$failures" -gt 0 ]; then
   exit 1
 fi

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
 
 #include "config/configuration.hpp"
 #include "config/families.hpp"
+#include "config/fingerprint.hpp"
 #include "config/io.hpp"
+#include "config/mutations.hpp"
 #include "graph/generators.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
@@ -171,6 +174,54 @@ TEST(Io, DotContainsNodesAndEdges) {
   EXPECT_NE(dot.find("graph configuration {"), std::string::npos);
   EXPECT_NE(dot.find("n0 [label=\"0:2\"]"), std::string::npos);
   EXPECT_NE(dot.find("n2 -- n3"), std::string::npos);
+}
+
+// --------------------------------------------------------------- fingerprint
+
+TEST(Fingerprint, EqualConfigurationsCollide) {
+  // Independently constructed equal configurations share the digest — the
+  // property the schedule cache's keying rests on.
+  const config::Configuration a = config::family_h(3);
+  const config::Configuration b = config::family_h(3);
+  EXPECT_EQ(config::fingerprint(a), config::fingerprint(b));
+
+  // A serialization round trip preserves it too (the cross-process case).
+  const config::Configuration parsed = config::from_text_string(config::to_text_string(a));
+  EXPECT_EQ(config::fingerprint(parsed), config::fingerprint(a));
+}
+
+TEST(Fingerprint, SingleNodeTagMutationsChangeTheDigest) {
+  const config::Configuration base = config::family_h(2);
+  const config::Fingerprint original = config::fingerprint(base);
+  std::set<config::Fingerprint> digests{original};
+  for (const config::Configuration& mutated : config::all_tag_mutations(base, 4)) {
+    const config::Fingerprint digest = config::fingerprint(mutated);
+    EXPECT_NE(digest, original) << config::to_text_string(mutated);
+    // The whole mutation neighbourhood is pairwise distinct: every mutant
+    // differs from every other in at least one tag.
+    EXPECT_TRUE(digests.insert(digest).second) << config::to_text_string(mutated);
+  }
+}
+
+TEST(Fingerprint, EdgeMutationsChangeTheDigest) {
+  support::Rng rng(31337);
+  const config::Configuration base = config::family_h(2);
+  const auto extra = config::with_random_extra_edge(base, rng);
+  ASSERT_TRUE(extra.has_value());
+  EXPECT_NE(config::fingerprint(*extra), config::fingerprint(base));
+}
+
+TEST(Fingerprint, GlobalTagShiftsChangeTheDigest) {
+  // The digest is over the exact tags, not the normalized form: a shifted
+  // configuration has different observable global rounds and must not share
+  // a cache entry with its normalization.
+  const config::Configuration base = config::staggered_path(4);
+  std::vector<config::Tag> shifted = base.tags();
+  for (config::Tag& tag : shifted) {
+    tag += 3;
+  }
+  EXPECT_NE(config::fingerprint(config::Configuration(base.graph(), shifted)),
+            config::fingerprint(base));
 }
 
 }  // namespace

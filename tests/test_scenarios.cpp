@@ -10,6 +10,8 @@
 #include "core/election.hpp"
 #include "core/patient.hpp"
 #include "core/schedule.hpp"
+#include "core/schedule_io.hpp"
+#include "engine/batch_runner.hpp"
 #include "graph/generators.hpp"
 #include "helpers.hpp"
 #include "lowerbounds/universal.hpp"
@@ -186,6 +188,41 @@ TEST(Scenario, ElectionSurvivesNormalization) {
   EXPECT_EQ(a.leader, b.leader);
   EXPECT_EQ(a.local_rounds, b.local_rounds);
   EXPECT_EQ(b.global_rounds, a.global_rounds + 7);  // only the clock origin moves
+}
+
+TEST(Scenario, CachedScheduleSurvivesTextRoundTripWithIdenticalFingerprint) {
+  // The deployment story across the cache boundary: a cache-served schedule
+  // (shared by every job of its configuration) serializes to text, parses
+  // back to an artifact with the identical fingerprint, and drives the same
+  // election — so the keyed artifacts the distributed-sweep layer will ship
+  // between processes are exactly the ones the engine memoizes.
+  std::vector<engine::BatchJob> jobs;
+  jobs.push_back({config::family_h(3), core::ProtocolSpec::canonical(), {}});
+  jobs.push_back({config::family_h(3), core::ProtocolSpec::canonical(), {}});
+  const engine::BatchReport report =
+      engine::run_batch(jobs, {.threads = 1, .keep_reports = true, .cache_capacity = 8});
+  ASSERT_EQ(report.reports.size(), 2u);
+  const std::shared_ptr<const core::CanonicalSchedule> cached = report.reports[0].schedule;
+  ASSERT_NE(cached, nullptr);
+  ASSERT_EQ(cached, report.reports[1].schedule);  // served from the cache
+
+  const auto reloaded = std::make_shared<const core::CanonicalSchedule>(
+      core::schedule_from_text_string(core::schedule_to_text_string(*cached)));
+  EXPECT_EQ(core::schedule_fingerprint(*reloaded), core::schedule_fingerprint(*cached));
+
+  const config::Configuration c = config::family_h(3);
+  const radio::RunResult original = radio::simulate(c, core::CanonicalDrip(cached));
+  const radio::RunResult replayed = radio::simulate(c, core::CanonicalDrip(reloaded));
+  EXPECT_EQ(original.leaders(), replayed.leaders());
+  EXPECT_EQ(original.rounds_executed, replayed.rounds_executed);
+  for (graph::NodeId v = 0; v < c.size(); ++v) {
+    EXPECT_EQ(original.nodes[v].history, replayed.nodes[v].history) << "node " << v;
+  }
+
+  // And the fingerprint separates artifacts: a different configuration's
+  // schedule digests differently.
+  const auto other = core::make_schedule(config::family_s(3));
+  EXPECT_NE(core::schedule_fingerprint(*other), core::schedule_fingerprint(*cached));
 }
 
 TEST(Scenario, HistoriesAreShiftInvariant) {

@@ -74,6 +74,11 @@ commands:
                --threads=N       worker threads (default: hardware)
                --model=cd|nocd   channel feedback
                --fast            use the hashed classifier
+               --cache=on|off|N  schedule/classification cache shared by the
+                                 workers: on (default capacity), off, or a
+                                 capacity in entries; jobs sharing a
+                                 configuration classify once, and the summary
+                                 reports hit/miss/evict counts (default off)
                --classify-only   shorthand for --protocol=classify
   trace      replay the canonical DRIP round by round
                --verbose         also print listens and silences
@@ -182,6 +187,27 @@ int cmd_elect(const support::Args& args) {
   return report.valid ? 0 : 1;
 }
 
+/// Parses the sweep's --cache flag into a cache capacity (0 = disabled):
+/// "on" picks the default capacity, "off" disables, a non-negative integer
+/// sets the capacity in entries.  Throws on anything else.
+std::size_t parse_cache_capacity(const support::Args& args) {
+  if (!args.has("cache")) {
+    return 0;
+  }
+  const std::string value = args.get_string("cache", "");
+  if (value == "on" || value.empty()) {  // bare --cache reads as --cache=on
+    return engine::ScheduleCache::kDefaultCapacity;
+  }
+  if (value == "off") {
+    return 0;
+  }
+  if (!value.empty() && value.find_first_not_of("0123456789") == std::string::npos &&
+      value.size() <= 9) {
+    return static_cast<std::size_t>(std::stoull(value));
+  }
+  throw support::ContractViolation("--cache must be on, off, or a capacity in [0, 999999999]");
+}
+
 int cmd_sweep(const support::Args& args) {
   const std::int64_t count_flag = args.get_int("count", 100);
   if (count_flag < 0) {
@@ -197,6 +223,12 @@ int cmd_sweep(const support::Args& args) {
   engine::BatchOptions batch_options;
   batch_options.threads = static_cast<unsigned>(threads_flag);
   batch_options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  try {
+    batch_options.cache_capacity = parse_cache_capacity(args);
+  } catch (const support::ContractViolation& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 2;
+  }
 
   core::ElectionOptions options;
   options.channel_model = parse_model(args);
@@ -307,6 +339,16 @@ int cmd_sweep(const support::Args& args) {
   table.add_row({std::string("wall time ms"), report.wall_millis});
   table.add_row({std::string("jobs per second"), report.throughput()});
   table.print_markdown(std::cout);
+
+  // Cache counters, printed exactly when the cache ran (so scripts can key
+  // on the "schedule cache:" prefix).
+  if (report.cache) {
+    const engine::ScheduleCacheStats& cache = *report.cache;
+    std::cout << "\nschedule cache: " << cache.hits << " hits, " << cache.misses << " misses, "
+              << cache.evictions << " evictions, " << cache.schedule_builds
+              << " schedule builds, " << cache.entries << " entries ("
+              << static_cast<int>(cache.hit_rate() * 1000.0) / 10.0 << "% hit rate)\n";
+  }
 
   // Head-to-head comparison: one row per protocol in the batch.
   std::cout << "\nper-protocol breakdown:\n\n";
