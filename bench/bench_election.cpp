@@ -2,12 +2,18 @@
 /// E3 (Lemma 3.10 / Theorem 3.15): canonical-DRIP election time in rounds
 /// against the O(n²σ) bound, across topologies, sizes and spans — plus E3b,
 /// the engine experiment (wall-time of a 1000-configuration sweep through
-/// the serial elect() loop versus the batch election engine) and E3c, a
+/// the serial elect() loop versus the batch election engine), E3c, a
 /// mixed-protocol engine batch putting the canonical Θ(n²σ) election time
-/// next to the O(log n) labeled baselines on single-hop configurations.
+/// next to the O(log n) labeled baselines on single-hop configurations,
+/// and E5, the distributed pipeline (shard → serialize → merge) against the
+/// same sweep in one process — also emitted as machine-readable
+/// BENCH_E5.json so the perf trajectory accumulates across runs.
 
 #include <algorithm>
+#include <fstream>
+#include <iostream>
 #include <numeric>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -16,6 +22,9 @@
 #include "config/families.hpp"
 #include "config/mutations.hpp"
 #include "core/election.hpp"
+#include "dist/merge.hpp"
+#include "dist/report_io.hpp"
+#include "dist/shard.hpp"
 #include "engine/batch_runner.hpp"
 #include "engine/schedule_cache.hpp"
 #include "engine/sweep.hpp"
@@ -233,11 +242,106 @@ void print_e4_table() {
       table);
 }
 
+void print_e5_table() {
+  // The distributed pipeline end-to-end on one machine: the same sweep run
+  // (a) in one batch and (b) as 4 shard ranges, each through its own runner
+  // (as separate worker processes would), serialized to the wire format,
+  // parsed back and merged.  Identity of the outcomes is asserted, and the
+  // throughput pair lands in BENCH_E5.json so the sharding overhead (and
+  // any future regression in it) is tracked mechanically.
+  constexpr engine::JobId kCount = 400;
+  constexpr std::uint64_t kSeed = 13;
+  constexpr std::uint32_t kShards = 4;
+
+  engine::RandomSweep sweep;
+  sweep.nodes = 14;
+  sweep.span = 3;
+  sweep.seed = engine::sweep_configuration_seed(kSeed);
+  const engine::JobSource source = engine::random_jobs(sweep);
+
+  dist::SweepKey key;
+  key.description = "bench E5 sweep n=14 sigma=3 count=400";
+  key.digest = dist::sweep_digest(key.description);
+  key.seed = kSeed;
+  key.total_jobs = kCount;
+  key.protocols = {core::ProtocolSpec::canonical().name()};
+
+  double single_millis = 0.0;
+  engine::BatchReport single;
+  {
+    // Watch starts before the runner: the sharded path below pays its pool
+    // constructions inside the clock, so the single path must too.
+    support::Stopwatch watch;
+    engine::BatchRunner runner({.seed = kSeed});
+    single = runner.run(kCount, source);
+    single_millis = watch.millis();
+  }
+
+  // Sharded path, wire format included (that is what a real fleet pays).
+  double sharded_millis = 0.0;
+  double merge_millis = 0.0;
+  engine::BatchReport merged;
+  {
+    support::Stopwatch watch;
+    std::vector<dist::ShardReport> shards;
+    for (const dist::JobRange& range : dist::shard_ranges(kCount, kShards)) {
+      engine::BatchRunner runner({.seed = kSeed});
+      std::stringstream wire;
+      dist::write_shard_report(
+          dist::make_shard_report(key, range,
+                                  runner.run_range(range.begin, range.end, source)),
+          wire);
+      shards.push_back(dist::read_shard_report(wire));
+    }
+    support::Stopwatch merge_watch;
+    merged = dist::complete_report(dist::merge_shards(shards));
+    merge_millis = merge_watch.millis();
+    sharded_millis = watch.millis();
+  }
+  const bool identical = engine::same_results(merged, single);
+
+  // Coarse clocks can report 0 ms; keep the JSON numeric (no inf/nan).
+  const auto throughput = [](double millis) {
+    return millis > 0.0 ? static_cast<double>(kCount) / (millis / 1e3) : 0.0;
+  };
+  support::Table table({"path", "wall ms", "configs/s", "identical outcomes"});
+  table.set_precision(2);
+  table.add_row({std::string("single process"), single_millis, throughput(single_millis),
+                 std::string("-")});
+  table.add_row({std::string("4 shards + wire + merge"), sharded_millis,
+                 throughput(sharded_millis), std::string(identical ? "yes" : "NO (BUG)")});
+  benchsupport::print_table(
+      "E5 — sharded-vs-single sweep (400 configs, n=14, sigma=3): the distributed "
+      "pipeline reproduces the batch bit for bit",
+      table);
+
+  std::ofstream json("BENCH_E5.json");
+  json << "{\n"
+       << "  \"bench\": \"E5\",\n"
+       << "  \"workload\": \"" << key.description << "\",\n"
+       << "  \"jobs\": " << kCount << ",\n"
+       << "  \"shards\": " << kShards << ",\n"
+       << "  \"single_wall_ms\": " << single_millis << ",\n"
+       << "  \"single_jobs_per_s\": " << throughput(single_millis) << ",\n"
+       << "  \"sharded_wall_ms\": " << sharded_millis << ",\n"
+       << "  \"sharded_jobs_per_s\": " << throughput(sharded_millis) << ",\n"
+       << "  \"merge_wall_ms\": " << merge_millis << ",\n"
+       << "  \"identical_outcomes\": " << (identical ? "true" : "false") << "\n"
+       << "}\n";
+  json.flush();
+  if (!json) {
+    // The artifact is the point of E5: a silently missing file would read
+    // as "no data" in the perf trajectory, so say why it is missing.
+    std::cerr << "warning: could not write BENCH_E5.json in the current directory\n";
+  }
+}
+
 void print_tables() {
   print_e3_table();
   print_e3b_table();
   print_e3c_table();
   print_e4_table();
+  print_e5_table();
 }
 
 // ------------------------------------------------------------- timed series

@@ -1,0 +1,145 @@
+#include "dist/merge.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace arl::dist {
+
+namespace {
+
+std::string describe_mismatch(const char* field, const std::string& a, const std::string& b) {
+  return std::string("shard reports are from different sweeps: ") + field + " '" + a +
+         "' vs '" + b + "'";
+}
+
+/// Verifies that `shard` names the same sweep as `reference`.
+void check_same_sweep(const SweepKey& reference, const SweepKey& key) {
+  if (key.digest != reference.digest || key.description != reference.description) {
+    throw MergeError(
+        describe_mismatch("sweep", reference.description, key.description));
+  }
+  if (key.seed != reference.seed) {
+    throw MergeError(describe_mismatch("seed", std::to_string(reference.seed),
+                                       std::to_string(key.seed)));
+  }
+  if (key.total_jobs != reference.total_jobs) {
+    throw MergeError(describe_mismatch("job count", std::to_string(reference.total_jobs),
+                                       std::to_string(key.total_jobs)));
+  }
+  if (key.protocols != reference.protocols) {
+    const auto join = [](const std::vector<std::string>& names) {
+      std::string joined;
+      for (const std::string& name : names) {
+        if (!joined.empty()) {
+          joined += ',';
+        }
+        joined += name;
+      }
+      return joined;
+    };
+    throw MergeError(describe_mismatch("protocols", join(reference.protocols),
+                                       join(key.protocols)));
+  }
+}
+
+}  // namespace
+
+ShardReport merge_shards(const std::vector<ShardReport>& shards) {
+  if (shards.empty()) {
+    throw MergeError("nothing to merge: no shard reports given");
+  }
+
+  ShardReport merged;
+  merged.key = shards.front().key;
+
+  // Collect every range, then sort and check disjointness: overlap anywhere
+  // means two shards claim the same job, and their outcomes must not be
+  // double-counted (or worse, silently deduplicated).
+  for (const ShardReport& shard : shards) {
+    check_same_sweep(merged.key, shard.key);
+    merged.ranges.insert(merged.ranges.end(), shard.ranges.begin(), shard.ranges.end());
+  }
+  std::sort(merged.ranges.begin(), merged.ranges.end(),
+            [](const JobRange& a, const JobRange& b) { return a.begin < b.begin; });
+  for (std::size_t i = 1; i < merged.ranges.size(); ++i) {
+    if (merged.ranges[i].begin < merged.ranges[i - 1].end) {
+      throw MergeError("shard job ranges overlap at job " +
+                       std::to_string(merged.ranges[i].begin) +
+                       " — the same jobs were run twice");
+    }
+  }
+  // Coalesce adjacent ranges so the merged cover is in normal form (the
+  // wire format requires it, and it makes merge order unobservable).
+  std::vector<JobRange> coalesced;
+  for (const JobRange& range : merged.ranges) {
+    if (!coalesced.empty() && coalesced.back().end == range.begin) {
+      coalesced.back().end = range.end;
+    } else {
+      coalesced.push_back(range);
+    }
+  }
+  merged.ranges = std::move(coalesced);
+
+  // Reassemble outcomes in global job-id order and refold the aggregates —
+  // the same fold a single-process batch runs, so the merged report cannot
+  // drift from the unsharded one.
+  std::size_t total = 0;
+  for (const ShardReport& shard : shards) {
+    total += shard.report.jobs.size();
+  }
+  merged.report.jobs.reserve(total);
+  for (const ShardReport& shard : shards) {
+    merged.report.jobs.insert(merged.report.jobs.end(), shard.report.jobs.begin(),
+                              shard.report.jobs.end());
+  }
+  std::sort(merged.report.jobs.begin(), merged.report.jobs.end(),
+            [](const engine::JobOutcome& a, const engine::JobOutcome& b) { return a.id < b.id; });
+  engine::aggregate_outcomes(merged.report);
+
+  // Execution circumstances: wall time sums (total compute spent), the
+  // worker count reports the widest shard, cache counters sum when present.
+  for (const ShardReport& shard : shards) {
+    merged.report.wall_millis += shard.report.wall_millis;
+    merged.report.threads_used = std::max(merged.report.threads_used,
+                                          shard.report.threads_used);
+    if (shard.report.cache) {
+      engine::ScheduleCacheStats cache = merged.report.cache.value_or(engine::ScheduleCacheStats{});
+      cache.hits += shard.report.cache->hits;
+      cache.misses += shard.report.cache->misses;
+      cache.evictions += shard.report.cache->evictions;
+      cache.schedule_builds += shard.report.cache->schedule_builds;
+      // `entries` is a point-in-time residency gauge, not a monotonic
+      // counter: summing would overstate residency K-fold when shards cache
+      // the same configurations, so report the largest shard's residency.
+      cache.entries = std::max(cache.entries, shard.report.cache->entries);
+      merged.report.cache = cache;
+    }
+  }
+  return merged;
+}
+
+engine::BatchReport complete_report(ShardReport merged) {
+  const bool complete = merged.key.total_jobs == 0
+                            ? merged.ranges.empty()
+                            : merged.ranges.size() == 1 && merged.ranges[0].begin == 0 &&
+                                  merged.ranges[0].end == merged.key.total_jobs;
+  if (!complete) {
+    std::string covered;
+    for (const JobRange& range : merged.ranges) {
+      if (!covered.empty()) {
+        covered += ' ';
+      }
+      covered += '[';
+      covered += std::to_string(range.begin);
+      covered += ", ";
+      covered += std::to_string(range.end);
+      covered += ')';
+    }
+    throw MergeError("shards do not cover the sweep: jobs [0, " +
+                     std::to_string(merged.key.total_jobs) + ") needed, got " +
+                     (covered.empty() ? std::string("nothing") : covered));
+  }
+  return std::move(merged.report);
+}
+
+}  // namespace arl::dist

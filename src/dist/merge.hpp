@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file merge.hpp
+/// Folding shard reports back into one `BatchReport`.
+///
+/// The merge is an algebra over `ShardReport`s of the same sweep:
+/// `merge_shards` combines any set of shards with pairwise-disjoint job
+/// ranges into a partial report covering their union, and the operation is
+/// associative and order-insensitive — merging {s0, s1} then s2 equals
+/// merging s0 with {s1, s2} equals merging all three at once (asserted by
+/// tests/test_dist.cpp).  `complete_report` then requires the accumulated
+/// ranges to tile [0, total_jobs) exactly and produces the final
+/// `BatchReport`, bit-identical in every job outcome and every aggregate to
+/// the same sweep run unsharded in one process.
+///
+/// Verification is mandatory, not advisory: shards that disagree on the
+/// sweep identity (digest, description, seed, job count, protocol list) or
+/// whose ranges overlap throw `MergeError`, and a gapped cover is rejected
+/// at completion — a partial result can never masquerade as the sweep.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dist/report_io.hpp"
+
+namespace arl::dist {
+
+/// Thrown when shard reports cannot be merged: mismatched sweep identity,
+/// overlapping ranges, or an incomplete cover at completion time.
+class MergeError : public std::runtime_error {
+ public:
+  explicit MergeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Merges shard reports (at least one) of the same sweep into one partial
+/// report covering the union of their ranges.  Job outcomes are reassembled
+/// in global job-id order and the aggregates recomputed through the same
+/// fold a single-process batch uses (engine::aggregate_outcomes), so the
+/// result is independent of the order — or grouping — in which shards are
+/// merged.  Wall time is summed (total compute), the worker count is the
+/// maximum, and cache counters are summed when any shard carried them.
+/// Throws MergeError on identity mismatch or range overlap.
+[[nodiscard]] ShardReport merge_shards(const std::vector<ShardReport>& shards);
+
+/// Requires `merged` to cover [0, total_jobs) exactly and returns its
+/// BatchReport — the sweep's result, bit-identical to an unsharded run.
+/// Throws MergeError when jobs are missing.
+[[nodiscard]] engine::BatchReport complete_report(ShardReport merged);
+
+}  // namespace arl::dist

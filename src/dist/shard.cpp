@@ -1,0 +1,63 @@
+#include "dist/shard.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace arl::dist {
+
+std::string ShardSpec::name() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+ShardSpec parse_shard(std::string_view text) {
+  const auto fail = [&]() -> ShardSpec {
+    throw support::ContractViolation("shard must be i/K with 0 <= i < K (got '" +
+                                     std::string(text) + "')");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos || slash == 0 || slash + 1 == text.size()) {
+    return fail();
+  }
+  const std::string_view index_text = text.substr(0, slash);
+  const std::string_view count_text = text.substr(slash + 1);
+  const auto parse_u32 = [&](std::string_view digits) -> std::uint32_t {
+    if (digits.empty() || digits.size() > 9 ||
+        digits.find_first_not_of("0123456789") != std::string_view::npos) {
+      fail();
+    }
+    std::uint64_t value = 0;
+    for (const char c : digits) {
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return static_cast<std::uint32_t>(value);
+  };
+  ShardSpec shard{parse_u32(index_text), parse_u32(count_text)};
+  if (shard.count == 0 || shard.index >= shard.count) {
+    return fail();
+  }
+  return shard;
+}
+
+JobRange shard_range(engine::JobId total_jobs, const ShardSpec& shard) {
+  ARL_EXPECTS(shard.count >= 1 && shard.index < shard.count,
+              "shard index must be in [0, count)");
+  const engine::JobId base = total_jobs / shard.count;
+  const engine::JobId extra = total_jobs % shard.count;  // first `extra` shards take one more
+  const engine::JobId begin =
+      shard.index * base + std::min<engine::JobId>(shard.index, extra);
+  const engine::JobId size = base + (shard.index < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+std::vector<JobRange> shard_ranges(engine::JobId total_jobs, std::uint32_t count) {
+  ARL_EXPECTS(count >= 1, "a plan needs at least one shard");
+  std::vector<JobRange> ranges;
+  ranges.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ranges.push_back(shard_range(total_jobs, {i, count}));
+  }
+  return ranges;
+}
+
+}  // namespace arl::dist

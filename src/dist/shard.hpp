@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file shard.hpp
+/// Deterministic shard planner for distributed sweeps.
+///
+/// A sweep of N jobs is split across K processes (or hosts) by giving shard
+/// i the i-th of K contiguous job-id ranges.  The plan is a pure function of
+/// (N, K): every participant — workers started by `arl sweep --workers`,
+/// hand-launched `arl sweep --shard=i/K` invocations on different machines,
+/// the merge verifier — computes the same ranges without coordination.
+///
+/// Reproducibility contract: shard i/K of a sweep executes *exactly* the
+/// jobs a single-process run would execute for the ids in `shard_range(N,
+/// i/K)`, bit for bit.  This holds because (1) job sources are pure
+/// functions of the global job id (engine/job.hpp), (2) per-job coin seeds
+/// are `job_coin_seed(batch_seed, global id)` and `BatchRunner::run_range`
+/// executes a shard under the global ids, and (3) ranges are contiguous and
+/// tile [0, N) exactly, so the union of the shard outcomes is the
+/// single-process outcome vector (asserted by tests/test_dist.cpp at
+/// K ∈ {1, 2, 3, 7} across the full protocol registry).
+///
+/// Balance: ranges differ in size by at most one job — the first N mod K
+/// shards take ceil(N/K) jobs, the rest floor(N/K) — so no shard ever waits
+/// on a partner more than one job longer than itself.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/job.hpp"
+
+namespace arl::dist {
+
+/// Which of K shards this process runs: the "i/K" of `--shard=i/K`.
+struct ShardSpec {
+  std::uint32_t index = 0;  ///< shard number, in [0, count)
+  std::uint32_t count = 1;  ///< total number of shards K, >= 1
+
+  /// The "i/K" notation, round-trippable through parse_shard.
+  [[nodiscard]] std::string name() const;
+
+  friend bool operator==(const ShardSpec& a, const ShardSpec& b) = default;
+};
+
+/// Parses "i/K" (strict: decimal digits, one slash, i < K, K >= 1).  Throws
+/// support::ContractViolation on anything else.
+[[nodiscard]] ShardSpec parse_shard(std::string_view text);
+
+/// A half-open range of global job ids.
+struct JobRange {
+  engine::JobId begin = 0;
+  engine::JobId end = 0;
+
+  [[nodiscard]] engine::JobId size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin == end; }
+
+  friend bool operator==(const JobRange& a, const JobRange& b) = default;
+};
+
+/// The contiguous job-id range shard `shard.index` of `shard.count` runs in
+/// a sweep of `total_jobs` jobs (possibly empty when K > N).  Pure function
+/// of its arguments; ranges of the K shards tile [0, total_jobs) exactly.
+[[nodiscard]] JobRange shard_range(engine::JobId total_jobs, const ShardSpec& shard);
+
+/// All K ranges of the plan, in shard order (shard_ranges(N, K)[i] ==
+/// shard_range(N, {i, K})).
+[[nodiscard]] std::vector<JobRange> shard_ranges(engine::JobId total_jobs, std::uint32_t count);
+
+}  // namespace arl::dist

@@ -6,6 +6,7 @@
 #include <future>
 #include <utility>
 
+#include "support/assert.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 
@@ -43,6 +44,10 @@ JobOutcome execute_job(const BatchJob& job, JobId id, std::uint64_t batch_seed,
   JobOutcome outcome;
   outcome.id = id;
   outcome.protocol = job.protocol;
+  // Recorded unconditionally so any BatchReport can become a shard report
+  // (dist/report_io.hpp serializes it per job); the O(n+m) hash is noise
+  // next to the classification/simulation every job already pays.
+  outcome.config_fingerprint = config::fingerprint(job.configuration);
   outcome.disposition = report.disposition;
   outcome.nodes = job.configuration.size();
   outcome.span = job.configuration.span();
@@ -75,8 +80,10 @@ BatchRunner::BatchRunner(BatchOptions options)
     : options_(options), pool_(options.threads) {}
 
 template <typename Fetch>
-BatchReport BatchRunner::run_batch(JobId count, const Fetch& fetch) {
+BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch) {
+  ARL_EXPECTS(begin <= end, "job range must have begin <= end");
   support::Stopwatch watch;
+  const JobId count = end - begin;
   BatchReport report;
   report.jobs.resize(count);
   if (options_.keep_reports) {
@@ -98,17 +105,21 @@ BatchReport BatchRunner::run_batch(JobId count, const Fetch& fetch) {
   // worker's ElectionScratch is reused across every job it claims.
   const std::size_t workers =
       count == 0 ? 0 : std::min<std::size_t>(pool_.size(), static_cast<std::size_t>(count));
-  std::atomic<JobId> next{0};
+  // Workers claim *global* job ids: seeding and recorded outcomes use the
+  // id the job has in the whole sweep, while result slots are range-local —
+  // which is exactly why a shard run reproduces the unsharded jobs bit for
+  // bit (the shard offset never reaches job_coin_seed).
+  std::atomic<JobId> next{begin};
   std::vector<std::future<void>> futures;
   futures.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    futures.push_back(pool_.submit([this, count, &fetch, &next, &report, cache_handle]() {
+    futures.push_back(pool_.submit([this, begin, end, &fetch, &next, &report, cache_handle]() {
       core::ElectionScratch scratch;
       scratch.schedule_cache = cache_handle;
-      for (JobId id = next.fetch_add(1); id < count; id = next.fetch_add(1)) {
+      for (JobId id = next.fetch_add(1); id < end; id = next.fetch_add(1)) {
         decltype(auto) job = fetch(id);
-        core::ElectionReport* keep = options_.keep_reports ? &report.reports[id] : nullptr;
-        report.jobs[id] = execute_job(job, id, options_.seed, scratch, keep);
+        core::ElectionReport* keep = options_.keep_reports ? &report.reports[id - begin] : nullptr;
+        report.jobs[id - begin] = execute_job(job, id, options_.seed, scratch, keep);
       }
     }));
   }
@@ -129,6 +140,42 @@ BatchReport BatchRunner::run_batch(JobId count, const Fetch& fetch) {
     std::rethrow_exception(first_error);
   }
 
+  aggregate_outcomes(report);
+  report.threads_used = workers;
+  if (cache) {
+    report.cache = cache->stats();
+  }
+  report.wall_millis = watch.millis();
+  return report;
+}
+
+BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs) {
+  return run_batch(0, static_cast<JobId>(jobs.size()),
+                   [&jobs](JobId id) -> const BatchJob& {
+                     return jobs[static_cast<std::size_t>(id)];
+                   });
+}
+
+BatchReport BatchRunner::run(JobId count, const JobSource& source) {
+  return run_batch(0, count, [&source](JobId id) { return source(id); });
+}
+
+BatchReport BatchRunner::run_range(JobId begin, JobId end, const JobSource& source) {
+  return run_batch(begin, end, [&source](JobId id) { return source(id); });
+}
+
+BatchReport run_batch(const std::vector<BatchJob>& jobs, BatchOptions options) {
+  BatchRunner runner(options);
+  return runner.run(jobs);
+}
+
+void aggregate_outcomes(BatchReport& report) {
+  report.by_protocol.clear();
+  report.feasible_count = 0;
+  report.valid_count = 0;
+  report.total_local_rounds = 0;
+  report.max_local_rounds = 0;
+  report.total_stats = {};
   for (const JobOutcome& outcome : report.jobs) {
     report.feasible_count += outcome.feasible ? 1 : 0;
     report.valid_count += outcome.valid ? 1 : 0;
@@ -157,28 +204,13 @@ BatchReport BatchRunner::run_batch(JobId count, const Fetch& fetch) {
     row->max_local_rounds = std::max(row->max_local_rounds, outcome.local_rounds);
     accumulate(row->stats, outcome.stats);
   }
-  report.threads_used = workers;
-  if (cache) {
-    report.cache = cache->stats();
-  }
-  report.wall_millis = watch.millis();
-  return report;
 }
 
-BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs) {
-  return run_batch(static_cast<JobId>(jobs.size()),
-                   [&jobs](JobId id) -> const BatchJob& {
-                     return jobs[static_cast<std::size_t>(id)];
-                   });
-}
-
-BatchReport BatchRunner::run(JobId count, const JobSource& source) {
-  return run_batch(count, [&source](JobId id) { return source(id); });
-}
-
-BatchReport run_batch(const std::vector<BatchJob>& jobs, BatchOptions options) {
-  BatchRunner runner(options);
-  return runner.run(jobs);
+bool same_results(const BatchReport& a, const BatchReport& b) {
+  return a.jobs == b.jobs && a.by_protocol == b.by_protocol &&
+         a.feasible_count == b.feasible_count && a.valid_count == b.valid_count &&
+         a.total_local_rounds == b.total_local_rounds &&
+         a.max_local_rounds == b.max_local_rounds && a.total_stats == b.total_stats;
 }
 
 }  // namespace arl::engine

@@ -16,6 +16,7 @@
 #include <optional>
 #include <vector>
 
+#include "config/fingerprint.hpp"
 #include "engine/job.hpp"
 #include "engine/schedule_cache.hpp"
 #include "radio/simulator.hpp"
@@ -48,6 +49,7 @@ struct BatchOptions {
 struct JobOutcome {
   JobId id = 0;
   core::ProtocolSpec protocol = {};        ///< the protocol that ran (protocol.name() to print)
+  config::Fingerprint config_fingerprint = 0;  ///< config::fingerprint of the job's configuration
   core::Disposition disposition = core::Disposition::NotSimulated;
   graph::NodeId nodes = 0;                 ///< configuration size n
   config::Tag span = 0;                    ///< configuration span σ
@@ -85,14 +87,19 @@ struct ProtocolBreakdown {
 
 /// Aggregated result of one batch.
 struct BatchReport {
-  /// Per-job outcomes, indexed by job id (jobs[i].id == i).
+  /// Per-job outcomes in job-id order.  For a whole-batch run jobs[i].id ==
+  /// i; for a run_range() shard the ids are the global ones, jobs[i].id ==
+  /// begin + i, so shard reports from different processes can be merged
+  /// without renumbering (see dist/merge.hpp).
   std::vector<JobOutcome> jobs;
 
   /// Per-protocol aggregates, ordered by first appearance in job-id order
   /// (deterministic, hence thread-count-invariant like everything else).
   std::vector<ProtocolBreakdown> by_protocol;
 
-  /// Full reports, indexed by job id; empty unless BatchOptions::keep_reports.
+  /// Full reports, parallel to `jobs` (reports[i] belongs to jobs[i] — a
+  /// range-local index, not the global job id); empty unless
+  /// BatchOptions::keep_reports.
   std::vector<core::ElectionReport> reports;
 
   std::uint64_t feasible_count = 0;        ///< jobs with a feasible verdict
@@ -128,9 +135,17 @@ class BatchRunner {
   /// Runs jobs 0..count-1 produced on demand by `source`.
   [[nodiscard]] BatchReport run(JobId count, const JobSource& source);
 
+  /// Runs the contiguous global-id range [begin, end) of a larger sweep: one
+  /// shard of a distributed run.  Jobs keep their *global* ids — `source` is
+  /// queried with them, per-job coin seeds derive from them, and the
+  /// outcomes record them — so the union of shard reports over a partition
+  /// of [0, count) is bit-identical to run(count, source) in one process
+  /// (asserted by tests/test_dist.cpp).
+  [[nodiscard]] BatchReport run_range(JobId begin, JobId end, const JobSource& source);
+
  private:
   template <typename Fetch>
-  BatchReport run_batch(JobId count, const Fetch& fetch);
+  BatchReport run_batch(JobId begin, JobId end, const Fetch& fetch);
 
   BatchOptions options_;
   support::ThreadPool pool_;
@@ -138,5 +153,19 @@ class BatchRunner {
 
 /// One-shot convenience: construct a runner, execute, return the report.
 [[nodiscard]] BatchReport run_batch(const std::vector<BatchJob>& jobs, BatchOptions options = {});
+
+/// Recomputes `report`'s aggregates (feasible/valid counts, round totals,
+/// channel statistics, per-protocol breakdowns) from `report.jobs`, replacing
+/// whatever was there.  The one aggregation fold in the repository: the
+/// runner assembles every batch through it, and the distributed merge layer
+/// reuses it so a merged report aggregates exactly like a single-process one.
+void aggregate_outcomes(BatchReport& report);
+
+/// True when two reports hold bit-identical *results*: the same per-job
+/// outcomes and the same aggregates.  Execution circumstances — wall time,
+/// worker count, cache counters, retained full reports — are deliberately
+/// ignored: they describe how a batch ran, not what it computed, and the
+/// sharded-vs-single contract (dist/) is stated over results only.
+[[nodiscard]] bool same_results(const BatchReport& a, const BatchReport& b);
 
 }  // namespace arl::engine

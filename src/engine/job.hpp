@@ -14,6 +14,11 @@
 /// s is `job_coin_seed(s, i)` — a pure function of (s, i), never of the
 /// thread that happens to execute the job.  A BatchRunner sweep is therefore
 /// bit-identical across thread counts (asserted by tests/test_engine.cpp).
+/// The id in the contract is always the job's *global* id in its sweep:
+/// `BatchRunner::run_range` executes a sub-range of a sweep under the
+/// original ids, which is what lets the distributed layer (src/dist/) split
+/// one sweep across processes and merge reports that are bit-identical to a
+/// single-process run (asserted by tests/test_dist.cpp).
 
 #include <cstdint>
 #include <functional>

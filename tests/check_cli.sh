@@ -11,6 +11,35 @@ fail() {
   failures=$((failures + 1))
 }
 
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Exit-code contract: help and no-args print the reference and exit 0;
+# unknown commands and malformed flag values uniformly exit 2.
+out=$("$cli" 2>&1)
+[ $? -eq 0 ] || fail "no-args should print usage and exit 0"
+case "$out" in
+  *usage:*) ;;
+  *) fail "no-args output should contain the usage reference" ;;
+esac
+"$cli" help >/dev/null 2>&1
+[ $? -eq 0 ] || fail "'arl help' should exit 0"
+"$cli" --help >/dev/null 2>&1
+[ $? -eq 0 ] || fail "'arl --help' should exit 0"
+"$cli" frobnicate >/dev/null 2>&1
+[ $? -eq 2 ] || fail "unknown command should exit 2"
+
+# Pathological --threads values are usage errors, not thread storms.
+for value in -1 257 100000 lots; do
+  out=$("$cli" sweep --threads=$value --count=1 2>&1)
+  status=$?
+  [ "$status" -eq 2 ] || fail "--threads=$value: expected exit 2, got $status"
+  case "$out" in
+    *threads*) ;;
+    *) fail "--threads=$value error should mention the flag: $out" ;;
+  esac
+done
+
 # Unknown --protocol values exit 2 with an error listing the registry.
 out=$("$cli" sweep --protocol=bogus --count=1 2>&1)
 status=$?
@@ -89,6 +118,81 @@ for flags in "" "--cache=off" "--cache=0"; do
     *) ;;
   esac
 done
+
+# ----------------------------------------------------------- sharded sweeps
+
+# Malformed --shard values and conflicting distributed flags exit 2.
+for value in bogus 2/2 0/0 1/ /2 1.5/2; do
+  "$cli" sweep --shard=$value --count=1 >/dev/null 2>&1
+  [ $? -eq 2 ] || fail "--shard=$value should exit 2"
+done
+"$cli" sweep --shard=0/2 --workers=2 --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--shard with --workers should exit 2"
+"$cli" sweep --out="$tmpdir/x" --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--out without --shard should exit 2"
+"$cli" sweep --shard=0/2 --out= --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "empty --out= should exit 2, not fall back to stdout"
+for value in 0 257 bogus; do
+  "$cli" sweep --workers=$value --count=1 >/dev/null 2>&1
+  [ $? -eq 2 ] || fail "--workers=$value should exit 2"
+done
+
+# Shard emission + merge reassembles the exact unsharded report (wall time,
+# worker count and throughput are execution circumstances, filtered out;
+# whitespace is squeezed because column widths align to the widest cell,
+# which may be a filtered row's wall-time digits).
+sweep_flags="--count=12 --n=8 --protocol=canonical --protocol=classify"
+filter() {
+  grep -vE "wall time|jobs per second|worker threads" "$1" | sed -E 's/ +/ /g; s/-+/-/g'
+}
+"$cli" sweep $sweep_flags > "$tmpdir/single.txt" 2>&1 ||
+  fail "unsharded reference sweep should exit 0"
+"$cli" sweep $sweep_flags --shard=0/2 --out="$tmpdir/s0.txt" >/dev/null 2>&1 ||
+  fail "shard 0/2 should run and exit 0"
+"$cli" sweep $sweep_flags --shard=1/2 --out="$tmpdir/s1.txt" >/dev/null 2>&1 ||
+  fail "shard 1/2 should run and exit 0"
+head -1 "$tmpdir/s0.txt" | grep -q "arl-shard-report" ||
+  fail "shard output should be a versioned shard report"
+"$cli" merge "$tmpdir/s0.txt" "$tmpdir/s1.txt" > "$tmpdir/merged.txt" 2>&1 ||
+  fail "merge of both shards should exit 0"
+if ! diff <(filter "$tmpdir/merged.txt") <(filter "$tmpdir/single.txt") >/dev/null; then
+  fail "merged shard report should print exactly the unsharded sweep tables"
+fi
+
+# A shard report also lands on stdout when --out is absent.
+"$cli" sweep $sweep_flags --shard=0/2 2>/dev/null | head -1 | grep -q "arl-shard-report" ||
+  fail "--shard without --out should write the report to stdout"
+
+# The local worker driver is the same pipeline end-to-end.
+"$cli" sweep $sweep_flags --workers=2 > "$tmpdir/workers.txt" 2>&1 ||
+  fail "--workers=2 sweep should exit 0"
+if ! diff <(filter "$tmpdir/workers.txt") <(filter "$tmpdir/single.txt") >/dev/null; then
+  fail "--workers sweep should print exactly the unsharded sweep tables"
+fi
+
+# Bad merges are usage errors: nothing, unreadable, gap, overlap, corruption.
+"$cli" merge >/dev/null 2>&1
+[ $? -eq 2 ] || fail "merge without files should exit 2"
+"$cli" merge "$tmpdir/does-not-exist" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "merge of a missing file should exit 2"
+"$cli" merge "$tmpdir/s0.txt" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "merge with a gap (missing shard) should exit 2"
+"$cli" merge "$tmpdir/s0.txt" "$tmpdir/s0.txt" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "merge with overlapping shards should exit 2"
+sed 's/^arl-shard-report 1$/arl-shard-report 99/' "$tmpdir/s0.txt" > "$tmpdir/bad-version.txt"
+out=$("$cli" merge "$tmpdir/bad-version.txt" "$tmpdir/s1.txt" 2>&1)
+[ $? -eq 2 ] || fail "merge of a version-mismatched report should exit 2"
+case "$out" in
+  *version*) ;;
+  *) fail "version-mismatch error should say so: $out" ;;
+esac
+head -5 "$tmpdir/s0.txt" > "$tmpdir/truncated.txt"
+"$cli" merge "$tmpdir/truncated.txt" "$tmpdir/s1.txt" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "merge of a truncated report should exit 2"
+"$cli" sweep $sweep_flags --seed=2 --shard=1/2 --out="$tmpdir/other-seed.txt" >/dev/null 2>&1 ||
+  fail "other-seed shard should run and exit 0"
+"$cli" merge "$tmpdir/s0.txt" "$tmpdir/other-seed.txt" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "merge of shards from different seeds should exit 2"
 
 if [ "$failures" -gt 0 ]; then
   exit 1

@@ -1,0 +1,321 @@
+/// \file test_dist.cpp
+/// The distributed sweep subsystem's contract: the shard planner tiles any
+/// sweep exactly; shard reports round-trip through the wire format; and the
+/// merge algebra — associative, order-insensitive — reassembles shard runs
+/// into a report bit-identical to the unsharded one, for K ∈ {1, 2, 3, 7}
+/// across the full protocol registry.  Malformed, overlapping or mismatched
+/// inputs are rejected, never merged silently.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dist/merge.hpp"
+#include "dist/report_io.hpp"
+#include "dist/shard.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/schedule_cache.hpp"
+#include "engine/sweep.hpp"
+#include "support/assert.hpp"
+
+namespace {
+
+using namespace arl;
+
+// ---------------------------------------------------------------- the sweep
+// The workload the algebra suites shard: a random sweep crossed with every
+// registered protocol, so merge correctness is checked on mixed-protocol
+// reports (per-protocol breakdown rows, baselines that fail out of model,
+// randomized dispositions) rather than a single uniform batch.
+
+constexpr std::uint64_t kSeed = 77;
+constexpr engine::JobId kConfigurations = 6;
+
+engine::CountedSweep registry_sweep() {
+  engine::RandomSweep sweep;
+  sweep.nodes = 8;
+  sweep.span = 3;
+  sweep.seed = engine::sweep_configuration_seed(kSeed);
+  sweep.protocols = core::registered_protocols();
+  return {kConfigurations * sweep.protocols.size(), engine::random_jobs(sweep)};
+}
+
+dist::SweepKey registry_key(const engine::CountedSweep& sweep) {
+  dist::SweepKey key;
+  key.description = "test registry sweep n=8 sigma=3";
+  key.digest = dist::sweep_digest(key.description);
+  key.seed = kSeed;
+  key.total_jobs = sweep.count;
+  for (const core::ProtocolSpec& protocol : core::registered_protocols()) {
+    key.protocols.push_back(protocol.name());
+  }
+  return key;
+}
+
+engine::BatchReport run_unsharded(const engine::CountedSweep& sweep) {
+  engine::BatchRunner runner({.threads = 2, .seed = kSeed});
+  return runner.run(sweep.count, sweep.source);
+}
+
+/// Runs every shard of a K-way plan in its own runner (as separate worker
+/// processes would) and serializes + reparses each report, so every merge
+/// test also exercises the wire format.
+std::vector<dist::ShardReport> run_shards(const engine::CountedSweep& sweep, std::uint32_t k,
+                                          std::size_t cache_capacity = 0) {
+  const dist::SweepKey key = registry_key(sweep);
+  std::vector<dist::ShardReport> shards;
+  for (const dist::JobRange& range : dist::shard_ranges(sweep.count, k)) {
+    engine::BatchRunner runner({.threads = 2, .seed = kSeed, .cache_capacity = cache_capacity});
+    engine::BatchReport report = runner.run_range(range.begin, range.end, sweep.source);
+    const dist::ShardReport shard = dist::make_shard_report(key, range, std::move(report));
+    std::stringstream wire;
+    dist::write_shard_report(shard, wire);
+    shards.push_back(dist::read_shard_report(wire));
+  }
+  return shards;
+}
+
+// ------------------------------------------------------------ shard planner
+
+TEST(ShardPlanner, RangesTileEveryTotalExactly) {
+  for (const engine::JobId total : {0ull, 1ull, 2ull, 5ull, 7ull, 64ull, 1000ull, 1001ull}) {
+    for (std::uint32_t k = 1; k <= 16; ++k) {
+      const std::vector<dist::JobRange> ranges = dist::shard_ranges(total, k);
+      ASSERT_EQ(ranges.size(), k);
+      engine::JobId next = 0;
+      engine::JobId smallest = total;
+      engine::JobId largest = 0;
+      for (std::uint32_t i = 0; i < k; ++i) {
+        EXPECT_EQ(ranges[i], dist::shard_range(total, {i, k}));
+        EXPECT_EQ(ranges[i].begin, next) << "gap or overlap at shard " << i;
+        EXPECT_LE(ranges[i].begin, ranges[i].end);
+        next = ranges[i].end;
+        smallest = std::min(smallest, ranges[i].size());
+        largest = std::max(largest, ranges[i].size());
+      }
+      EXPECT_EQ(next, total) << "plan must cover [0, total) exactly";
+      EXPECT_LE(largest - smallest, 1u) << "shards must be balanced to within one job";
+    }
+  }
+}
+
+TEST(ShardPlanner, SpecParsesAndRoundTrips) {
+  for (std::uint32_t k = 1; k <= 9; ++k) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      const dist::ShardSpec spec{i, k};
+      EXPECT_EQ(dist::parse_shard(spec.name()), spec);
+    }
+  }
+  for (const char* bad : {"", "/", "1/", "/2", "2/2", "3/2", "0/0", "a/2", "1/b", "1/2/3",
+                          "-1/2", "1.0/2", " 1/2", "1/2 "}) {
+    EXPECT_THROW((void)dist::parse_shard(bad), support::ContractViolation) << bad;
+  }
+}
+
+// ------------------------------------------------------------- wire format
+
+TEST(ReportIo, ShardReportsRoundTripExactly) {
+  const engine::CountedSweep sweep = registry_sweep();
+  const dist::SweepKey key = registry_key(sweep);
+  for (const dist::JobRange& range : dist::shard_ranges(sweep.count, 3)) {
+    engine::BatchRunner runner({.threads = 1, .seed = kSeed});
+    const dist::ShardReport shard = dist::make_shard_report(
+        key, range, runner.run_range(range.begin, range.end, sweep.source));
+
+    std::stringstream wire;
+    dist::write_shard_report(shard, wire);
+    const dist::ShardReport parsed = dist::read_shard_report(wire);
+
+    EXPECT_EQ(parsed.key, shard.key);
+    EXPECT_EQ(parsed.ranges, shard.ranges);
+    EXPECT_TRUE(engine::same_results(parsed.report, shard.report));
+    EXPECT_EQ(parsed.report.wall_millis, shard.report.wall_millis);
+    EXPECT_EQ(parsed.report.threads_used, shard.report.threads_used);
+    EXPECT_EQ(parsed.report.cache.has_value(), shard.report.cache.has_value());
+
+    // Serialization is canonical: writing the parse reproduces the bytes.
+    std::stringstream rewire;
+    dist::write_shard_report(parsed, rewire);
+    EXPECT_EQ(rewire.str(), wire.str());
+  }
+}
+
+TEST(ReportIo, CacheStatsSurviveTheRoundTrip) {
+  const engine::CountedSweep sweep = registry_sweep();
+  const std::vector<dist::ShardReport> shards =
+      run_shards(sweep, 2, engine::ScheduleCache::kDefaultCapacity);
+  for (const dist::ShardReport& shard : shards) {
+    ASSERT_TRUE(shard.report.cache.has_value());
+    EXPECT_GT(shard.report.cache->misses, 0u);
+  }
+  const dist::ShardReport merged = dist::merge_shards(shards);
+  ASSERT_TRUE(merged.report.cache.has_value());
+  EXPECT_EQ(merged.report.cache->misses,
+            shards[0].report.cache->misses + shards[1].report.cache->misses);
+}
+
+TEST(ReportIo, RejectsVersionMismatch) {
+  const engine::CountedSweep sweep = registry_sweep();
+  std::stringstream wire;
+  dist::write_shard_report(run_shards(sweep, 2).front(), wire);
+  std::string text = wire.str();
+  const std::string header = "arl-shard-report 1";
+  ASSERT_EQ(text.compare(0, header.size(), header), 0);
+  text.replace(0, header.size(), "arl-shard-report 2");
+  std::istringstream bumped(text);
+  EXPECT_THROW((void)dist::read_shard_report(bumped), dist::ReportFormatError);
+}
+
+TEST(ReportIo, RejectsEveryTruncation) {
+  const engine::CountedSweep sweep = registry_sweep();
+  std::stringstream wire;
+  dist::write_shard_report(run_shards(sweep, 2).front(), wire);
+  const std::string text = wire.str();
+  // Dropping any suffix of whole lines loses the `end` marker (or the
+  // counts stop agreeing): every prefix must be rejected.
+  for (std::size_t cut = text.find('\n'); cut + 1 < text.size(); cut = text.find('\n', cut + 1)) {
+    std::istringstream truncated(text.substr(0, cut + 1));
+    EXPECT_THROW((void)dist::read_shard_report(truncated), dist::ReportFormatError);
+  }
+}
+
+TEST(ReportIo, MakeShardReportRejectsMismatchedIds) {
+  const engine::CountedSweep sweep = registry_sweep();
+  const dist::SweepKey key = registry_key(sweep);
+  engine::BatchRunner runner({.threads = 1, .seed = kSeed});
+  engine::BatchReport report = runner.run_range(0, 5, sweep.source);
+  // Claiming a different range than the one that ran is a misuse.
+  EXPECT_THROW((void)dist::make_shard_report(key, {5, 10}, report), support::ContractViolation);
+  EXPECT_THROW((void)dist::make_shard_report(key, {0, 4}, report), support::ContractViolation);
+}
+
+// ------------------------------------------------------------ merge algebra
+
+TEST(MergeAlgebra, ShardedRunsMergeBitIdenticalToUnsharded) {
+  const engine::CountedSweep sweep = registry_sweep();
+  const engine::BatchReport unsharded = run_unsharded(sweep);
+  ASSERT_EQ(unsharded.jobs.size(), sweep.count);
+  for (const std::uint32_t k : {1u, 2u, 3u, 7u}) {
+    const engine::BatchReport merged =
+        dist::complete_report(dist::merge_shards(run_shards(sweep, k)));
+    EXPECT_TRUE(engine::same_results(merged, unsharded)) << "K = " << k;
+    // Spot-check that same_results covered what the acceptance criterion
+    // names: per-job outcomes (ids, dispositions, fingerprints) and the
+    // per-protocol aggregate rows.
+    ASSERT_EQ(merged.jobs.size(), unsharded.jobs.size());
+    EXPECT_EQ(merged.jobs == unsharded.jobs, true);
+    EXPECT_EQ(merged.by_protocol == unsharded.by_protocol, true);
+  }
+}
+
+TEST(MergeAlgebra, MergeIsOrderInsensitive) {
+  const engine::CountedSweep sweep = registry_sweep();
+  std::vector<dist::ShardReport> shards = run_shards(sweep, 3);
+  const engine::BatchReport forward = dist::complete_report(dist::merge_shards(shards));
+  std::reverse(shards.begin(), shards.end());
+  const engine::BatchReport backward = dist::complete_report(dist::merge_shards(shards));
+  std::swap(shards[0], shards[1]);
+  const engine::BatchReport shuffled = dist::complete_report(dist::merge_shards(shards));
+  EXPECT_TRUE(engine::same_results(forward, backward));
+  EXPECT_TRUE(engine::same_results(forward, shuffled));
+}
+
+TEST(MergeAlgebra, MergeIsAssociative) {
+  const engine::CountedSweep sweep = registry_sweep();
+  const std::vector<dist::ShardReport> shards = run_shards(sweep, 7);
+
+  // ((s0 + s1) + (s2 + s3 + s4)) + (s5 + s6), versus one flat merge.
+  const dist::ShardReport left = dist::merge_shards({shards[0], shards[1]});
+  const dist::ShardReport middle = dist::merge_shards({shards[2], shards[3], shards[4]});
+  const dist::ShardReport right = dist::merge_shards({shards[5], shards[6]});
+  const dist::ShardReport nested = dist::merge_shards({dist::merge_shards({left, middle}), right});
+  const engine::BatchReport flat = dist::complete_report(dist::merge_shards(shards));
+  EXPECT_TRUE(engine::same_results(dist::complete_report(nested), flat));
+
+  // A partial merge round-trips through the wire format too (a coordinator
+  // can re-ship a combined report), with coalesced multi-range covers.
+  const dist::ShardReport gappy = dist::merge_shards({shards[0], shards[2]});
+  EXPECT_EQ(gappy.ranges.size(), 2u);
+  std::stringstream wire;
+  dist::write_shard_report(gappy, wire);
+  const dist::ShardReport reparsed = dist::read_shard_report(wire);
+  EXPECT_EQ(reparsed.ranges, gappy.ranges);
+  EXPECT_TRUE(engine::same_results(reparsed.report, gappy.report));
+}
+
+TEST(MergeAlgebra, RejectsOverlapGapAndForeignShards) {
+  const engine::CountedSweep sweep = registry_sweep();
+  const std::vector<dist::ShardReport> shards = run_shards(sweep, 3);
+
+  // Overlap: the same shard twice claims the same jobs.
+  EXPECT_THROW((void)dist::merge_shards({shards[0], shards[0]}), dist::MergeError);
+
+  // Gap: a partial merge is representable, but completing it is not.
+  EXPECT_THROW((void)dist::complete_report(dist::merge_shards({shards[0], shards[2]})),
+               dist::MergeError);
+
+  // Foreign shard: same shape, different sweep identity fields.
+  for (const char* field : {"digest", "seed", "jobs", "protocols"}) {
+    dist::ShardReport foreign = shards[1];
+    if (std::string(field) == "digest") {
+      foreign.key.description += " (edited)";
+      foreign.key.digest = dist::sweep_digest(foreign.key.description);
+    } else if (std::string(field) == "seed") {
+      foreign.key.seed += 1;
+    } else if (std::string(field) == "jobs") {
+      foreign.key.total_jobs += 1;
+    } else {
+      foreign.key.protocols.pop_back();
+    }
+    EXPECT_THROW((void)dist::merge_shards({shards[0], foreign}), dist::MergeError) << field;
+  }
+
+  // Nothing at all.
+  EXPECT_THROW((void)dist::merge_shards({}), dist::MergeError);
+}
+
+TEST(MergeAlgebra, EmptySweepMergesToEmptyReport) {
+  engine::CountedSweep empty;
+  empty.count = 0;
+  empty.source = [](engine::JobId) -> engine::BatchJob {
+    throw support::ContractViolation("an empty sweep has no jobs");
+  };
+  dist::SweepKey key;
+  key.description = "empty";
+  key.digest = dist::sweep_digest(key.description);
+  key.total_jobs = 0;
+  key.protocols = {core::ProtocolSpec::canonical().name()};
+
+  std::vector<dist::ShardReport> shards;
+  for (const dist::JobRange& range : dist::shard_ranges(0, 3)) {
+    engine::BatchRunner runner({.threads = 1});
+    engine::BatchReport report = runner.run_range(range.begin, range.end, empty.source);
+    const dist::ShardReport shard = dist::make_shard_report(key, range, std::move(report));
+    std::stringstream wire;
+    dist::write_shard_report(shard, wire);
+    shards.push_back(dist::read_shard_report(wire));
+  }
+  const engine::BatchReport merged = dist::complete_report(dist::merge_shards(shards));
+  EXPECT_TRUE(merged.jobs.empty());
+  EXPECT_TRUE(merged.by_protocol.empty());
+}
+
+// ----------------------------------------------------- engine range contract
+
+TEST(RunRange, ShardOutcomesEqualTheUnshardedSlice) {
+  const engine::CountedSweep sweep = registry_sweep();
+  const engine::BatchReport unsharded = run_unsharded(sweep);
+  for (const dist::JobRange& range : dist::shard_ranges(sweep.count, 4)) {
+    engine::BatchRunner runner({.threads = 1, .seed = kSeed});
+    const engine::BatchReport shard = runner.run_range(range.begin, range.end, sweep.source);
+    ASSERT_EQ(shard.jobs.size(), range.size());
+    for (std::size_t i = 0; i < shard.jobs.size(); ++i) {
+      EXPECT_EQ(shard.jobs[i], unsharded.jobs[static_cast<std::size_t>(range.begin) + i]);
+    }
+  }
+}
+
+}  // namespace

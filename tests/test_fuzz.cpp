@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "config/families.hpp"
 #include "config/fingerprint.hpp"
@@ -21,6 +24,11 @@
 #include "core/patient.hpp"
 #include "core/schedule.hpp"
 #include "core/schedule_io.hpp"
+#include "dist/merge.hpp"
+#include "dist/report_io.hpp"
+#include "dist/shard.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/sweep.hpp"
 #include "graph/generators.hpp"
 #include "helpers.hpp"
 #include "lowerbounds/universal.hpp"
@@ -286,6 +294,133 @@ TEST(FingerprintFuzz, TenThousandRandomConfigurationsNeverShareFalsely) {
   // Sanity on the workload itself: the small-configuration space guarantees
   // honest repeats, so the no-false-sharing branch above really executed.
   EXPECT_GT(duplicates, 0u);
+}
+
+// ----------------------------------------------------- shard report parser
+
+/// One small but representative shard report (mixed protocols, a cache
+/// line, a multi-range cover) to mutate.
+std::string reference_shard_report_text() {
+  engine::RandomSweep sweep;
+  sweep.nodes = 6;
+  sweep.span = 2;
+  sweep.seed = engine::sweep_configuration_seed(11);
+  sweep.protocols = {core::ProtocolSpec::canonical(), core::ProtocolSpec::binary_search()};
+  const engine::CountedSweep counted{8, engine::random_jobs(sweep)};
+
+  dist::SweepKey key;
+  key.description = "fuzz sweep n=6 sigma=2";
+  key.digest = dist::sweep_digest(key.description);
+  key.seed = 11;
+  key.total_jobs = counted.count;
+  for (const core::ProtocolSpec& protocol : sweep.protocols) {
+    key.protocols.push_back(protocol.name());
+  }
+
+  engine::BatchRunner runner({.threads = 1, .seed = 11, .cache_capacity = 64});
+  std::vector<dist::ShardReport> pieces;
+  for (const dist::JobRange range : {dist::JobRange{0, 3}, dist::JobRange{5, 8}}) {
+    engine::BatchReport report = runner.run_range(range.begin, range.end, counted.source);
+    pieces.push_back(dist::make_shard_report(key, range, std::move(report)));
+  }
+  std::ostringstream out;
+  dist::write_shard_report(dist::merge_shards(pieces), out);
+  return out.str();
+}
+
+TEST(ShardReportFuzz, StructuralMutationsAreAlwaysRejected) {
+  const std::string text = reference_shard_report_text();
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(text);
+    for (std::string line; std::getline(in, line);) {
+      lines.push_back(line);
+    }
+  }
+  const auto joined = [](const std::vector<std::string>& parts) {
+    std::string all;
+    for (const std::string& part : parts) {
+      all += part;
+      all += '\n';
+    }
+    return all;
+  };
+  const auto expect_rejected = [](const std::string& mutated, const std::string& what) {
+    std::istringstream in(mutated);
+    EXPECT_THROW((void)dist::read_shard_report(in), dist::ReportFormatError) << what;
+  };
+
+  // Dropping, duplicating or swapping any line breaks the grammar, a
+  // count, a cross-check — or, for mutations the grammar itself would
+  // accept (the optional cache line removed, a protocol line doubled), the
+  // whole-body digest on the `end` line.
+  for (std::size_t drop = 0; drop < lines.size(); ++drop) {
+    std::vector<std::string> mutated = lines;
+    mutated.erase(mutated.begin() + static_cast<std::ptrdiff_t>(drop));
+    expect_rejected(joined(mutated), "dropped line " + std::to_string(drop));
+  }
+  for (std::size_t dup = 1; dup < lines.size(); ++dup) {
+    std::vector<std::string> mutated = lines;
+    mutated.insert(mutated.begin() + static_cast<std::ptrdiff_t>(dup), lines[dup]);
+    expect_rejected(joined(mutated), "duplicated line " + std::to_string(dup));
+  }
+  for (std::size_t at = 0; at + 1 < lines.size(); ++at) {
+    std::vector<std::string> mutated = lines;
+    std::swap(mutated[at], mutated[at + 1]);
+    expect_rejected(joined(mutated), "swapped lines " + std::to_string(at));
+  }
+  // Trailing garbage after `end` is rejected.
+  expect_rejected(text + "job 9 canonical elected 6 2 1 1 1 0 1 1 1 1 " +
+                      std::string(16, '0') + " 0 0 0 0 0\n",
+                  "appended job line");
+  expect_rejected(text + "#\n", "appended comment");
+}
+
+TEST(ShardReportFuzz, EverySingleByteCorruptionIsRejected) {
+  // The `end` line digests every byte above it, so no single-character
+  // corruption anywhere in the file may parse — not even in fields the
+  // grammar and the breakdown cross-check would both accept, like a
+  // node-count digit or a configuration fingerprint.  Exhaustive over
+  // every byte position (digit replacement) plus a randomized pass with
+  // arbitrary printable replacements.
+  const std::string text = reference_shard_report_text();
+  for (std::size_t at = 0; at + 1 < text.size(); ++at) {  // final '\n' stays
+    std::string mutated = text;
+    mutated[at] = mutated[at] == '7' ? '8' : '7';
+    std::istringstream in(mutated);
+    EXPECT_THROW((void)dist::read_shard_report(in), dist::ReportFormatError)
+        << "corruption at byte " << at << " was accepted";
+  }
+  support::Rng rng(0xC055);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    std::string mutated = text;
+    const std::size_t at = static_cast<std::size_t>(rng.below(mutated.size() - 1));
+    const char replacement = static_cast<char>(' ' + rng.below('~' - ' ' + 1));
+    if (mutated[at] == replacement) {
+      continue;
+    }
+    mutated[at] = replacement;
+    std::istringstream in(mutated);
+    EXPECT_THROW((void)dist::read_shard_report(in), dist::ReportFormatError)
+        << "random corruption at byte " << at << " to '" << replacement << "' was accepted";
+  }
+}
+
+TEST(ShardReportFuzz, SweepIdentityLineIsDigestProtected) {
+  // The one header field merge identity hangs on — the sweep description —
+  // is digest-protected: corrupting any of its characters (or the digest
+  // itself) must throw, so a hand-edited workload line cannot sneak two
+  // different sweeps past the merge verifier.
+  const std::string text = reference_shard_report_text();
+  const std::size_t line_start = text.find("\nsweep ") + 1;
+  const std::size_t line_end = text.find('\n', line_start);
+  for (std::size_t at = line_start + 6; at < line_end; ++at) {
+    std::string mutated = text;
+    mutated[at] = mutated[at] == 'x' ? 'y' : 'x';
+    std::istringstream in(mutated);
+    EXPECT_THROW((void)dist::read_shard_report(in), dist::ReportFormatError)
+        << "sweep-line corruption at byte " << at << " was accepted";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,

@@ -4,19 +4,45 @@
 ///   arl gen       — emit a configuration in the text format
 ///   arl classify  — decide feasibility (Classifier) and show the partition
 ///   arl elect     — run the full pipeline and report the election
-///   arl sweep     — batch many elections across the thread pool (engine)
+///   arl sweep     — batch many elections across the thread pool (engine);
+///                   --shard=i/K emits one shard of a distributed sweep,
+///                   --workers=K forks K local worker processes and merges
+///   arl merge     — reassemble shard report files into the sweep's report
 ///   arl trace     — replay the canonical DRIP with a per-round trace
 ///   arl schedule  — compile and print the canonical schedule (deployable)
 ///   arl dot       — Graphviz rendering of a configuration
 ///   arl orbits    — symmetry analysis (orbits of indistinguishable nodes)
 ///   arl validate  — simulate + independently validate the execution
+///   arl help      — this reference
 ///
-/// Configurations are read from a file path argument or stdin.  Run with
-/// `--help` (or no arguments) for the full flag reference.
+/// Configurations are read from a file path argument or stdin.
+///
+/// Exit codes: 0 success (`help` and no-args print the reference and exit
+/// 0); 1 runtime failure (an election did not verify, a worker died); 2
+/// usage error (unknown command, malformed flag value, unreadable input,
+/// unmergeable shard reports).
 
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <limits>
+#include <memory>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ARL_CLI_HAS_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define ARL_CLI_HAS_FORK 0
+#endif
 
 #include "config/families.hpp"
 #include "config/io.hpp"
@@ -26,6 +52,9 @@
 #include "core/protocol.hpp"
 #include "core/quotient.hpp"
 #include "core/schedule_io.hpp"
+#include "dist/merge.hpp"
+#include "dist/report_io.hpp"
+#include "dist/shard.hpp"
 #include "engine/batch_runner.hpp"
 #include "engine/sweep.hpp"
 #include "graph/generators.hpp"
@@ -39,8 +68,8 @@ namespace {
 
 using namespace arl;
 
-int usage() {
-  std::cout <<
+void print_usage(std::ostream& out) {
+  out <<
       R"(arl — deterministic leader election in anonymous radio networks
 
 usage: arl <command> [flags] [config-file]
@@ -71,15 +100,28 @@ commands:
                --sigma=N         span for random              (default 3)
                --p=X             edge probability for random  (default 0.3)
                --seed=N          batch master seed            (default 1)
-               --threads=N       worker threads (default: hardware)
+               --threads=N       worker threads in [0, 256]; 0 = hardware
                --model=cd|nocd   channel feedback
                --fast            use the hashed classifier
+               --shard=i/K       run only shard i of K (contiguous job-id
+                                 ranges; bit-identical to the same ids of an
+                                 unsharded run) and emit a shard report
+               --out=FILE        write the shard report to FILE (with
+                                 --shard only; default stdout)
+               --workers=K       fork K local worker processes, one shard
+                                 each, and merge their reports (the
+                                 zero-infrastructure distributed driver)
                --cache=on|off|N  schedule/classification cache shared by the
                                  workers: on (default capacity), off, or a
                                  capacity in entries; jobs sharing a
                                  configuration classify once, and the summary
                                  reports hit/miss/evict counts (default off)
                --classify-only   shorthand for --protocol=classify
+  merge      reassemble shard report files into the sweep's report
+               arl merge SHARD-FILE...
+               verifies the shards describe one sweep (same spec digest,
+               seed, protocols) and tile its job ids exactly; prints the
+               usual sweep tables.  exit 2 on malformed or mismatched input
   trace      replay the canonical DRIP round by round
                --verbose         also print listens and silences
   schedule   compile and print the canonical schedule (text format)
@@ -87,10 +129,11 @@ commands:
   dot        Graphviz rendering
   orbits     symmetry analysis: orbits of indistinguishable nodes + quotient
   validate   simulate and re-validate the execution independently
+  help       print this reference (exit 0)
 
 configurations are read from the file argument, or stdin when absent.
+exit codes: 0 success, 1 runtime failure, 2 usage error.
 )";
-  return 2;
 }
 
 config::Configuration read_configuration(const support::Args& args, std::size_t index) {
@@ -208,55 +251,39 @@ std::size_t parse_cache_capacity(const support::Args& args) {
   throw support::ContractViolation("--cache must be on, off, or a capacity in [0, 999999999]");
 }
 
-int cmd_sweep(const support::Args& args) {
-  const std::int64_t count_flag = args.get_int("count", 100);
-  if (count_flag < 0) {
-    throw support::ContractViolation("--count must be >= 0");
-  }
-  const auto count = static_cast<std::size_t>(count_flag);
-  const std::int64_t threads_flag = args.get_int("threads", 0);
-  if (threads_flag < 0 || threads_flag > 4096) {
-    throw support::ContractViolation("--threads must be in [0, 4096]");
-  }
-  const std::string family = args.get_string("family", "random");
-
-  engine::BatchOptions batch_options;
-  batch_options.threads = static_cast<unsigned>(threads_flag);
-  batch_options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  try {
-    batch_options.cache_capacity = parse_cache_capacity(args);
-  } catch (const support::ContractViolation& error) {
-    std::cerr << "error: " << error.what() << '\n';
-    return 2;
-  }
-
-  core::ElectionOptions options;
-  options.channel_model = parse_model(args);
-  options.use_fast_classifier = args.has("fast");
-
-  // The protocol axis: repeatable --protocol flags, validated against the
-  // registry; several protocols make the batch a head-to-head cross product.
+/// A sweep the CLI can run whole, as one shard, or across worker processes:
+/// the lazy job stream plus the canonical description that identifies the
+/// workload across process boundaries (dist::SweepKey).
+struct SweepPlan {
+  engine::CountedSweep sweep;
+  std::string description;
   std::vector<core::ProtocolSpec> protocols;
-  for (const std::string& name : args.get_strings("protocol")) {
-    try {
-      protocols.push_back(core::parse_protocol(name));
-    } catch (const support::ContractViolation& error) {
-      std::cerr << "error: " << error.what() << '\n';
-      return 2;
-    }
-  }
-  if (args.has("classify-only") && !protocols.empty()) {
-    std::cerr << "error: --classify-only conflicts with --protocol; "
-                 "use --protocol=classify instead\n";
-    return 2;
-  }
-  if (protocols.empty()) {
-    protocols.push_back(args.has("classify-only") ? core::ProtocolSpec::classify_only()
-                                                  : core::ProtocolSpec::canonical());
-  }
 
-  engine::BatchRunner runner(batch_options);
-  engine::BatchReport report;
+  /// For the materialized families (staggered/h/g/s): the jobs behind
+  /// `sweep.source`, so the unsharded path can run them by reference
+  /// instead of paying a per-job configuration copy through the JobSource.
+  /// Null for lazily generated sweeps (random).
+  std::shared_ptr<const std::vector<engine::BatchJob>> materialized;
+};
+
+/// Builds the job stream the sweep flags describe, and its canonical
+/// description — a pure function of the workload-defining flags (family,
+/// count, family parameters, channel model, classifier choice, protocol
+/// list), so every shard of one sweep derives the same dist::SweepKey.
+/// Throws support::ContractViolation on out-of-range values (exit 2).
+SweepPlan build_sweep_plan(const support::Args& args, std::size_t count,
+                           std::vector<core::ProtocolSpec> protocols, std::uint64_t batch_seed,
+                           const core::ElectionOptions& options) {
+  const std::string family = args.get_string("family", "random");
+  std::ostringstream description;
+  // Round-trippable double formatting: two sweeps whose --p differs only
+  // past the default 6 significant digits are different workloads and must
+  // not share a sweep digest (the merge verifier hangs on it).
+  description << std::setprecision(std::numeric_limits<double>::max_digits10);
+  description << "family=" << family << " count=" << count;
+
+  SweepPlan plan;
+  plan.protocols = protocols;
   if (family == "random") {
     const std::int64_t n = args.get_int("n", 16);
     if (n < 1 || n > 1'000'000) {
@@ -277,32 +304,63 @@ int cmd_sweep(const support::Args& args) {
     // Configuration stream seed: an explicit, documented function of the
     // batch seed (see engine::sweep_configuration_seed), independent of the
     // per-job coin-seed stream.
-    sweep.seed = engine::sweep_configuration_seed(batch_options.seed);
-    sweep.protocols = protocols;
+    sweep.seed = engine::sweep_configuration_seed(batch_seed);
+    sweep.protocols = std::move(protocols);
     sweep.options = options;
-    report = runner.run(count * protocols.size(), engine::random_jobs(sweep));
-  } else if (family == "staggered") {
+    description << " n=" << n << " sigma=" << sigma << " p=" << p;
+    plan.sweep.count = count * plan.protocols.size();
+    plan.sweep.source = engine::random_jobs(std::move(sweep));
+  } else if (family == "staggered" || family == "h" || family == "g" || family == "s") {
     std::vector<config::Configuration> configurations;
     configurations.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
-      configurations.push_back(config::staggered_path(2 + static_cast<graph::NodeId>(i)));
+      if (family == "staggered") {
+        configurations.push_back(config::staggered_path(2 + static_cast<graph::NodeId>(i)));
+      } else {
+        const auto m = static_cast<config::Tag>(i + (family == "g" ? 2 : 1));
+        configurations.push_back(family == "h"   ? config::family_h(m)
+                                 : family == "g" ? config::family_g(m)
+                                                 : config::family_s(m));
+      }
     }
-    report = runner.run(engine::cross_jobs(std::move(configurations), protocols, options));
-  } else if (family == "h" || family == "g" || family == "s") {
-    std::vector<config::Configuration> configurations;
-    configurations.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      const auto m = static_cast<config::Tag>(i + (family == "g" ? 2 : 1));
-      configurations.push_back(family == "h"   ? config::family_h(m)
-                               : family == "g" ? config::family_g(m)
-                                               : config::family_s(m));
-    }
-    report = runner.run(engine::cross_jobs(std::move(configurations), protocols, options));
+    // Materialized families become a shared lazy source so sharding treats
+    // every family uniformly (a shard touches only its own job ids).
+    auto jobs = std::make_shared<const std::vector<engine::BatchJob>>(
+        engine::cross_jobs(std::move(configurations), plan.protocols, options));
+    plan.sweep.count = static_cast<engine::JobId>(jobs->size());
+    plan.sweep.source = [jobs](engine::JobId id) { return (*jobs)[static_cast<std::size_t>(id)]; };
+    plan.materialized = jobs;
   } else {
-    std::cerr << "unknown family '" << family << "'\n";
-    return 2;
+    throw support::ContractViolation("unknown family '" + family + "'");
   }
 
+  description << " model=" << args.get_string("model", "cd")
+              << " fast=" << (options.use_fast_classifier ? 1 : 0) << " protocols=";
+  for (std::size_t i = 0; i < plan.protocols.size(); ++i) {
+    description << (i ? "," : "") << plan.protocols[i].name();
+  }
+  plan.description = description.str();
+  return plan;
+}
+
+/// The sweep identity shard reports carry (see dist/report_io.hpp).
+dist::SweepKey make_sweep_key(const SweepPlan& plan, std::uint64_t seed) {
+  dist::SweepKey key;
+  key.description = plan.description;
+  key.digest = dist::sweep_digest(key.description);
+  key.seed = seed;
+  key.total_jobs = plan.sweep.count;
+  key.protocols.reserve(plan.protocols.size());
+  for (const core::ProtocolSpec& protocol : plan.protocols) {
+    key.protocols.push_back(protocol.name());
+  }
+  return key;
+}
+
+/// Prints the summary, cache and per-protocol tables of a batch report —
+/// shared by `sweep` (single-process and --workers) and `merge`, so a
+/// reassembled sweep reads exactly like a local one.
+void print_report(const engine::BatchReport& report) {
   // Feasibility is a verdict only the classifying protocols produce, so the
   // percentage is over their jobs — not over baseline jobs that never
   // classify (which would understate it in mixed-protocol sweeps).
@@ -366,6 +424,327 @@ int cmd_sweep(const support::Args& args) {
                         static_cast<std::int64_t>(row.stats.transmissions)});
   }
   comparison.print_markdown(std::cout);
+}
+
+/// Runs one shard range of the plan and writes its report to `out` — the
+/// one shard-emission path, shared by `--shard`, the forked `--workers`
+/// children and the no-fork fallback.  Returns true when every job in the
+/// shard verified.
+bool emit_shard(const SweepPlan& plan, const dist::SweepKey& key, const dist::JobRange& range,
+                const engine::BatchOptions& batch_options, std::ostream& out) {
+  engine::BatchRunner runner(batch_options);
+  engine::BatchReport report = runner.run_range(range.begin, range.end, plan.sweep.source);
+  const bool all_valid = report.valid_count == report.jobs.size();
+  dist::write_shard_report(dist::make_shard_report(key, range, std::move(report)), out);
+  return all_valid;
+}
+
+/// Runs one shard of the plan and emits its report (--out file or stdout).
+/// Exit 0 when every job in the shard verified, 1 otherwise.
+int run_shard_sweep(const SweepPlan& plan, const engine::BatchOptions& batch_options,
+                    const dist::ShardSpec& shard, const std::string& out_path) {
+  const dist::JobRange range = dist::shard_range(plan.sweep.count, shard);
+  const dist::SweepKey key = make_sweep_key(plan, batch_options.seed);
+  if (out_path.empty()) {
+    const bool all_valid = emit_shard(plan, key, range, batch_options, std::cout);
+    std::cout.flush();
+    if (!std::cout) {
+      // Same contract as the --out branch: a lost or truncated report must
+      // not exit as if the shard were emitted.  Environment failure, not
+      // misuse: std::runtime_error exits 1.
+      throw std::runtime_error("writing the shard report to stdout failed");
+    }
+    return all_valid ? 0 : 1;
+  }
+  std::ofstream file(out_path);
+  if (!file) {
+    throw support::ContractViolation("cannot open " + out_path + " for writing");
+  }
+  const bool all_valid = emit_shard(plan, key, range, batch_options, file);
+  file.flush();
+  if (!file) {
+    // Environment failure (disk full, I/O error), not misuse: exits 1.
+    throw std::runtime_error("writing " + out_path + " failed");
+  }
+  return all_valid ? 0 : 1;
+}
+
+/// The zero-infrastructure distributed driver: split the plan into
+/// `workers` shards, run each in its own forked process writing a shard
+/// report to a temp file, then merge the files end-to-end — the exact
+/// pipeline a multi-host run performs, on one machine.
+int run_workers_sweep(const SweepPlan& plan, const engine::BatchOptions& batch_options,
+                      std::uint32_t workers) {
+#if ARL_CLI_HAS_FORK
+  // With the default --threads=0 every forked worker would size its pool
+  // to the full hardware concurrency, oversubscribing the machine K-fold;
+  // split the cores across the workers instead, remainder included, so no
+  // core idles.  An explicit --threads is taken as a deliberate per-worker
+  // choice and honoured as given.  (The no-fork fallback below runs the
+  // shards sequentially, so it keeps the flag untouched and lets each
+  // shard use the whole machine.)
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const auto worker_threads = [&](std::uint32_t w) {
+    if (batch_options.threads != 0) {
+      return batch_options.threads;
+    }
+    return std::max(1u, cores / workers + (w < cores % workers ? 1 : 0));
+  };
+  const std::vector<dist::JobRange> ranges = dist::shard_ranges(plan.sweep.count, workers);
+  const dist::SweepKey key = make_sweep_key(plan, batch_options.seed);
+
+  // Shard files live in a private 0700 temp directory (mkdtemp), so no
+  // other local user can swap one for a symlink between creation and the
+  // worker's write or the parent's read-back.
+  std::string dir;
+  {
+    const char* tmpdir = std::getenv("TMPDIR");
+    dir = std::string(tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp") +
+          "/arl-workers-XXXXXX";
+    if (::mkdtemp(dir.data()) == nullptr) {
+      // Environment failure, not misuse: std::runtime_error exits 1.
+      throw std::runtime_error("cannot create a temp directory for shard reports");
+    }
+  }
+  std::vector<std::string> paths;
+  std::vector<pid_t> children;
+  paths.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    paths.push_back(dir + "/shard-" + std::to_string(w) + ".txt");
+  }
+  const auto cleanup = [&]() {
+    for (const std::string& path : paths) {
+      ::unlink(path.c_str());
+    }
+    ::rmdir(dir.c_str());
+  };
+
+  // Fork before any BatchRunner exists: the children must not inherit a
+  // half-alive thread pool, and each builds its own below.
+  std::cout.flush();
+  std::cerr.flush();
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      for (const pid_t child : children) {
+        int status = 0;
+        while (::waitpid(child, &status, 0) < 0 && errno == EINTR) {
+        }
+      }
+      cleanup();
+      // Environment failure, not misuse: std::runtime_error exits 1.
+      throw std::runtime_error("fork failed while starting sweep workers");
+    }
+    if (pid == 0) {
+      // Worker: run shard w, write its report, and _exit without touching
+      // the parent's stdio buffers.
+      // Failures are reported on the inherited (unbuffered) stderr before
+      // _exit, so the parent's generic "a worker failed" has a cause next
+      // to it in the terminal.
+      int code = 3;
+      try {
+        engine::BatchOptions options = batch_options;
+        options.threads = worker_threads(w);
+        std::ofstream file(paths[w]);
+        if (file) {
+          const bool all_valid = emit_shard(plan, key, ranges[w], options, file);
+          file.flush();
+          code = file ? (all_valid ? 0 : 1) : 3;
+          if (!file) {
+            std::cerr << "error: worker " << w << ": writing " << paths[w] << " failed\n";
+          }
+        } else {
+          std::cerr << "error: worker " << w << ": cannot open " << paths[w]
+                    << " for writing\n";
+        }
+      } catch (const std::exception& error) {
+        std::cerr << "error: worker " << w << ": " << error.what() << '\n';
+      } catch (...) {
+        std::cerr << "error: worker " << w << ": unknown failure\n";
+      }
+      ::_exit(code);
+    }
+    children.push_back(pid);
+  }
+
+  bool worker_failed = false;
+  for (const pid_t child : children) {
+    int status = 0;
+    pid_t reaped;
+    while ((reaped = ::waitpid(child, &status, 0)) < 0 && errno == EINTR) {
+    }
+    // A wait that never succeeded leaves the child's fate unknown — treat
+    // it as a failure rather than reading a file it may still be writing.
+    if (reaped != child || !WIFEXITED(status) || WEXITSTATUS(status) > 1) {
+      worker_failed = true;
+    }
+  }
+  if (worker_failed) {
+    cleanup();
+    std::cerr << "error: a sweep worker process failed\n";
+    return 1;
+  }
+
+  std::vector<dist::ShardReport> shards;
+  shards.reserve(workers);
+  for (const std::string& path : paths) {
+    std::ifstream file(path);
+    if (!file) {
+      cleanup();
+      std::cerr << "error: cannot read worker shard report " << path << '\n';
+      return 1;
+    }
+    try {
+      shards.push_back(dist::read_shard_report(file));
+    } catch (const dist::ReportFormatError& error) {
+      cleanup();
+      std::cerr << "error: worker shard report " << path << ": " << error.what() << '\n';
+      return 1;
+    }
+  }
+  cleanup();
+
+  const engine::BatchReport report = dist::complete_report(dist::merge_shards(shards));
+  print_report(report);
+  return report.valid_count == report.jobs.size() ? 0 : 1;
+#else
+  // No fork() on this platform: run the same shard/merge pipeline
+  // sequentially in-process — wire format included — so --workers stays
+  // meaningful (and equally exercised) everywhere.
+  std::vector<dist::ShardReport> shards;
+  const dist::SweepKey key = make_sweep_key(plan, batch_options.seed);
+  for (const dist::JobRange& range : dist::shard_ranges(plan.sweep.count, workers)) {
+    std::stringstream wire;
+    (void)emit_shard(plan, key, range, batch_options, wire);
+    shards.push_back(dist::read_shard_report(wire));
+  }
+  const engine::BatchReport report = dist::complete_report(dist::merge_shards(shards));
+  print_report(report);
+  return report.valid_count == report.jobs.size() ? 0 : 1;
+#endif
+}
+
+int cmd_sweep(const support::Args& args) {
+  const std::int64_t count_flag = args.get_int("count", 100);
+  if (count_flag < 0) {
+    throw support::ContractViolation("--count must be >= 0");
+  }
+  const auto count = static_cast<std::size_t>(count_flag);
+  // Guard against pathological worker counts: a typo'd --threads must fail
+  // with a usage error, not silently spawn thousands of threads.
+  const std::int64_t threads_flag = args.get_int("threads", 0);
+  if (threads_flag < 0 || threads_flag > 256) {
+    throw support::ContractViolation("--threads must be in [0, 256] (0 = hardware concurrency)");
+  }
+
+  engine::BatchOptions batch_options;
+  batch_options.threads = static_cast<unsigned>(threads_flag);
+  batch_options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  // Flag-validation throws (here and below) reach main()'s ContractViolation
+  // handler, which exits 2 like every other usage error.
+  batch_options.cache_capacity = parse_cache_capacity(args);
+
+  core::ElectionOptions options;
+  options.channel_model = parse_model(args);
+  options.use_fast_classifier = args.has("fast");
+
+  // The protocol axis: repeatable --protocol flags, validated against the
+  // registry; several protocols make the batch a head-to-head cross product.
+  std::vector<core::ProtocolSpec> protocols;
+  for (const std::string& name : args.get_strings("protocol")) {
+    protocols.push_back(core::parse_protocol(name));
+  }
+  if (args.has("classify-only") && !protocols.empty()) {
+    std::cerr << "error: --classify-only conflicts with --protocol; "
+                 "use --protocol=classify instead\n";
+    return 2;
+  }
+  if (protocols.empty()) {
+    protocols.push_back(args.has("classify-only") ? core::ProtocolSpec::classify_only()
+                                                  : core::ProtocolSpec::canonical());
+  }
+
+  // The distributed axis: --shard=i/K emits one shard report, --workers=K
+  // forks local workers and merges; they are drivers of the same sweep, so
+  // combining them is a usage error.
+  std::optional<dist::ShardSpec> shard;
+  if (args.has("shard")) {
+    shard = dist::parse_shard(args.get_string("shard", ""));
+  }
+  std::optional<std::uint32_t> workers;
+  if (args.has("workers")) {
+    const std::int64_t workers_flag = args.get_int("workers", 0);
+    if (workers_flag < 1 || workers_flag > 256) {
+      throw support::ContractViolation("--workers must be in [1, 256]");
+    }
+    workers = static_cast<std::uint32_t>(workers_flag);
+  }
+  if (shard && workers) {
+    std::cerr << "error: --shard and --workers conflict; --shard runs one piece of a "
+                 "distributed sweep, --workers drives all of them locally\n";
+    return 2;
+  }
+  if (args.has("out") && !shard) {
+    std::cerr << "error: --out only applies to --shard runs (the shard report destination)\n";
+    return 2;
+  }
+  if (args.has("out") && args.get_string("out", "").empty()) {
+    // An empty value is a mangled flag (e.g. an unset shell variable), not
+    // a request for stdout — omitting --out entirely means stdout.
+    std::cerr << "error: --out needs a file path (omit the flag to write to stdout)\n";
+    return 2;
+  }
+
+  const SweepPlan plan =
+      build_sweep_plan(args, count, std::move(protocols), batch_options.seed, options);
+  if (shard) {
+    return run_shard_sweep(plan, batch_options, *shard, args.get_string("out", ""));
+  }
+  if (workers) {
+    return run_workers_sweep(plan, batch_options, *workers);
+  }
+
+  engine::BatchRunner runner(batch_options);
+  const engine::BatchReport report =
+      plan.materialized != nullptr ? runner.run(*plan.materialized)
+                                   : runner.run(plan.sweep.count, plan.sweep.source);
+  print_report(report);
+  return report.valid_count == report.jobs.size() ? 0 : 1;
+}
+
+/// `arl merge SHARD-FILE...` — parse every shard report, verify they are
+/// disjoint covering pieces of one sweep, and print the reassembled report
+/// exactly as `arl sweep` would have.  Malformed or mismatched input exits
+/// 2; nothing is ever merged silently.
+int cmd_merge(const support::Args& args) {
+  const std::vector<std::string>& positional = args.positional();
+  if (positional.size() < 2) {
+    std::cerr << "error: merge needs at least one shard report file\n";
+    return 2;
+  }
+  std::vector<dist::ShardReport> shards;
+  shards.reserve(positional.size() - 1);
+  for (std::size_t i = 1; i < positional.size(); ++i) {
+    std::ifstream file(positional[i]);
+    if (!file) {
+      std::cerr << "error: cannot open " << positional[i] << '\n';
+      return 2;
+    }
+    try {
+      shards.push_back(dist::read_shard_report(file));
+    } catch (const dist::ReportFormatError& error) {
+      std::cerr << "error: " << positional[i] << ": " << error.what() << '\n';
+      return 2;
+    }
+  }
+  engine::BatchReport report;
+  try {
+    report = dist::complete_report(dist::merge_shards(shards));
+  } catch (const dist::MergeError& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 2;
+  }
+  print_report(report);
   return report.valid_count == report.jobs.size() ? 0 : 1;
 }
 
@@ -439,12 +818,11 @@ int cmd_validate(const support::Args& args) {
 
 int main(int argc, char** argv) {
   const support::Args args(argc, argv);
-  if (args.has("help")) {
-    (void)usage();
+  // `arl`, `arl help` and `arl --help` are all requests for the reference,
+  // not mistakes: print it to stdout and exit 0.
+  if (args.has("help") || args.positional().empty() || args.positional().front() == "help") {
+    print_usage(std::cout);
     return 0;
-  }
-  if (args.positional().empty()) {
-    return usage();
   }
   const std::string& command = args.positional().front();
   try {
@@ -459,6 +837,9 @@ int main(int argc, char** argv) {
     }
     if (command == "sweep") {
       return cmd_sweep(args);
+    }
+    if (command == "merge") {
+      return cmd_merge(args);
     }
     if (command == "trace") {
       return cmd_trace(args);
@@ -475,8 +856,13 @@ int main(int argc, char** argv) {
     if (command == "validate") {
       return cmd_validate(args);
     }
-    std::cerr << "unknown command '" << command << "'\n";
-    return usage();
+    std::cerr << "error: unknown command '" << command << "' (see `arl help`)\n";
+    return 2;
+  } catch (const support::ContractViolation& error) {
+    // Contract violations are misuse — bad flag values, unreadable input —
+    // and exit 2 like every other usage error; runtime failures exit 1.
+    std::cerr << "error: " << error.what() << '\n';
+    return 2;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
