@@ -28,6 +28,7 @@
 #include "engine/batch_runner.hpp"
 #include "engine/schedule_cache.hpp"
 #include "engine/sweep.hpp"
+#include "engine/workload.hpp"
 #include "graph/generators.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
@@ -98,15 +99,12 @@ void print_e3b_table() {
   constexpr engine::JobId kCount = 1000;
   constexpr std::uint64_t kSeed = 9;
 
-  engine::RandomSweep sweep;
-  sweep.nodes = 16;
-  sweep.span = 3;
-  sweep.seed = kSeed;
-  const engine::JobSource source = engine::random_jobs(sweep);
+  const engine::CountedSweep sweep = engine::WorkloadSpec::random(16, 0.3, 3).instantiate(
+      kSeed, {core::ProtocolSpec::canonical()}, {.count = kCount});
   std::vector<engine::BatchJob> jobs;
   jobs.reserve(kCount);
   for (engine::JobId i = 0; i < kCount; ++i) {
-    jobs.push_back(source(i));
+    jobs.push_back(sweep.source(i));
   }
 
   support::Table table({"path", "threads", "wall ms", "configs/s", "speedup vs serial"});
@@ -253,17 +251,16 @@ void print_e5_table() {
   constexpr std::uint64_t kSeed = 13;
   constexpr std::uint32_t kShards = 4;
 
-  engine::RandomSweep sweep;
-  sweep.nodes = 14;
-  sweep.span = 3;
-  sweep.seed = engine::sweep_configuration_seed(kSeed);
-  const engine::JobSource source = engine::random_jobs(sweep);
+  const engine::WorkloadSpec workload = engine::parse_workload("random:n=14,p=0.3,sigma=3");
+  const engine::CountedSweep counted =
+      workload.instantiate(kSeed, {core::ProtocolSpec::canonical()}, {.count = kCount});
+  const engine::JobSource& source = counted.source;
 
   dist::SweepKey key;
-  key.description = "bench E5 sweep n=14 sigma=3 count=400";
-  key.digest = dist::sweep_digest(key.description);
+  key.description = workload.name();
+  key.digest = workload.digest();
   key.seed = kSeed;
-  key.total_jobs = kCount;
+  key.total_jobs = counted.count;
   key.protocols = {core::ProtocolSpec::canonical().name()};
 
   double single_millis = 0.0;
@@ -399,16 +396,13 @@ BENCHMARK(BM_ElectWithScratchReuse)->Arg(8)->Arg(16)->Arg(32);
 void BM_EngineSweep(benchmark::State& state) {
   // Whole-batch wall time: `threads` workers over a 64-configuration sweep.
   const auto threads = static_cast<unsigned>(state.range(0));
-  engine::RandomSweep sweep;
-  sweep.nodes = 16;
-  sweep.span = 3;
-  sweep.seed = 21;
-  const engine::JobSource source = engine::random_jobs(sweep);
   constexpr engine::JobId kCount = 64;
+  const engine::CountedSweep sweep = engine::WorkloadSpec::random(16, 0.3, 3).instantiate(
+      21, {core::ProtocolSpec::canonical()}, {.count = kCount});
   std::vector<engine::BatchJob> jobs;
   jobs.reserve(kCount);
   for (engine::JobId i = 0; i < kCount; ++i) {
-    jobs.push_back(source(i));
+    jobs.push_back(sweep.source(i));
   }
   engine::BatchRunner runner({.threads = threads});
   std::uint64_t valid = 0;

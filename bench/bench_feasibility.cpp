@@ -13,7 +13,7 @@
 #include "config/mutations.hpp"
 #include "core/fast_classifier.hpp"
 #include "engine/batch_runner.hpp"
-#include "engine/sweep.hpp"
+#include "engine/workload.hpp"
 #include "graph/generators.hpp"
 #include "support/rng.hpp"
 
@@ -29,16 +29,15 @@ core::ElectionOptions fast_classify_options() {
 
 double feasibility_rate(graph::NodeId n, config::Tag sigma, double p, std::size_t samples,
                         engine::BatchRunner& runner) {
-  engine::RandomSweep sweep;
-  sweep.nodes = n;
-  sweep.edge_probability = p;
-  sweep.span = sigma;
-  sweep.exact_span = false;  // uniform tags in [0, sigma], as in the seed experiment
-  sweep.seed = 0xFEA51B1E ^ (static_cast<std::uint64_t>(n) << 32) ^
-               (static_cast<std::uint64_t>(sigma) << 16) ^ static_cast<std::uint64_t>(p * 1000);
-  sweep.protocols = {core::ProtocolSpec::classify_only()};
-  sweep.options = fast_classify_options();
-  const engine::BatchReport report = runner.run(samples, engine::random_jobs(sweep));
+  engine::WorkloadSpec workload = engine::WorkloadSpec::random(n, p, sigma);
+  workload.exact = false;  // uniform tags in [0, sigma], as in the seed experiment
+  workload.fast = true;
+  const std::uint64_t seed = 0xFEA51B1E ^ (static_cast<std::uint64_t>(n) << 32) ^
+                             (static_cast<std::uint64_t>(sigma) << 16) ^
+                             static_cast<std::uint64_t>(p * 1000);
+  const engine::CountedSweep sweep =
+      workload.instantiate(seed, {core::ProtocolSpec::classify_only()}, {.count = samples});
+  const engine::BatchReport report = runner.run(sweep.count, sweep.source);
   return static_cast<double>(report.feasible_count) / static_cast<double>(samples);
 }
 
@@ -154,18 +153,14 @@ BENCHMARK(BM_FeasibilitySample)->Arg(8)->Arg(16)->Arg(32);
 void BM_FeasibilityBatch(benchmark::State& state) {
   // Classify-only batch throughput through the engine.
   const auto n = static_cast<graph::NodeId>(state.range(0));
-  engine::RandomSweep sweep;
-  sweep.nodes = n;
-  sweep.span = 2;
-  sweep.exact_span = false;
-  sweep.seed = 99 + n;
-  sweep.protocols = {core::ProtocolSpec::classify_only()};
-  sweep.options = fast_classify_options();
-  const engine::JobSource source = engine::random_jobs(sweep);
-  engine::BatchRunner runner;
   constexpr engine::JobId kCount = 64;
+  engine::WorkloadSpec workload = engine::parse_workload("random:sigma=2,exact=0,fast=1");
+  workload.nodes = n;
+  const engine::CountedSweep sweep = workload.instantiate(
+      99 + n, {core::ProtocolSpec::classify_only()}, {.count = kCount});
+  engine::BatchRunner runner;
   for (auto _ : state) {
-    const engine::BatchReport report = runner.run(kCount, source);
+    const engine::BatchReport report = runner.run(sweep.count, sweep.source);
     benchmark::DoNotOptimize(report.feasible_count);
   }
   state.counters["configs/s"] = benchmark::Counter(

@@ -5,8 +5,10 @@
 /// small size (the same sweep the paper's characterization makes tractable:
 /// Classifier runs in polynomial time, so millions of configurations are
 /// cheap).  Part 2 estimates feasibility rates for larger random networks
-/// across a span sweep.  Both parts hand their configurations to the batch
-/// election engine, which fans the work out over all cores.
+/// across a span sweep.  Both parts are plain workload-registry specs —
+/// `exhaustive:n=N,tau=T,fast=1` and `random:n=N,p=X,sigma=S,fast=1` —
+/// instantiated and handed to the batch election engine, which fans the
+/// work out over all cores.
 ///
 /// Usage: feasibility_explorer [--max-n=4] [--max-tag=2] [--samples=500]
 ///                             [--random-n=20] [--p=0.3]
@@ -15,7 +17,7 @@
 #include <iostream>
 
 #include "engine/batch_runner.hpp"
-#include "engine/sweep.hpp"
+#include "engine/workload.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -23,21 +25,17 @@ namespace {
 
 using namespace arl;
 
-core::ElectionOptions fast_classify_options() {
-  core::ElectionOptions options;
-  options.use_fast_classifier = true;
-  return options;
-}
-
-void exhaustive_census(graph::NodeId max_n, config::Tag max_tag) {
+void exhaustive_census(std::uint32_t max_n, std::uint32_t max_tag) {
   engine::BatchRunner runner;
   support::Table table({"n", "configurations", "feasible", "infeasible", "feasible %",
                         "max iterations", "time_ms"});
-  for (graph::NodeId n = 1; n <= max_n; ++n) {
-    // Lazy sweep: only the graphs are materialized, so a large census never
-    // holds more than one configuration per worker.
-    const engine::CountedSweep sweep = engine::exhaustive_sweep(
-        n, max_tag, core::ProtocolSpec::classify_only(), fast_classify_options());
+  for (std::uint32_t n = 1; n <= max_n; ++n) {
+    // Self-counting lazy workload: only the graphs are materialized, so a
+    // large census never holds more than one configuration per worker.
+    engine::WorkloadSpec census = engine::WorkloadSpec::exhaustive(n, max_tag);
+    census.fast = true;
+    const engine::CountedSweep sweep =
+        census.instantiate(0, {core::ProtocolSpec::classify_only()});
     const engine::BatchReport report = runner.run(sweep.count, sweep.source);
     std::uint32_t max_iterations = 0;
     for (const engine::JobOutcome& outcome : report.jobs) {
@@ -55,19 +53,16 @@ void exhaustive_census(graph::NodeId max_n, config::Tag max_tag) {
   table.print_markdown(std::cout);
 }
 
-void random_survey(graph::NodeId n, double p, std::size_t samples) {
+void random_survey(std::uint32_t n, double p, std::size_t samples) {
   engine::BatchRunner runner;
   support::Table table({"sigma", "feasible %", "avg iterations"});
   table.set_precision(3);
-  for (const config::Tag sigma : {1u, 2u, 3u, 5u, 8u, 13u}) {
-    engine::RandomSweep sweep;
-    sweep.nodes = n;
-    sweep.edge_probability = p;
-    sweep.span = sigma;
-    sweep.seed = 0xCAFE + sigma;
-    sweep.protocols = {core::ProtocolSpec::classify_only()};
-    sweep.options = fast_classify_options();
-    const engine::BatchReport report = runner.run(samples, engine::random_jobs(sweep));
+  for (const std::uint32_t sigma : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    engine::WorkloadSpec survey = engine::WorkloadSpec::random(n, p, sigma);
+    survey.fast = true;
+    const engine::CountedSweep sweep = survey.instantiate(
+        0xCAFE + sigma, {core::ProtocolSpec::classify_only()}, {.count = samples});
+    const engine::BatchReport report = runner.run(sweep.count, sweep.source);
     std::uint64_t iterations = 0;
     for (const engine::JobOutcome& outcome : report.jobs) {
       iterations += outcome.classifier_iterations;
@@ -86,10 +81,10 @@ void random_survey(graph::NodeId n, double p, std::size_t samples) {
 
 int main(int argc, char** argv) {
   const support::Args args(argc, argv);
-  const auto max_n = static_cast<graph::NodeId>(args.get_int("max-n", 4));
-  const auto max_tag = static_cast<config::Tag>(args.get_int("max-tag", 2));
+  const auto max_n = static_cast<std::uint32_t>(args.get_int("max-n", 4));
+  const auto max_tag = static_cast<std::uint32_t>(args.get_int("max-tag", 2));
   const auto samples = static_cast<std::size_t>(args.get_int("samples", 500));
-  const auto random_n = static_cast<graph::NodeId>(args.get_int("random-n", 20));
+  const auto random_n = static_cast<std::uint32_t>(args.get_int("random-n", 20));
   const double p = args.get_double("p", 0.3);
 
   exhaustive_census(max_n, max_tag);

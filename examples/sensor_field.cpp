@@ -8,68 +8,52 @@
 /// by a passing drone).  The operator wants a coordinator: can one be
 /// elected at all, and at what cost?
 ///
-/// The demo plans a window of candidate deployments (re-staggered power-up
-/// schedules — exactly what a field engineer would prepare), hands the whole
-/// window to the batch election engine, and commissions the first candidate
-/// whose election verifies, reporting its radio budget.
+/// The demo is a straight use of the workload registry: the window of
+/// candidate deployments (re-staggered power-up schedules — exactly what a
+/// field engineer would prepare) is one `WorkloadSpec`, instantiated and
+/// handed whole to the batch election engine; the first candidate whose
+/// election verifies is commissioned, and its radio budget reported.
 ///
 /// Usage: sensor_field [--sensors=24] [--reach=0.18] [--stagger=4] [--seed=7]
 ///                     [--attempts=10]
 
 #include <iostream>
-#include <vector>
 
-#include "config/families.hpp"
 #include "engine/batch_runner.hpp"
+#include "engine/workload.hpp"
 #include "graph/algorithms.hpp"
-#include "graph/generators.hpp"
 #include "support/cli.hpp"
-#include "support/rng.hpp"
 #include "support/table.hpp"
 
-namespace {
-
-using namespace arl;
-
-config::Configuration plan_deployment(graph::NodeId sensors, double reach,
-                                      config::Tag stagger, support::Rng& rng) {
-  // Radio reach translates into edge density; connectivity is ensured by the
-  // generator (a disconnected deployment cannot elect anything).
-  graph::Graph field = graph::gnp_connected(sensors, reach, rng);
-  return config::random_tags_with_span(std::move(field), stagger, rng);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
+  using namespace arl;
   const support::Args args(argc, argv);
-  const auto sensors = static_cast<graph::NodeId>(args.get_int("sensors", 24));
+  const auto sensors = static_cast<std::uint32_t>(args.get_int("sensors", 24));
   const double reach = args.get_double("reach", 0.18);
-  const auto stagger = static_cast<config::Tag>(args.get_int("stagger", 4));
+  const auto stagger = static_cast<std::uint32_t>(args.get_int("stagger", 4));
   const auto attempts = static_cast<std::size_t>(args.get_int("attempts", 10));
-  support::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
 
   std::cout << "Deploying " << sensors << " anonymous sensors (reach " << reach
             << ", power-up stagger 0.." << stagger << ")\n\n";
 
-  std::vector<engine::BatchJob> candidates;
-  candidates.reserve(attempts);
-  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
-    candidates.push_back(
-        {plan_deployment(sensors, reach, stagger, rng), core::ProtocolSpec::canonical(), {}});
-  }
+  // Radio reach translates into edge density; connectivity is ensured by the
+  // workload (a disconnected deployment cannot elect anything).
+  const engine::WorkloadSpec deployments = engine::WorkloadSpec::random(sensors, reach, stagger);
+  const engine::CountedSweep candidates = deployments.instantiate(
+      seed, {core::ProtocolSpec::canonical()}, {.count = attempts});
 
-  engine::BatchRunner runner({.keep_reports = true});
-  const engine::BatchReport batch = runner.run(candidates);
+  engine::BatchRunner runner({.seed = seed, .keep_reports = true});
+  const engine::BatchReport batch = runner.run(candidates.count, candidates.source);
 
-  for (std::size_t attempt = 0; attempt < candidates.size(); ++attempt) {
-    const config::Configuration& deployment = candidates[attempt].configuration;
+  for (engine::JobId attempt = 0; attempt < candidates.count; ++attempt) {
+    const config::Configuration deployment = candidates.source(attempt).configuration;
     const auto& g = deployment.graph();
     std::cout << "attempt " << (attempt + 1) << ": " << g.edge_count() << " links, max degree "
               << g.max_degree() << ", diameter " << graph::diameter(g) << ", span "
               << deployment.span() << '\n';
 
-    const core::ElectionReport& report = batch.reports[attempt];
+    const core::ElectionReport& report = batch.reports[static_cast<std::size_t>(attempt)];
     if (!report.feasible) {
       std::cout << "  -> power-up schedule too symmetric, no coordinator possible; "
                    "re-staggering...\n";
@@ -95,13 +79,15 @@ int main(int argc, char** argv) {
     table.print_markdown(std::cout);
 
     std::cout << "\nEvery sensor ran the identical program; the coordinator emerged only\n"
-                 "from who woke when.  All " << candidates.size()
+                 "from who woke when.  All " << candidates.count
               << " candidate schedules were vetted in one engine batch ("
               << batch.threads_used << " worker thread(s), " << batch.wall_millis
-              << " ms); re-run with the same --seed to get the same deployment and leader.\n";
+              << " ms); the whole window is the workload '" << deployments.name()
+              << "' — re-run with the same --seed (or shard it with `arl sweep "
+                 "--workload=...`) to get the same deployment and leader.\n";
     return 0;
   }
-  std::cout << "no feasible deployment found in " << candidates.size()
+  std::cout << "no feasible deployment found in " << candidates.count
             << " attempts — increase --stagger\n";
   return 1;
 }

@@ -7,8 +7,10 @@
 #include <sstream>
 #include <utility>
 
+#include "engine/workload.hpp"
 #include "support/assert.hpp"
 #include "support/hash.hpp"
+#include "support/parse.hpp"
 
 namespace arl::dist {
 
@@ -114,36 +116,7 @@ double parse_double(const std::string& token, const char* what) {
   // digits[.digits][e[+-]digits] — are valid; std::stod alone would also
   // accept inf/nan/hexfloat/signs and let a hand-authored report smuggle
   // non-finite values through the wall-time sum.
-  const auto canonical = [&]() {
-    std::size_t i = 0;
-    const auto digits = [&]() {
-      const std::size_t start = i;
-      while (i < token.size() && token[i] >= '0' && token[i] <= '9') {
-        ++i;
-      }
-      return i > start;
-    };
-    if (!digits()) {
-      return false;
-    }
-    if (i < token.size() && token[i] == '.') {
-      ++i;
-      if (!digits()) {
-        return false;
-      }
-    }
-    if (i < token.size() && token[i] == 'e') {
-      ++i;
-      if (i < token.size() && (token[i] == '+' || token[i] == '-')) {
-        ++i;
-      }
-      if (!digits()) {
-        return false;
-      }
-    }
-    return i == token.size();
-  };
-  if (canonical()) {
+  if (support::is_canonical_number(token)) {
     try {
       return std::stod(token);
     } catch (const std::exception&) {  // out_of_range on extreme exponents
@@ -217,7 +190,7 @@ class LineReader {
   /// Digest of the raw bytes of every line consumed before the current one
   /// — what the writer digested as the report body (each line with its
   /// '\n'), streamed so a large report is never concatenated into a second
-  /// in-memory copy.  Must mirror text_digest: total length first, then
+  /// in-memory copy.  Must mirror support::hash_text: total length first, then
   /// every byte.
   [[nodiscard]] std::uint64_t digest_before_current(std::uint64_t seed) const {
     std::size_t length = 0;
@@ -259,15 +232,6 @@ radio::RunStats parse_stats(const std::vector<std::string>& tokens, std::size_t 
 
 namespace {
 
-std::uint64_t text_digest(std::string_view text, std::uint64_t seed) {
-  support::Hash64 hash(seed);
-  hash.absorb(text.size());
-  for (const char c : text) {
-    hash.absorb(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
-  }
-  return hash.digest();
-}
-
 /// Domain seed of the whole-report body digest on the `end` line (distinct
 /// from the sweep-description digest domain).
 constexpr std::uint64_t kBodyDigestSeed = 0xB0D7;
@@ -275,7 +239,9 @@ constexpr std::uint64_t kBodyDigestSeed = 0xB0D7;
 }  // namespace
 
 std::uint64_t sweep_digest(std::string_view description) {
-  return text_digest(description, /*seed=*/0xD157);  // domain-separated from config fingerprints
+  // Domain-separated from config fingerprints; the seed is mirrored by
+  // engine::WorkloadSpec::digest() so spec digests feed SweepKeys directly.
+  return support::hash_text(description, /*seed=*/0xD157);
 }
 
 ShardReport make_shard_report(SweepKey key, JobRange range, engine::BatchReport report) {
@@ -349,7 +315,7 @@ void write_shard_report(const ShardReport& shard, std::ostream& sink) {
   }
   const std::string body = std::move(buffer).str();  // extract, don't copy
   sink << body << "end " << shard.report.jobs.size() << ' '
-       << hex64(text_digest(body, kBodyDigestSeed)) << '\n';
+       << hex64(support::hash_text(body, kBodyDigestSeed)) << '\n';
 }
 
 ShardReport read_shard_report(std::istream& in) {
@@ -381,6 +347,18 @@ ShardReport read_shard_report(std::istream& in) {
     shard.key.description = line.substr(digest_end + 1);
     if (sweep_digest(shard.key.description) != shard.key.digest) {
       throw ReportFormatError("sweep digest does not match its description (corrupted header?)");
+    }
+    // Workload identity is re-parsed, never trusted as an opaque string: the
+    // description must be the canonical spelling of a registered workload,
+    // so two reports merge only when the registry itself equates them.
+    try {
+      const engine::WorkloadSpec workload = engine::parse_workload(shard.key.description);
+      if (workload.name() != shard.key.description) {
+        throw ReportFormatError("workload '" + shard.key.description +
+                                "' is not in canonical form (want '" + workload.name() + "')");
+      }
+    } catch (const support::ContractViolation& error) {
+      throw ReportFormatError(std::string("bad workload: ") + error.what());
     }
   }
   {

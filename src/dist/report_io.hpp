@@ -4,18 +4,19 @@
 /// Versioned text wire format for shard reports.
 ///
 /// A *shard report* is what one worker of a distributed sweep ships home:
-/// the sweep's identity (a digest plus the canonical description it was
-/// taken over, the batch master seed, the total job count and the protocol
-/// list), the job-id ranges this shard covers, and the engine's per-job
-/// outcomes for exactly those ids — everything the merge layer needs to
-/// verify that K shard files really are disjoint covering pieces of one
-/// sweep before folding them into a single `BatchReport`.
+/// the sweep's identity (the canonical workload name from the registry in
+/// engine/workload.hpp plus its digest, the batch master seed, the total
+/// job count and the protocol list), the job-id ranges this shard covers,
+/// and the engine's per-job outcomes for exactly those ids — everything the
+/// merge layer needs to verify that K shard files really are disjoint
+/// covering pieces of one sweep before folding them into a single
+/// `BatchReport`.
 ///
 /// The format is line-oriented text, one record per line, space-separated
 /// fields, headed by `arl-shard-report <version>`:
 ///
 ///   arl-shard-report 1
-///   sweep <digest-hex> <canonical sweep description ...>
+///   sweep <digest-hex> <canonical workload name>
 ///   seed <batch master seed>
 ///   jobs <total job count of the whole sweep>
 ///   range <begin> <end>                      (1+ lines, ascending, disjoint)
@@ -32,13 +33,16 @@
 ///   end <job line count> <body digest>
 ///
 /// The parser is strict: it rejects unknown versions, missing or reordered
-/// sections, malformed fields, job ids that do not exactly enumerate the
-/// declared ranges, breakdown lines that disagree with the job lines they
-/// summarize, a wrong trailing count, and trailing garbage.  The `end` line
-/// additionally carries a digest of every byte above it, so *any*
-/// corruption — including a field the grammar and cross-checks would both
-/// accept, like a flipped node-count digit — throws `ReportFormatError`
-/// instead of merging quietly (fuzzed by tests/test_fuzz.cpp).
+/// sections, malformed fields, a sweep description that is not the canonical
+/// spelling of a registered workload (identity is re-parsed through
+/// `engine::parse_workload`, never trusted as an opaque string), job ids
+/// that do not exactly enumerate the declared ranges, breakdown lines that
+/// disagree with the job lines they summarize, a wrong trailing count, and
+/// trailing garbage.  The `end` line additionally carries a digest of every
+/// byte above it, so *any* corruption — including a field the grammar and
+/// cross-checks would both accept, like a flipped node-count digit — throws
+/// `ReportFormatError` instead of merging quietly (fuzzed by
+/// tests/test_fuzz.cpp).
 
 #include <cstdint>
 #include <iosfwd>
@@ -69,18 +73,20 @@ inline constexpr std::uint32_t kShardReportVersion = 1;
 /// master seed (coin streams), same total job count (the partition target)
 /// and same protocol list (the cross-product axis).
 struct SweepKey {
-  std::uint64_t digest = 0;             ///< sweep_digest(description)
-  std::string description;              ///< canonical workload description
-  std::uint64_t seed = 0;               ///< batch master seed
-  engine::JobId total_jobs = 0;         ///< job count of the whole sweep
-  std::vector<std::string> protocols;   ///< registry names, cross-product order
+  std::uint64_t digest = 0;            ///< sweep_digest(description)
+  std::string description;             ///< canonical workload name (engine::WorkloadSpec)
+  std::uint64_t seed = 0;              ///< batch master seed
+  engine::JobId total_jobs = 0;        ///< job count of the whole sweep
+  std::vector<std::string> protocols;  ///< registry names, cross-product order
 
   friend bool operator==(const SweepKey& a, const SweepKey& b) = default;
 };
 
 /// Stable 64-bit digest of a sweep description (the `sweep` line carries
 /// both, and merge verifies they agree — the digest catches a description
-/// edited by hand, the description makes mismatch errors readable).
+/// edited by hand, the description makes mismatch errors readable).  For a
+/// canonical workload name this equals `engine::WorkloadSpec::digest()`, so
+/// a spec's digest feeds a SweepKey directly.
 [[nodiscard]] std::uint64_t sweep_digest(std::string_view description);
 
 /// One shard's (or a partial merge's) results: the sweep identity, the

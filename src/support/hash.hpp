@@ -14,6 +14,7 @@
 /// configuration on every hit.
 
 #include <cstdint>
+#include <string_view>
 
 namespace arl::support {
 
@@ -49,5 +50,18 @@ class Hash64 {
 
   std::uint64_t state_;
 };
+
+/// Digest of a byte string: length first, then every byte — the keyed-text
+/// convention shared by workload digests (engine/workload.hpp) and the
+/// shard-report wire format (dist/report_io.cpp).  Distinct seeds separate
+/// the key domains.
+[[nodiscard]] constexpr std::uint64_t hash_text(std::string_view text, std::uint64_t seed) {
+  Hash64 hash(seed);
+  hash.absorb(text.size());
+  for (const char c : text) {
+    hash.absorb(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  return hash.digest();
+}
 
 }  // namespace arl::support

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file parse.hpp
+/// Strict numeric grammar shared by the text surfaces that must agree on
+/// one canonical spelling of a number: workload names (engine/workload.cpp,
+/// whose `p=` values travel inside shard-report descriptions) and the
+/// shard-report wire format itself (dist/report_io.cpp).  One predicate, so
+/// the two parsers can never drift apart on what a number looks like.
+
+#include <string_view>
+
+namespace arl::support {
+
+/// True when `text` is a canonical non-negative number:
+/// digits[.digits][e[+-]digits].  Deliberately narrower than std::stod's
+/// grammar — no signs, inf/nan, hexfloats or surrounding whitespace — so a
+/// writer that prints this form round-trips and nothing else parses.
+[[nodiscard]] constexpr bool is_canonical_number(std::string_view text) {
+  std::size_t i = 0;
+  const auto digits = [&]() {
+    const std::size_t start = i;
+    while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+      ++i;
+    }
+    return i > start;
+  };
+  if (!digits()) {
+    return false;
+  }
+  if (i < text.size() && text[i] == '.') {
+    ++i;
+    if (!digits()) {
+      return false;
+    }
+  }
+  if (i < text.size() && text[i] == 'e') {
+    ++i;
+    if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+      ++i;
+    }
+    if (!digits()) {
+      return false;
+    }
+  }
+  return i == text.size();
+}
+
+}  // namespace arl::support

@@ -84,6 +84,104 @@ done
 "$cli" sweep --family=bogus --count=1 >/dev/null 2>&1
 [ $? -eq 2 ] || fail "unknown family should exit 2"
 
+# --------------------------------------------------------------- workloads
+
+# The registry listing command exits 0 and names every workload kind.
+out=$("$cli" workloads 2>&1)
+[ $? -eq 0 ] || fail "'arl workloads' should exit 0"
+for name in random exhaustive family-g family-h family-s staggered grid torus \
+            hypercube tree single-hop mutations; do
+  case "$out" in
+    *"$name"*) ;;
+    *) fail "workloads listing should contain '$name': $out" ;;
+  esac
+done
+
+# Bad --workload values exit 2 with an error echoing the offending name and
+# listing the registry (symmetric to the --protocol contract).
+out=$("$cli" sweep --workload=bogus --count=1 2>&1)
+status=$?
+[ "$status" -eq 2 ] || fail "unknown workload: expected exit 2, got $status"
+case "$out" in
+  *bogus*) ;;
+  *) fail "unknown-workload error should echo the offending name: $out" ;;
+esac
+for name in random grid torus hypercube tree single-hop mutations exhaustive; do
+  case "$out" in
+    *"$name"*) ;;
+    *) fail "unknown-workload error should list '$name': $out" ;;
+  esac
+done
+
+# Malformed workload parameters exit 2 as well — including single-node
+# shapes whose positive sigma could never be realized (they must fail at
+# parse time, not mid-batch inside a worker).
+for value in "random:n=0" "random:p=2" "random:n=4,n=5" "random:rows=3" "grid:rows=0" \
+             "torus:rows=2,cols=3" "hypercube:d=21" "exhaustive:n=9" "mutations:" \
+             "mutations:bogus" "random:" "random:n=1" "tree:n=1" "single-hop:n=1" \
+             "grid:rows=1,cols=1"; do
+  "$cli" sweep --workload="$value" --count=1 >/dev/null 2>&1
+  [ $? -eq 2 ] || fail "--workload=$value should exit 2"
+done
+"$cli" sweep --workload=random:n=1,sigma=0 --count=1 >/dev/null 2>&1
+[ $? -eq 0 ] || fail "a one-node workload with sigma=0 should run and exit 0"
+
+# Contradictory flag combinations are rejected with exit 2: the explicit
+# workload axis versus the legacy alias and execution flags (a bare flag
+# would silently override the spec's own key), and an explicit --count on
+# a workload that counts itself.
+for flag in --family=random --n=8 --sigma=2 --p=0.5 --model=nocd --fast; do
+  "$cli" sweep --workload=random $flag --count=1 >/dev/null 2>&1
+  [ $? -eq 2 ] || fail "--workload with $flag should exit 2"
+done
+"$cli" sweep --workload=exhaustive:n=3,tau=1 --count=5 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--count with a self-counting workload should exit 2"
+"$cli" sweep --workload=exhaustive:n=3,tau=1 >/dev/null 2>&1
+[ $? -eq 0 ] || fail "a self-counting workload without --count should run and exit 0"
+
+# The legacy flags are aliases: byte-identical tables to the --workload
+# spelling (execution circumstance rows filtered as in the shard checks).
+alias_filter() {
+  grep -vE "wall time|jobs per second|worker threads" "$1"
+}
+"$cli" sweep --count=8 --n=8 --sigma=2 --seed=3 > "$tmpdir/legacy.txt" 2>&1 ||
+  fail "legacy random sweep should exit 0"
+"$cli" sweep --count=8 --workload=random:n=8,p=0.3,sigma=2 --seed=3 > "$tmpdir/spec.txt" 2>&1 ||
+  fail "workload random sweep should exit 0"
+if ! diff <(alias_filter "$tmpdir/legacy.txt") <(alias_filter "$tmpdir/spec.txt") >/dev/null; then
+  fail "--family=random tables should be byte-identical to --workload=random:..."
+fi
+"$cli" sweep --count=6 --family=staggered > "$tmpdir/legacy-stag.txt" 2>&1 ||
+  fail "legacy staggered sweep should exit 0"
+"$cli" sweep --count=6 --workload=staggered > "$tmpdir/spec-stag.txt" 2>&1 ||
+  fail "workload staggered sweep should exit 0"
+if ! diff <(alias_filter "$tmpdir/legacy-stag.txt") <(alias_filter "$tmpdir/spec-stag.txt") \
+    >/dev/null; then
+  fail "--family=staggered tables should be byte-identical to --workload=staggered"
+fi
+
+# A topology workload runs the whole distributed pipeline: shard reports
+# carry its canonical name, and the merge is byte-identical to the
+# unsharded tables (whitespace squeezed as in the sharded checks below,
+# since column widths align to the filtered wall-time row's digits).
+wfilter() {
+  grep -vE "wall time|jobs per second|worker threads" "$1" | sed -E 's/ +/ /g; s/-+/-/g'
+}
+wflags="--count=6 --workload=grid:rows=3,cols=3,sigma=2"
+"$cli" sweep $wflags > "$tmpdir/wsingle.txt" 2>&1 ||
+  fail "grid workload sweep should exit 0"
+"$cli" sweep $wflags --shard=0/2 --out="$tmpdir/w0.txt" >/dev/null 2>&1 ||
+  fail "grid workload shard 0/2 should exit 0"
+"$cli" sweep $wflags --shard=1/2 --out="$tmpdir/w1.txt" >/dev/null 2>&1 ||
+  fail "grid workload shard 1/2 should exit 0"
+grep -q "sweep .* grid:rows=3,cols=3,sigma=2$" "$tmpdir/w0.txt" ||
+  fail "shard report should carry the canonical workload name"
+"$cli" merge "$tmpdir/w0.txt" "$tmpdir/w1.txt" > "$tmpdir/wmerged.txt" 2>&1 ||
+  fail "grid workload merge should exit 0"
+if ! diff <(wfilter "$tmpdir/wmerged.txt") <(wfilter "$tmpdir/wsingle.txt") >/dev/null; then
+  fail "merged grid workload shards should print exactly the unsharded tables"
+fi
+
 # Bad --cache values exit 2 with a usage error.
 for value in bogus -3 12cats 9999999999; do
   out=$("$cli" sweep --cache=$value --count=1 2>&1)

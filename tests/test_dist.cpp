@@ -19,6 +19,7 @@
 #include "engine/batch_runner.hpp"
 #include "engine/schedule_cache.hpp"
 #include "engine/sweep.hpp"
+#include "engine/workload.hpp"
 #include "support/assert.hpp"
 
 namespace {
@@ -26,33 +27,43 @@ namespace {
 using namespace arl;
 
 // ---------------------------------------------------------------- the sweep
-// The workload the algebra suites shard: a random sweep crossed with every
-// registered protocol, so merge correctness is checked on mixed-protocol
-// reports (per-protocol breakdown rows, baselines that fail out of model,
-// randomized dispositions) rather than a single uniform batch.
+// The workload the algebra suites shard: a registry WorkloadSpec crossed
+// with every registered protocol, so merge correctness is checked on
+// mixed-protocol reports (per-protocol breakdown rows, baselines that fail
+// out of model, randomized dispositions) rather than a single uniform batch
+// — and the sweep identity shard reports carry is the workload's own
+// canonical name + digest, exactly as the CLI emits it.
 
 constexpr std::uint64_t kSeed = 77;
 constexpr engine::JobId kConfigurations = 6;
 
-engine::CountedSweep registry_sweep() {
-  engine::RandomSweep sweep;
-  sweep.nodes = 8;
-  sweep.span = 3;
-  sweep.seed = engine::sweep_configuration_seed(kSeed);
-  sweep.protocols = core::registered_protocols();
-  return {kConfigurations * sweep.protocols.size(), engine::random_jobs(sweep)};
+engine::WorkloadSpec registry_workload() {
+  return engine::parse_workload("random:n=8,p=0.3,sigma=3");
 }
 
-dist::SweepKey registry_key(const engine::CountedSweep& sweep) {
+engine::CountedSweep registry_sweep() {
+  return registry_workload().instantiate(kSeed, core::registered_protocols(),
+                                         {.count = kConfigurations});
+}
+
+/// The sweep identity of a (workload, sweep, protocols) triple — what
+/// make_sweep_key in the CLI builds.
+dist::SweepKey workload_key(const engine::WorkloadSpec& workload,
+                            const engine::CountedSweep& sweep,
+                            const std::vector<core::ProtocolSpec>& protocols) {
   dist::SweepKey key;
-  key.description = "test registry sweep n=8 sigma=3";
-  key.digest = dist::sweep_digest(key.description);
+  key.description = workload.name();
+  key.digest = workload.digest();
   key.seed = kSeed;
   key.total_jobs = sweep.count;
-  for (const core::ProtocolSpec& protocol : core::registered_protocols()) {
+  for (const core::ProtocolSpec& protocol : protocols) {
     key.protocols.push_back(protocol.name());
   }
   return key;
+}
+
+dist::SweepKey registry_key(const engine::CountedSweep& sweep) {
+  return workload_key(registry_workload(), sweep, core::registered_protocols());
 }
 
 engine::BatchReport run_unsharded(const engine::CountedSweep& sweep) {
@@ -63,9 +74,9 @@ engine::BatchReport run_unsharded(const engine::CountedSweep& sweep) {
 /// Runs every shard of a K-way plan in its own runner (as separate worker
 /// processes would) and serializes + reparses each report, so every merge
 /// test also exercises the wire format.
-std::vector<dist::ShardReport> run_shards(const engine::CountedSweep& sweep, std::uint32_t k,
+std::vector<dist::ShardReport> run_shards(const engine::CountedSweep& sweep,
+                                          const dist::SweepKey& key, std::uint32_t k,
                                           std::size_t cache_capacity = 0) {
-  const dist::SweepKey key = registry_key(sweep);
   std::vector<dist::ShardReport> shards;
   for (const dist::JobRange& range : dist::shard_ranges(sweep.count, k)) {
     engine::BatchRunner runner({.threads = 2, .seed = kSeed, .cache_capacity = cache_capacity});
@@ -76,6 +87,11 @@ std::vector<dist::ShardReport> run_shards(const engine::CountedSweep& sweep, std
     shards.push_back(dist::read_shard_report(wire));
   }
   return shards;
+}
+
+std::vector<dist::ShardReport> run_shards(const engine::CountedSweep& sweep, std::uint32_t k,
+                                          std::size_t cache_capacity = 0) {
+  return run_shards(sweep, registry_key(sweep), k, cache_capacity);
 }
 
 // ------------------------------------------------------------ shard planner
@@ -284,8 +300,8 @@ TEST(MergeAlgebra, EmptySweepMergesToEmptyReport) {
     throw support::ContractViolation("an empty sweep has no jobs");
   };
   dist::SweepKey key;
-  key.description = "empty";
-  key.digest = dist::sweep_digest(key.description);
+  key.description = engine::WorkloadSpec::staggered().name();
+  key.digest = engine::WorkloadSpec::staggered().digest();
   key.total_jobs = 0;
   key.protocols = {core::ProtocolSpec::canonical().name()};
 
@@ -301,6 +317,65 @@ TEST(MergeAlgebra, EmptySweepMergesToEmptyReport) {
   const engine::BatchReport merged = dist::complete_report(dist::merge_shards(shards));
   EXPECT_TRUE(merged.jobs.empty());
   EXPECT_TRUE(merged.by_protocol.empty());
+}
+
+// -------------------------------------------------- workload-kind coverage
+// The merge algebra over the *workload* registry: every new workload kind —
+// generator topologies and mutation neighbourhoods alike — shards and
+// merges bit-identically to its unsharded run at the same K fan-outs as the
+// protocol-registry suite above, with the sweep identity taken straight
+// from the spec (name + digest).
+
+class WorkloadMergeAlgebra : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WorkloadMergeAlgebra, ShardedRunsMergeBitIdenticalToUnsharded) {
+  const engine::WorkloadSpec workload = engine::parse_workload(GetParam());
+  const std::vector<core::ProtocolSpec> protocols = {core::ProtocolSpec::canonical(),
+                                                     core::ProtocolSpec::classify_only()};
+  const engine::CountedSweep sweep = workload.instantiate(kSeed, protocols, {.count = 3});
+  const dist::SweepKey key = workload_key(workload, sweep, protocols);
+  ASSERT_GT(sweep.count, 0u);
+
+  const engine::BatchReport unsharded = run_unsharded(sweep);
+  ASSERT_EQ(unsharded.jobs.size(), sweep.count);
+  for (const std::uint32_t k : {1u, 2u, 3u, 7u}) {
+    const engine::BatchReport merged =
+        dist::complete_report(dist::merge_shards(run_shards(sweep, key, k)));
+    EXPECT_TRUE(engine::same_results(merged, unsharded)) << workload.name() << " K = " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkloadKinds, WorkloadMergeAlgebra,
+                         ::testing::Values("grid:rows=3,cols=3,sigma=2",
+                                           "torus:rows=3,cols=3,sigma=2",
+                                           "hypercube:d=3,sigma=2", "tree:n=9,sigma=2",
+                                           "single-hop:n=6,sigma=2", "mutations:family-h"));
+
+// ------------------------------------------------------------ sweep identity
+
+TEST(SweepIdentity, WorkloadDigestIsTheSweepDigestOfItsName) {
+  // The contract that lets a spec's digest feed dist::SweepKey directly.
+  for (const engine::WorkloadSpec& workload : engine::registered_workloads()) {
+    EXPECT_EQ(workload.digest(), dist::sweep_digest(workload.name())) << workload.name();
+  }
+}
+
+TEST(SweepIdentity, DescriptionsMustReParseAsCanonicalWorkloads) {
+  // Identity is re-parsed, not trusted: a report whose description is not a
+  // registered workload — or not its canonical spelling — is rejected even
+  // though its digest line is internally consistent.
+  const engine::CountedSweep sweep = registry_sweep();
+  for (const char* description : {"not a workload", "random:sigma=5", "grid:rows=3"}) {
+    dist::SweepKey key = registry_key(sweep);
+    key.description = description;
+    key.digest = dist::sweep_digest(key.description);
+    engine::BatchRunner runner({.threads = 1, .seed = kSeed});
+    const dist::ShardReport shard = dist::make_shard_report(
+        key, {0, sweep.count}, runner.run_range(0, sweep.count, sweep.source));
+    std::stringstream wire;
+    dist::write_shard_report(shard, wire);
+    EXPECT_THROW((void)dist::read_shard_report(wire), dist::ReportFormatError) << description;
+  }
 }
 
 // ----------------------------------------------------- engine range contract

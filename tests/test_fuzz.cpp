@@ -29,6 +29,7 @@
 #include "dist/shard.hpp"
 #include "engine/batch_runner.hpp"
 #include "engine/sweep.hpp"
+#include "engine/workload.hpp"
 #include "graph/generators.hpp"
 #include "helpers.hpp"
 #include "lowerbounds/universal.hpp"
@@ -296,24 +297,129 @@ TEST(FingerprintFuzz, TenThousandRandomConfigurationsNeverShareFalsely) {
   EXPECT_GT(duplicates, 0u);
 }
 
+// ------------------------------------------------------- workload digests
+
+/// A random spec assembled as a grammar string and pushed through
+/// parse_workload — so the fuzz exercises the parser on every sample, and
+/// duplicates (equal specs) occur honestly for the collision check below.
+engine::WorkloadSpec random_workload_spec(support::Rng& rng, bool allow_mutations = true) {
+  std::string name;
+  std::vector<std::string> params;
+  switch (rng.below(allow_mutations ? 12 : 11)) {
+    case 0:
+      name = "random";
+      params.push_back("n=" + std::to_string(2 + rng.below(39)));
+      params.push_back("p=0." + std::to_string(1 + rng.below(9)));
+      params.push_back("sigma=" + std::to_string(rng.below(6)));
+      if (rng.bernoulli(0.2)) {
+        params.push_back("exact=0");
+      }
+      break;
+    case 1:
+      name = "exhaustive";
+      params.push_back("n=" + std::to_string(1 + rng.below(5)));
+      params.push_back("tau=" + std::to_string(rng.below(4)));
+      break;
+    case 2:
+      name = "family-g";
+      break;
+    case 3:
+      name = "family-h";
+      break;
+    case 4:
+      name = "family-s";
+      break;
+    case 5:
+      name = "staggered";
+      break;
+    case 6:
+      name = "grid";
+      params.push_back("rows=" + std::to_string(1 + rng.below(8)));
+      params.push_back("cols=" + std::to_string(2 + rng.below(7)));
+      params.push_back("sigma=" + std::to_string(rng.below(5)));
+      break;
+    case 7:
+      name = "torus";
+      params.push_back("rows=" + std::to_string(3 + rng.below(6)));
+      params.push_back("cols=" + std::to_string(3 + rng.below(6)));
+      params.push_back("sigma=" + std::to_string(rng.below(5)));
+      break;
+    case 8:
+      name = "hypercube";
+      params.push_back("d=" + std::to_string(1 + rng.below(8)));
+      params.push_back("sigma=" + std::to_string(rng.below(5)));
+      break;
+    case 9:
+      name = "tree";
+      params.push_back("n=" + std::to_string(2 + rng.below(59)));
+      params.push_back("sigma=" + std::to_string(rng.below(5)));
+      break;
+    case 10:
+      name = "single-hop";
+      params.push_back("n=" + std::to_string(2 + rng.below(39)));
+      params.push_back("sigma=" + std::to_string(rng.below(5)));
+      break;
+    default:
+      return engine::WorkloadSpec::mutations(random_workload_spec(rng, false));
+  }
+  if (rng.bernoulli(0.25)) {
+    params.push_back("model=nocd");
+  }
+  if (rng.bernoulli(0.25)) {
+    params.push_back("fast=1");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    name += (i == 0 ? ':' : ',');
+    name += params[i];
+  }
+  return engine::parse_workload(name);
+}
+
+TEST(WorkloadFuzz, TenThousandRandomSpecsNeverShareADigestFalsely) {
+  // The sweep-identity keying property, fuzzed like the configuration
+  // fingerprint above: across 10k random workload specs, equal digests only
+  // ever come from equal specs.  (The generator repeats the parameterless
+  // families constantly — those duplicates are exactly the collisions the
+  // digest must have.)
+  support::Rng rng(0x3A11);
+  std::unordered_map<std::uint64_t, engine::WorkloadSpec> seen;
+  std::size_t duplicates = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const engine::WorkloadSpec spec = random_workload_spec(rng);
+    const auto [slot, inserted] = seen.try_emplace(spec.digest(), spec);
+    if (!inserted) {
+      ASSERT_EQ(slot->second, spec)
+          << "digest collision between distinct workloads at i=" << i << ": "
+          << slot->second.name() << " vs " << spec.name();
+      ++duplicates;
+    }
+  }
+  EXPECT_GT(duplicates, 0u);
+
+  // And the round trip holds on every distinct sampled spec, not just the
+  // registry defaults.
+  for (const auto& [digest, spec] : seen) {
+    ASSERT_EQ(engine::parse_workload(spec.name()), spec) << spec.name();
+    ASSERT_EQ(spec.digest(), digest) << spec.name();
+  }
+}
+
 // ----------------------------------------------------- shard report parser
 
 /// One small but representative shard report (mixed protocols, a cache
 /// line, a multi-range cover) to mutate.
 std::string reference_shard_report_text() {
-  engine::RandomSweep sweep;
-  sweep.nodes = 6;
-  sweep.span = 2;
-  sweep.seed = engine::sweep_configuration_seed(11);
-  sweep.protocols = {core::ProtocolSpec::canonical(), core::ProtocolSpec::binary_search()};
-  const engine::CountedSweep counted{8, engine::random_jobs(sweep)};
+  const engine::WorkloadSpec workload = engine::parse_workload("random:n=6,p=0.3,sigma=2");
+  const std::vector<core::ProtocolSpec> protocols = {core::ProtocolSpec::canonical(),
+                                                     core::ProtocolSpec::binary_search()};
+  const engine::CountedSweep counted = workload.instantiate(11, protocols, {.count = 4});
 
   dist::SweepKey key;
-  key.description = "fuzz sweep n=6 sigma=2";
-  key.digest = dist::sweep_digest(key.description);
+  key.description = workload.name();
+  key.digest = workload.digest();
   key.seed = 11;
   key.total_jobs = counted.count;
-  for (const core::ProtocolSpec& protocol : sweep.protocols) {
+  for (const core::ProtocolSpec& protocol : protocols) {
     key.protocols.push_back(protocol.name());
   }
 

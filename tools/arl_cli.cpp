@@ -8,6 +8,7 @@
 ///                   --shard=i/K emits one shard of a distributed sweep,
 ///                   --workers=K forks K local worker processes and merges
 ///   arl merge     — reassemble shard report files into the sweep's report
+///   arl workloads — list the registered sweep workloads (engine/workload.hpp)
 ///   arl trace     — replay the canonical DRIP with a per-round trace
 ///   arl schedule  — compile and print the canonical schedule (deployable)
 ///   arl dot       — Graphviz rendering of a configuration
@@ -26,10 +27,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
-#include <iomanip>
 #include <iostream>
-#include <limits>
-#include <memory>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
@@ -57,6 +55,7 @@
 #include "dist/shard.hpp"
 #include "engine/batch_runner.hpp"
 #include "engine/sweep.hpp"
+#include "engine/workload.hpp"
 #include "graph/generators.hpp"
 #include "radio/trace.hpp"
 #include "radio/validator.hpp"
@@ -88,21 +87,31 @@ commands:
   elect      classify + run the canonical DRIP + verify
                --model=cd|nocd
   sweep      run a batch of elections across the thread pool
-               --count=N         configurations in the batch  (default 100)
-               --family=random|staggered|h|g|s               (default random)
+               --workload=SPEC   registry workload to sweep (see `arl
+                                 workloads`), e.g. random:n=16,p=0.3,sigma=3,
+                                 grid:rows=8,cols=8,sigma=3, hypercube:d=6,
+                                 exhaustive:n=4,tau=2, mutations:family-h
+                                 (default random)
+               --count=N         configurations in the batch  (default 100;
+                                 conflicts with self-counting workloads)
+               --family=random|staggered|h|g|s   legacy alias constructing
+                                 the same workload spec (conflicts with
+                                 --workload)
                --protocol=NAME   protocol to run: canonical, classify,
                                  binary-search[:BITS], tree-split[:BITS],
                                  randomized[:SLOTS]           (default canonical)
                                  repeatable — several protocols make the batch a
                                  cross product (every configuration under every
                                  protocol) with a per-protocol comparison table
-               --n=N             node count for random        (default 16)
-               --sigma=N         span for random              (default 3)
-               --p=X             edge probability for random  (default 0.3)
+               --n=N             node count for --family=random      (default 16)
+               --sigma=N         span for --family=random            (default 3)
+               --p=X             edge probability, --family=random   (default 0.3)
                --seed=N          batch master seed            (default 1)
                --threads=N       worker threads in [0, 256]; 0 = hardware
-               --model=cd|nocd   channel feedback
-               --fast            use the hashed classifier
+               --model=cd|nocd   channel feedback (with the legacy aliases;
+                                 a --workload spec spells it as model=nocd)
+               --fast            use the hashed classifier (with the legacy
+                                 aliases; a --workload spec spells fast=1)
                --shard=i/K       run only shard i of K (contiguous job-id
                                  ranges; bit-identical to the same ids of an
                                  unsharded run) and emit a shard report
@@ -117,6 +126,7 @@ commands:
                                  configuration classify once, and the summary
                                  reports hit/miss/evict counts (default off)
                --classify-only   shorthand for --protocol=classify
+  workloads  list the registered workloads and the spec grammar (exit 0)
   merge      reassemble shard report files into the sweep's report
                arl merge SHARD-FILE...
                verifies the shards describe one sweep (same spec digest,
@@ -251,39 +261,45 @@ std::size_t parse_cache_capacity(const support::Args& args) {
   throw support::ContractViolation("--cache must be on, off, or a capacity in [0, 999999999]");
 }
 
-/// A sweep the CLI can run whole, as one shard, or across worker processes:
-/// the lazy job stream plus the canonical description that identifies the
-/// workload across process boundaries (dist::SweepKey).
-struct SweepPlan {
-  engine::CountedSweep sweep;
-  std::string description;
-  std::vector<core::ProtocolSpec> protocols;
+/// Folds the --model/--fast execution flags into a legacy-alias workload
+/// spec — they are workload identity (sweeps classifying under different
+/// channel feedback must not merge), which is why the --workload spelling
+/// carries them inside the spec instead of beside it.
+engine::WorkloadSpec apply_execution_flags(engine::WorkloadSpec spec,
+                                           const support::Args& args) {
+  if (args.has("model")) {
+    spec.model = parse_model(args);
+  }
+  if (args.has("fast")) {
+    spec.fast = true;
+  }
+  return spec;
+}
 
-  /// For the materialized families (staggered/h/g/s): the jobs behind
-  /// `sweep.source`, so the unsharded path can run them by reference
-  /// instead of paying a per-job configuration copy through the JobSource.
-  /// Null for lazily generated sweeps (random).
-  std::shared_ptr<const std::vector<engine::BatchJob>> materialized;
-};
+/// The workload the sweep flags describe: --workload=SPEC picks any registry
+/// workload; the legacy --family/--n/--sigma/--p flags are parsed aliases
+/// that construct the same spec (byte-identical sweeps either way), and
+/// combining the two axes is contradictory.  Throws
+/// support::ContractViolation on conflicts and out-of-range values (exit 2).
+engine::WorkloadSpec sweep_workload(const support::Args& args) {
+  if (args.has("workload")) {
+    // Every workload-identity parameter has one spelling: inside the spec.
+    // A bare flag next to --workload would either silently override the
+    // spec's own key (model/fast) or duplicate it (family/n/sigma/p), so
+    // both combinations are contradictions, not preferences.
+    for (const char* flag : {"family", "n", "sigma", "p", "model", "fast"}) {
+      if (args.has(flag)) {
+        throw support::ContractViolation(
+            std::string("--workload conflicts with --") + flag +
+            "; put the parameter inside the spec instead (e.g. "
+            "--workload=random:n=8,model=nocd)");
+      }
+    }
+    return engine::parse_workload(args.get_string("workload", ""));
+  }
 
-/// Builds the job stream the sweep flags describe, and its canonical
-/// description — a pure function of the workload-defining flags (family,
-/// count, family parameters, channel model, classifier choice, protocol
-/// list), so every shard of one sweep derives the same dist::SweepKey.
-/// Throws support::ContractViolation on out-of-range values (exit 2).
-SweepPlan build_sweep_plan(const support::Args& args, std::size_t count,
-                           std::vector<core::ProtocolSpec> protocols, std::uint64_t batch_seed,
-                           const core::ElectionOptions& options) {
   const std::string family = args.get_string("family", "random");
-  std::ostringstream description;
-  // Round-trippable double formatting: two sweeps whose --p differs only
-  // past the default 6 significant digits are different workloads and must
-  // not share a sweep digest (the merge verifier hangs on it).
-  description << std::setprecision(std::numeric_limits<double>::max_digits10);
-  description << "family=" << family << " count=" << count;
-
-  SweepPlan plan;
-  plan.protocols = protocols;
+  engine::WorkloadSpec spec;
   if (family == "random") {
     const std::int64_t n = args.get_int("n", 16);
     if (n < 1 || n > 1'000'000) {
@@ -297,61 +313,37 @@ SweepPlan build_sweep_plan(const support::Args& args, std::size_t count,
     if (p < 0.0 || p > 1.0) {
       throw support::ContractViolation("--p must be in [0, 1]");
     }
-    engine::RandomSweep sweep;
-    sweep.nodes = static_cast<graph::NodeId>(n);
-    sweep.edge_probability = p;
-    sweep.span = static_cast<config::Tag>(sigma);
-    // Configuration stream seed: an explicit, documented function of the
-    // batch seed (see engine::sweep_configuration_seed), independent of the
-    // per-job coin-seed stream.
-    sweep.seed = engine::sweep_configuration_seed(batch_seed);
-    sweep.protocols = std::move(protocols);
-    sweep.options = options;
-    description << " n=" << n << " sigma=" << sigma << " p=" << p;
-    plan.sweep.count = count * plan.protocols.size();
-    plan.sweep.source = engine::random_jobs(std::move(sweep));
-  } else if (family == "staggered" || family == "h" || family == "g" || family == "s") {
-    std::vector<config::Configuration> configurations;
-    configurations.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-      if (family == "staggered") {
-        configurations.push_back(config::staggered_path(2 + static_cast<graph::NodeId>(i)));
-      } else {
-        const auto m = static_cast<config::Tag>(i + (family == "g" ? 2 : 1));
-        configurations.push_back(family == "h"   ? config::family_h(m)
-                                 : family == "g" ? config::family_g(m)
-                                                 : config::family_s(m));
-      }
-    }
-    // Materialized families become a shared lazy source so sharding treats
-    // every family uniformly (a shard touches only its own job ids).
-    auto jobs = std::make_shared<const std::vector<engine::BatchJob>>(
-        engine::cross_jobs(std::move(configurations), plan.protocols, options));
-    plan.sweep.count = static_cast<engine::JobId>(jobs->size());
-    plan.sweep.source = [jobs](engine::JobId id) { return (*jobs)[static_cast<std::size_t>(id)]; };
-    plan.materialized = jobs;
+    spec = engine::WorkloadSpec::random(static_cast<std::uint32_t>(n), p,
+                                        static_cast<std::uint32_t>(sigma));
+  } else if (family == "staggered") {
+    spec = engine::WorkloadSpec::staggered();
+  } else if (family == "h") {
+    spec = engine::WorkloadSpec::family_h();
+  } else if (family == "g") {
+    spec = engine::WorkloadSpec::family_g();
+  } else if (family == "s") {
+    spec = engine::WorkloadSpec::family_s();
   } else {
-    throw support::ContractViolation("unknown family '" + family + "'");
+    throw support::ContractViolation("unknown family '" + family +
+                                     "' (a legacy alias; --workload reaches the full "
+                                     "registry: " +
+                                     engine::workload_names() + ")");
   }
-
-  description << " model=" << args.get_string("model", "cd")
-              << " fast=" << (options.use_fast_classifier ? 1 : 0) << " protocols=";
-  for (std::size_t i = 0; i < plan.protocols.size(); ++i) {
-    description << (i ? "," : "") << plan.protocols[i].name();
-  }
-  plan.description = description.str();
-  return plan;
+  return apply_execution_flags(std::move(spec), args);
 }
 
-/// The sweep identity shard reports carry (see dist/report_io.hpp).
-dist::SweepKey make_sweep_key(const SweepPlan& plan, std::uint64_t seed) {
+/// The sweep identity shard reports carry (see dist/report_io.hpp): the
+/// workload's canonical name and digest plus the run-sizing fields.
+dist::SweepKey make_sweep_key(const engine::WorkloadSpec& workload, engine::JobId total_jobs,
+                              const std::vector<core::ProtocolSpec>& protocols,
+                              std::uint64_t seed) {
   dist::SweepKey key;
-  key.description = plan.description;
-  key.digest = dist::sweep_digest(key.description);
+  key.description = workload.name();
+  key.digest = workload.digest();
   key.seed = seed;
-  key.total_jobs = plan.sweep.count;
-  key.protocols.reserve(plan.protocols.size());
-  for (const core::ProtocolSpec& protocol : plan.protocols) {
+  key.total_jobs = total_jobs;
+  key.protocols.reserve(protocols.size());
+  for (const core::ProtocolSpec& protocol : protocols) {
     key.protocols.push_back(protocol.name());
   }
   return key;
@@ -426,27 +418,28 @@ void print_report(const engine::BatchReport& report) {
   comparison.print_markdown(std::cout);
 }
 
-/// Runs one shard range of the plan and writes its report to `out` — the
+/// Runs one shard range of the sweep and writes its report to `out` — the
 /// one shard-emission path, shared by `--shard`, the forked `--workers`
 /// children and the no-fork fallback.  Returns true when every job in the
 /// shard verified.
-bool emit_shard(const SweepPlan& plan, const dist::SweepKey& key, const dist::JobRange& range,
-                const engine::BatchOptions& batch_options, std::ostream& out) {
+bool emit_shard(const engine::CountedSweep& sweep, const dist::SweepKey& key,
+                const dist::JobRange& range, const engine::BatchOptions& batch_options,
+                std::ostream& out) {
   engine::BatchRunner runner(batch_options);
-  engine::BatchReport report = runner.run_range(range.begin, range.end, plan.sweep.source);
+  engine::BatchReport report = runner.run_range(range.begin, range.end, sweep.source);
   const bool all_valid = report.valid_count == report.jobs.size();
   dist::write_shard_report(dist::make_shard_report(key, range, std::move(report)), out);
   return all_valid;
 }
 
-/// Runs one shard of the plan and emits its report (--out file or stdout).
+/// Runs one shard of the sweep and emits its report (--out file or stdout).
 /// Exit 0 when every job in the shard verified, 1 otherwise.
-int run_shard_sweep(const SweepPlan& plan, const engine::BatchOptions& batch_options,
-                    const dist::ShardSpec& shard, const std::string& out_path) {
-  const dist::JobRange range = dist::shard_range(plan.sweep.count, shard);
-  const dist::SweepKey key = make_sweep_key(plan, batch_options.seed);
+int run_shard_sweep(const engine::CountedSweep& sweep, const dist::SweepKey& key,
+                    const engine::BatchOptions& batch_options, const dist::ShardSpec& shard,
+                    const std::string& out_path) {
+  const dist::JobRange range = dist::shard_range(sweep.count, shard);
   if (out_path.empty()) {
-    const bool all_valid = emit_shard(plan, key, range, batch_options, std::cout);
+    const bool all_valid = emit_shard(sweep, key, range, batch_options, std::cout);
     std::cout.flush();
     if (!std::cout) {
       // Same contract as the --out branch: a lost or truncated report must
@@ -460,7 +453,7 @@ int run_shard_sweep(const SweepPlan& plan, const engine::BatchOptions& batch_opt
   if (!file) {
     throw support::ContractViolation("cannot open " + out_path + " for writing");
   }
-  const bool all_valid = emit_shard(plan, key, range, batch_options, file);
+  const bool all_valid = emit_shard(sweep, key, range, batch_options, file);
   file.flush();
   if (!file) {
     // Environment failure (disk full, I/O error), not misuse: exits 1.
@@ -469,12 +462,12 @@ int run_shard_sweep(const SweepPlan& plan, const engine::BatchOptions& batch_opt
   return all_valid ? 0 : 1;
 }
 
-/// The zero-infrastructure distributed driver: split the plan into
+/// The zero-infrastructure distributed driver: split the sweep into
 /// `workers` shards, run each in its own forked process writing a shard
 /// report to a temp file, then merge the files end-to-end — the exact
 /// pipeline a multi-host run performs, on one machine.
-int run_workers_sweep(const SweepPlan& plan, const engine::BatchOptions& batch_options,
-                      std::uint32_t workers) {
+int run_workers_sweep(const engine::CountedSweep& sweep, const dist::SweepKey& key,
+                      const engine::BatchOptions& batch_options, std::uint32_t workers) {
 #if ARL_CLI_HAS_FORK
   // With the default --threads=0 every forked worker would size its pool
   // to the full hardware concurrency, oversubscribing the machine K-fold;
@@ -490,8 +483,7 @@ int run_workers_sweep(const SweepPlan& plan, const engine::BatchOptions& batch_o
     }
     return std::max(1u, cores / workers + (w < cores % workers ? 1 : 0));
   };
-  const std::vector<dist::JobRange> ranges = dist::shard_ranges(plan.sweep.count, workers);
-  const dist::SweepKey key = make_sweep_key(plan, batch_options.seed);
+  const std::vector<dist::JobRange> ranges = dist::shard_ranges(sweep.count, workers);
 
   // Shard files live in a private 0700 temp directory (mkdtemp), so no
   // other local user can swap one for a symlink between creation and the
@@ -547,7 +539,7 @@ int run_workers_sweep(const SweepPlan& plan, const engine::BatchOptions& batch_o
         options.threads = worker_threads(w);
         std::ofstream file(paths[w]);
         if (file) {
-          const bool all_valid = emit_shard(plan, key, ranges[w], options, file);
+          const bool all_valid = emit_shard(sweep, key, ranges[w], options, file);
           file.flush();
           code = file ? (all_valid ? 0 : 1) : 3;
           if (!file) {
@@ -612,10 +604,9 @@ int run_workers_sweep(const SweepPlan& plan, const engine::BatchOptions& batch_o
   // sequentially in-process — wire format included — so --workers stays
   // meaningful (and equally exercised) everywhere.
   std::vector<dist::ShardReport> shards;
-  const dist::SweepKey key = make_sweep_key(plan, batch_options.seed);
-  for (const dist::JobRange& range : dist::shard_ranges(plan.sweep.count, workers)) {
+  for (const dist::JobRange& range : dist::shard_ranges(sweep.count, workers)) {
     std::stringstream wire;
-    (void)emit_shard(plan, key, range, batch_options, wire);
+    (void)emit_shard(sweep, key, range, batch_options, wire);
     shards.push_back(dist::read_shard_report(wire));
   }
   const engine::BatchReport report = dist::complete_report(dist::merge_shards(shards));
@@ -643,10 +634,6 @@ int cmd_sweep(const support::Args& args) {
   // Flag-validation throws (here and below) reach main()'s ContractViolation
   // handler, which exits 2 like every other usage error.
   batch_options.cache_capacity = parse_cache_capacity(args);
-
-  core::ElectionOptions options;
-  options.channel_model = parse_model(args);
-  options.use_fast_classifier = args.has("fast");
 
   // The protocol axis: repeatable --protocol flags, validated against the
   // registry; several protocols make the batch a head-to-head cross product.
@@ -695,21 +682,43 @@ int cmd_sweep(const support::Args& args) {
     return 2;
   }
 
-  const SweepPlan plan =
-      build_sweep_plan(args, count, std::move(protocols), batch_options.seed, options);
+  // The workload axis: one registry spec, whether spelled as --workload or
+  // through the legacy alias flags; identity (name + digest) feeds the
+  // shard reports, so every workload shards, merges and caches uniformly.
+  const engine::WorkloadSpec workload = sweep_workload(args);
+  if (args.has("count") && workload.bounded()) {
+    std::cerr << "error: --count conflicts with the self-counting workload '"
+              << workload.name() << "' (its configuration count is implied)\n";
+    return 2;
+  }
+
+  const engine::CountedSweep sweep =
+      workload.instantiate(batch_options.seed, protocols, {.count = count});
+  const dist::SweepKey key = make_sweep_key(workload, sweep.count, protocols, batch_options.seed);
   if (shard) {
-    return run_shard_sweep(plan, batch_options, *shard, args.get_string("out", ""));
+    return run_shard_sweep(sweep, key, batch_options, *shard, args.get_string("out", ""));
   }
   if (workers) {
-    return run_workers_sweep(plan, batch_options, *workers);
+    return run_workers_sweep(sweep, key, batch_options, *workers);
   }
 
   engine::BatchRunner runner(batch_options);
-  const engine::BatchReport report =
-      plan.materialized != nullptr ? runner.run(*plan.materialized)
-                                   : runner.run(plan.sweep.count, plan.sweep.source);
+  const engine::BatchReport report = runner.run(sweep.count, sweep.source);
   print_report(report);
   return report.valid_count == report.jobs.size() ? 0 : 1;
+}
+
+/// `arl workloads` — the registry listing, symmetric to the protocol list
+/// CLI errors show: one row per registered workload (its canonical
+/// default-parameter name) plus the spec grammar.
+int cmd_workloads() {
+  support::Table table({"workload", "configurations"});
+  for (const engine::WorkloadSpec& workload : engine::registered_workloads()) {
+    table.add_row({workload.name(), workload.describe()});
+  }
+  table.print_markdown(std::cout);
+  std::cout << "\nspec grammar: kind[:key=value,...] — " << engine::workload_names() << '\n';
+  return 0;
 }
 
 /// `arl merge SHARD-FILE...` — parse every shard report, verify they are
@@ -840,6 +849,9 @@ int main(int argc, char** argv) {
     }
     if (command == "merge") {
       return cmd_merge(args);
+    }
+    if (command == "workloads") {
+      return cmd_workloads();
     }
     if (command == "trace") {
       return cmd_trace(args);
