@@ -4,14 +4,56 @@
 /// Shared scaffolding for the experiment benchmarks: every bench binary
 /// first prints its experiment table (the paper-style rows recorded in
 /// EXPERIMENTS.md) and then runs its google-benchmark timings.
+///
+/// Custom flags (parsed and stripped before benchmark::Initialize, which
+/// rejects arguments it does not know):
+///   --json-out=DIR   directory the BENCH_*.json trajectory snapshots are
+///                    written into (default: the current directory)
+///   --tables-only    print the experiment tables and exit without running
+///                    the google-benchmark timed series (the CI preset)
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "support/table.hpp"
 
 namespace arl::benchsupport {
+
+/// The custom bench flags, populated by ARL_BENCH_MAIN before the tables run.
+struct BenchFlags {
+  std::string json_out = ".";
+  bool tables_only = false;
+};
+
+inline BenchFlags& flags() {
+  static BenchFlags instance;
+  return instance;
+}
+
+/// Consumes the flags this header owns from argv (so google-benchmark never
+/// sees them) and records them in flags().
+inline void strip_custom_flags(int& argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--tables-only") {
+      flags().tables_only = true;
+    } else if (arg.rfind("--json-out=", 0) == 0) {
+      flags().json_out = std::string(arg.substr(std::strlen("--json-out=")));
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+}
 
 /// Prints a titled markdown table to stdout.
 inline void print_table(const std::string& title, const support::Table& table) {
@@ -20,12 +62,58 @@ inline void print_table(const std::string& title, const support::Table& table) {
   std::cout << std::flush;
 }
 
+/// A flat JSON object accumulated key by key and written as one file — the
+/// trajectory snapshot format tools/bench_gate consumes: every value is a
+/// number, a bool or a string, and gating policy is keyed off the name
+/// (see bench_gate).  Keys keep insertion order so snapshots diff cleanly.
+class JsonSnapshot {
+ public:
+  void add(std::string key, double value) {
+    std::ostringstream out;
+    out << value;
+    entries_.emplace_back(std::move(key), out.str());
+  }
+  void add(std::string key, std::uint64_t value) {
+    entries_.emplace_back(std::move(key), std::to_string(value));
+  }
+  void add(std::string key, bool value) {
+    entries_.emplace_back(std::move(key), value ? "true" : "false");
+  }
+  void add(std::string key, const std::string& value) {
+    entries_.emplace_back(std::move(key), "\"" + value + "\"");
+  }
+
+  /// Writes `name` into the --json-out directory; warns instead of failing
+  /// silently, because a missing snapshot reads as "no data" downstream.
+  void write(const std::string& name) const {
+    const std::string path = flags().json_out + "/" + name;
+    std::ofstream out(path);
+    out << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << "  \"" << entries_[i].first << "\": " << entries_[i].second
+          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    out.flush();
+    if (!out) {
+      std::cerr << "warning: could not write " << path << "\n";
+    }
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
 }  // namespace arl::benchsupport
 
 /// Defines main(): emit the experiment tables, then run the timings.
 #define ARL_BENCH_MAIN(print_tables_fn)                       \
   int main(int argc, char** argv) {                           \
+    arl::benchsupport::strip_custom_flags(argc, argv);        \
     print_tables_fn();                                        \
+    if (arl::benchsupport::flags().tables_only) {             \
+      return 0;                                               \
+    }                                                         \
     benchmark::Initialize(&argc, argv);                       \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
       return 1;                                               \

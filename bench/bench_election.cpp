@@ -5,9 +5,11 @@
 /// the serial elect() loop versus the batch election engine), E3c, a
 /// mixed-protocol engine batch putting the canonical Θ(n²σ) election time
 /// next to the O(log n) labeled baselines on single-hop configurations,
-/// and E5, the distributed pipeline (shard → serialize → merge) against the
-/// same sweep in one process — also emitted as machine-readable
-/// BENCH_E5.json so the perf trajectory accumulates across runs.
+/// E5, the engine trajectory (scalar reference loop vs the wavefront engine
+/// on a steady-state mutation sweep at n=64, emitted as machine-readable
+/// BENCH_E5.json and gated in CI by tools/bench_gate), and E5b, the
+/// distributed pipeline (shard → serialize → merge) against the same sweep
+/// in one process.  E3's deterministic rows land in BENCH_E3.json.
 
 #include <algorithm>
 #include <fstream>
@@ -48,34 +50,42 @@ void print_e3_table() {
   // The workload list, materialized once; the engine executes it as a batch
   // and the table is read off the per-job outcomes.
   std::vector<std::string> names;
+  std::vector<std::string> slugs;
   std::vector<engine::BatchJob> jobs;
   support::Rng rng(2027);
-  auto add = [&](const std::string& name, config::Configuration c) {
+  auto add = [&](const std::string& name, const std::string& slug, config::Configuration c) {
     names.push_back(name);
+    slugs.push_back(slug);
     jobs.push_back({std::move(c), core::ProtocolSpec::canonical(), {}});
   };
 
   for (const config::Tag m : {2u, 4u, 8u, 16u, 32u}) {
-    add("G_m path", config::family_g(m));
+    add("G_m path", "g" + std::to_string(m), config::family_g(m));
   }
   for (const config::Tag m : {2u, 8u, 32u, 128u}) {
-    add("H_m", config::family_h(m));
+    add("H_m", "h" + std::to_string(m), config::family_h(m));
   }
   for (const graph::NodeId n : {8u, 16u, 32u, 64u}) {
-    add("staggered path", config::staggered_path(n));
+    add("staggered path", "staggered" + std::to_string(n), config::staggered_path(n));
   }
   for (const graph::NodeId n : {8u, 16u, 32u}) {
-    add("random gnp(0.3) sigma=3",
+    add("random gnp(0.3) sigma=3", "gnp" + std::to_string(n),
         config::random_tags_with_span(graph::gnp_connected(n, 0.3, rng), 3, rng));
   }
   for (const graph::NodeId n : {9u, 16u, 25u}) {
     const auto side = static_cast<graph::NodeId>(n == 9 ? 3 : n == 16 ? 4 : 5);
-    add("grid sigma=2", config::random_tags_with_span(graph::grid(side, side), 2, rng));
+    add("grid sigma=2", "grid" + std::to_string(n),
+        config::random_tags_with_span(graph::grid(side, side), 2, rng));
   }
 
   engine::BatchRunner runner;
   const engine::BatchReport report = runner.run(jobs);
 
+  // Every row's rounds and feasibility is a pure function of the fixed seeds
+  // above, so the snapshot's fields are exact-match material for bench_gate:
+  // a drift in any of them is a semantic change, not a perf regression.
+  benchsupport::JsonSnapshot snapshot;
+  snapshot.add("bench", std::string("E3"));
   support::Table table({"workload", "n", "sigma", "feasible", "phases", "local rounds",
                         "n^2*sigma", "rounds/bound"});
   for (std::size_t i = 0; i < report.jobs.size(); ++i) {
@@ -88,9 +98,12 @@ void print_e3_table() {
                    static_cast<double>(outcome.nodes) * outcome.nodes *
                        std::max<config::Tag>(outcome.span, 1),
                    bound_ratio(outcome.local_rounds, outcome.nodes, outcome.span)});
+    snapshot.add(slugs[i] + "_rounds", outcome.local_rounds);
+    snapshot.add(slugs[i] + "_feasible", outcome.feasible);
   }
   benchsupport::print_table("E3 — canonical-DRIP election time vs the O(n^2*sigma) bound",
                             table);
+  snapshot.write("BENCH_E3.json");
 }
 
 void print_e3b_table() {
@@ -241,12 +254,118 @@ void print_e4_table() {
 }
 
 void print_e5_table() {
+  // The engine trajectory: steady-state throughput of the scalar reference
+  // loop vs the wavefront engine on a mutation sweep at n=64 — the planner
+  // workload of E4, at the tag spans where simulation (not classification)
+  // is the cost.  Each engine runs the same jobs twice, a 1-pass batch and
+  // a (1+kPasses)-pass batch; their wall-time difference is kPasses times
+  // the cache-warm steady-state cost, which cancels the one-off
+  // classification+compile work every candidate pays identically on both
+  // engines.  Outcome identity between the engines is asserted — the
+  // speedup is only meaningful if the wavefront path computes the same
+  // results bit for bit.
+  constexpr graph::NodeId kNodes = 64;
+  constexpr config::Tag kSigma = 2048;
+  constexpr double kEdgeProbability = 0.1;
+  constexpr std::size_t kMutations = 32;
+  constexpr int kPasses = 4;
+
+  support::Rng rng(4242);
+  const config::Configuration base = config::random_tags_with_span(
+      graph::gnp_connected(kNodes, kEdgeProbability, rng), kSigma, rng);
+  const std::vector<config::Configuration> neighbourhood =
+      config::all_tag_mutations(base, base.span());
+  // Stride-sample the (very large) neighbourhood so the sampled candidates
+  // spread over every node rather than exhausting node 0's tags first.
+  std::vector<engine::BatchJob> cold_jobs;
+  const std::size_t stride = std::max<std::size_t>(1, neighbourhood.size() / kMutations);
+  for (std::size_t i = 0; i < neighbourhood.size() && cold_jobs.size() < kMutations;
+       i += stride) {
+    cold_jobs.push_back({neighbourhood[i], core::ProtocolSpec::canonical(), {}});
+  }
+  std::vector<engine::BatchJob> warm_jobs;
+  for (int pass = 0; pass < 1 + kPasses; ++pass) {
+    warm_jobs.insert(warm_jobs.end(), cold_jobs.begin(), cold_jobs.end());
+  }
+
+  struct EngineRun {
+    double cold_millis = 0.0;
+    double steady_millis = 0.0;  ///< (warm batch - cold batch) wall time
+    engine::BatchReport report;  ///< the (1+kPasses)-pass batch
+  };
+  auto measure = [&](engine::EngineMode mode) {
+    // One thread and the schedule cache on for both engines: the comparison
+    // moves exactly one lever, the simulation path.
+    engine::BatchRunner runner({.threads = 1,
+                                .cache_capacity = engine::ScheduleCache::kDefaultCapacity,
+                                .engine = mode});
+    EngineRun run;
+    run.cold_millis = runner.run(cold_jobs).wall_millis;
+    run.report = runner.run(warm_jobs);
+    run.steady_millis = std::max(run.report.wall_millis - run.cold_millis, 1e-6);
+    return run;
+  };
+  const EngineRun scalar = measure(engine::EngineMode::Scalar);
+  const EngineRun wavefront = measure(engine::EngineMode::Wavefront);
+  const bool identical = engine::same_results(scalar.report, wavefront.report);
+
+  const double steady_jobs = static_cast<double>(kPasses) * static_cast<double>(cold_jobs.size());
+  const auto steady_rate = [&](const EngineRun& run) {
+    return steady_jobs / (run.steady_millis / 1e3);
+  };
+  const double speedup = scalar.steady_millis / wavefront.steady_millis;
+
+  support::Table table({"engine", "cold-pass ms", "steady ms/pass", "steady jobs/s",
+                        "node-rounds/s", "speedup", "identical outcomes"});
+  table.set_precision(3);
+  table.add_row({std::string("scalar"), scalar.cold_millis,
+                 scalar.steady_millis / kPasses, steady_rate(scalar),
+                 static_cast<double>(scalar.report.total_stats.node_rounds) /
+                     (scalar.report.wall_millis / 1e3),
+                 1.0, std::string("-")});
+  table.add_row({std::string("wavefront"), wavefront.cold_millis,
+                 wavefront.steady_millis / kPasses, steady_rate(wavefront),
+                 static_cast<double>(wavefront.report.total_stats.node_rounds) /
+                     (wavefront.report.wall_millis / 1e3),
+                 speedup, std::string(identical ? "yes" : "NO (BUG)")});
+  benchsupport::print_table(
+      "E5 — engine trajectory: scalar vs wavefront on a mutation sweep (n=" +
+          std::to_string(kNodes) + ", sigma=" + std::to_string(kSigma) + ", " +
+          std::to_string(cold_jobs.size()) + " candidates x " + std::to_string(kPasses) +
+          " steady passes, cache on)",
+      table);
+
+  benchsupport::JsonSnapshot snapshot;
+  snapshot.add("bench", std::string("E5"));
+  std::ostringstream workload_name;
+  workload_name << "mutations of gnp(n=" << kNodes << ",p=" << kEdgeProbability
+                << ",sigma=" << kSigma << ")";
+  snapshot.add("workload", workload_name.str());
+  snapshot.add("candidates", static_cast<std::uint64_t>(cold_jobs.size()));
+  snapshot.add("steady_passes", static_cast<std::uint64_t>(kPasses));
+  // Exact-match fields: pure functions of the fixed seeds, identical across
+  // engines (same_results) — any drift is a correctness change.
+  snapshot.add("total_global_rounds", wavefront.report.total_global_rounds);
+  snapshot.add("feasible_jobs", wavefront.report.feasible_count);
+  snapshot.add("identical_outcomes", identical);
+  // Gated field: the wavefront engine must stay this much faster than the
+  // scalar reference (bench_gate applies its tolerance to it).
+  snapshot.add("wavefront_speedup", speedup);
+  // Informational fields (suffix-exempt in bench_gate): raw rates move with
+  // the machine, the speedup above is the tracked invariant.
+  snapshot.add("scalar_steady_jobs_per_s", steady_rate(scalar));
+  snapshot.add("wavefront_steady_jobs_per_s", steady_rate(wavefront));
+  snapshot.add("scalar_cold_wall_ms", scalar.cold_millis);
+  snapshot.add("wavefront_cold_wall_ms", wavefront.cold_millis);
+  snapshot.write("BENCH_E5.json");
+}
+
+void print_e5b_table() {
   // The distributed pipeline end-to-end on one machine: the same sweep run
   // (a) in one batch and (b) as 4 shard ranges, each through its own runner
   // (as separate worker processes would), serialized to the wire format,
-  // parsed back and merged.  Identity of the outcomes is asserted, and the
-  // throughput pair lands in BENCH_E5.json so the sharding overhead (and
-  // any future regression in it) is tracked mechanically.
+  // parsed back and merged.  Identity of the outcomes is asserted; the
+  // engine trajectory snapshot lives in E5 above.
   constexpr engine::JobId kCount = 400;
   constexpr std::uint64_t kSeed = 13;
   constexpr std::uint32_t kShards = 4;
@@ -276,7 +395,6 @@ void print_e5_table() {
 
   // Sharded path, wire format included (that is what a real fleet pays).
   double sharded_millis = 0.0;
-  double merge_millis = 0.0;
   engine::BatchReport merged;
   {
     support::Stopwatch watch;
@@ -290,9 +408,7 @@ void print_e5_table() {
           wire);
       shards.push_back(dist::read_shard_report(wire));
     }
-    support::Stopwatch merge_watch;
     merged = dist::complete_report(dist::merge_shards(shards));
-    merge_millis = merge_watch.millis();
     sharded_millis = watch.millis();
   }
   const bool identical = engine::same_results(merged, single);
@@ -308,29 +424,9 @@ void print_e5_table() {
   table.add_row({std::string("4 shards + wire + merge"), sharded_millis,
                  throughput(sharded_millis), std::string(identical ? "yes" : "NO (BUG)")});
   benchsupport::print_table(
-      "E5 — sharded-vs-single sweep (400 configs, n=14, sigma=3): the distributed "
+      "E5b — sharded-vs-single sweep (400 configs, n=14, sigma=3): the distributed "
       "pipeline reproduces the batch bit for bit",
       table);
-
-  std::ofstream json("BENCH_E5.json");
-  json << "{\n"
-       << "  \"bench\": \"E5\",\n"
-       << "  \"workload\": \"" << key.description << "\",\n"
-       << "  \"jobs\": " << kCount << ",\n"
-       << "  \"shards\": " << kShards << ",\n"
-       << "  \"single_wall_ms\": " << single_millis << ",\n"
-       << "  \"single_jobs_per_s\": " << throughput(single_millis) << ",\n"
-       << "  \"sharded_wall_ms\": " << sharded_millis << ",\n"
-       << "  \"sharded_jobs_per_s\": " << throughput(sharded_millis) << ",\n"
-       << "  \"merge_wall_ms\": " << merge_millis << ",\n"
-       << "  \"identical_outcomes\": " << (identical ? "true" : "false") << "\n"
-       << "}\n";
-  json.flush();
-  if (!json) {
-    // The artifact is the point of E5: a silently missing file would read
-    // as "no data" in the perf trajectory, so say why it is missing.
-    std::cerr << "warning: could not write BENCH_E5.json in the current directory\n";
-  }
 }
 
 void print_tables() {
@@ -339,6 +435,7 @@ void print_tables() {
   print_e3c_table();
   print_e4_table();
   print_e5_table();
+  print_e5b_table();
 }
 
 // ------------------------------------------------------------- timed series

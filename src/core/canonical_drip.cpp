@@ -159,4 +159,28 @@ radio::Action CanonicalProgram::decide(config::Round local_round,
   return radio::Action::listen();
 }
 
+config::Round CanonicalProgram::listen_streak(config::Round local_round,
+                                              const radio::HistoryView& history) {
+  if (done_ || failed_) {
+    return 0;  // next decide() terminates
+  }
+  const CanonicalSchedule& s = *schedule_;
+  const std::uint64_t i = local_round;
+  if (i == 1 && !(history.length() >= 1 && history.entry(0).is_silence())) {
+    return 0;  // decide(1) inspects H[0] and may terminate on a forced wake
+  }
+  const std::uint64_t phase_end = base_ + s.phase_length(phase_);
+  if (i < 1 || i > phase_end) {
+    return 0;  // next decide() does phase-boundary work (state update)
+  }
+  // The phase's single transmission round for this node.
+  const std::uint64_t transmit_round =
+      base_ + (static_cast<std::uint64_t>(tblock_) - 1) * s.block_length() + s.sigma + 1;
+  // First local round >= i where decide() may not simply listen: the
+  // transmission round if still ahead, else the boundary call after the
+  // phase's trailing sigma silent rounds.
+  const std::uint64_t stop = i <= transmit_round ? transmit_round : phase_end + 1;
+  return static_cast<config::Round>(stop - i);
+}
+
 }  // namespace arl::core

@@ -64,6 +64,14 @@ class CanonicalProgram final : public radio::NodeProgram {
   CanonicalProgram(std::shared_ptr<const CanonicalSchedule> schedule, MismatchPolicy policy);
 
   radio::Action decide(config::Round local_round, const radio::HistoryView& history) override;
+
+  /// Listen-run lower bound for the simulator's fast path: inside a phase
+  /// the program listens in every round except its single transmission
+  /// round, and only mutates state at phase boundaries, so the streak runs
+  /// to whichever of the two comes first.
+  [[nodiscard]] config::Round listen_streak(config::Round local_round,
+                                            const radio::HistoryView& history) override;
+
   [[nodiscard]] bool elected() const override { return elected_; }
 
   /// True when robust mode hit an observation the schedule cannot explain.

@@ -30,13 +30,30 @@ double BatchReport::throughput() const {
   return static_cast<double>(jobs.size()) / (wall_millis / 1e3);
 }
 
+double BatchReport::node_rounds_per_second() const {
+  if (wall_millis <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(total_stats.node_rounds) / (wall_millis / 1e3);
+}
+
 namespace {
 
 /// Executes one job on one worker's scratch and condenses the report.
 JobOutcome execute_job(const BatchJob& job, JobId id, std::uint64_t batch_seed,
-                       core::ElectionScratch& scratch, core::ElectionReport* keep) {
+                       EngineMode engine, core::ElectionScratch& scratch,
+                       core::ElectionReport* keep) {
   core::ElectionOptions options = job.options;
   options.simulator.coin_seed = job_coin_seed(batch_seed, id);
+  if (engine == EngineMode::Scalar) {
+    options.simulator.engine = radio::SimulatorEngine::Scalar;
+  } else {
+    // Wavefront (and Auto, which resolves to it): the bitset fast path, with
+    // result histories skipped — no engine consumer reads them, and
+    // ElectionReport never retains them, so outcomes are unchanged.
+    options.simulator.engine = radio::SimulatorEngine::Bitset;
+    options.simulator.keep_histories = false;
+  }
 
   core::ElectionReport report = core::run_protocol(job.configuration, job.protocol, options,
                                                    scratch);
@@ -119,7 +136,8 @@ BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch) {
       for (JobId id = next.fetch_add(1); id < end; id = next.fetch_add(1)) {
         decltype(auto) job = fetch(id);
         core::ElectionReport* keep = options_.keep_reports ? &report.reports[id - begin] : nullptr;
-        report.jobs[id - begin] = execute_job(job, id, options_.seed, scratch, keep);
+        report.jobs[id - begin] = execute_job(job, id, options_.seed, options_.engine, scratch,
+                                              keep);
       }
     }));
   }
@@ -175,12 +193,14 @@ void aggregate_outcomes(BatchReport& report) {
   report.valid_count = 0;
   report.total_local_rounds = 0;
   report.max_local_rounds = 0;
+  report.total_global_rounds = 0;
   report.total_stats = {};
   for (const JobOutcome& outcome : report.jobs) {
     report.feasible_count += outcome.feasible ? 1 : 0;
     report.valid_count += outcome.valid ? 1 : 0;
     report.total_local_rounds += outcome.local_rounds;
     report.max_local_rounds = std::max(report.max_local_rounds, outcome.local_rounds);
+    report.total_global_rounds += outcome.global_rounds;
     accumulate(report.total_stats, outcome.stats);
 
     // Per-protocol breakdown, keyed by registry name in order of first
@@ -210,7 +230,8 @@ bool same_results(const BatchReport& a, const BatchReport& b) {
   return a.jobs == b.jobs && a.by_protocol == b.by_protocol &&
          a.feasible_count == b.feasible_count && a.valid_count == b.valid_count &&
          a.total_local_rounds == b.total_local_rounds &&
-         a.max_local_rounds == b.max_local_rounds && a.total_stats == b.total_stats;
+         a.max_local_rounds == b.max_local_rounds &&
+         a.total_global_rounds == b.total_global_rounds && a.total_stats == b.total_stats;
 }
 
 }  // namespace arl::engine

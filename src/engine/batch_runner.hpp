@@ -24,6 +24,17 @@
 
 namespace arl::engine {
 
+/// Which simulation path a batch drives its jobs through.  Outcomes are
+/// bit-identical across modes (asserted by tests/test_simulator_fast.cpp);
+/// the modes differ only in throughput.
+enum class EngineMode : std::uint8_t {
+  Auto,       ///< currently resolves to Wavefront
+  Scalar,     ///< the reference per-node simulator loop
+  Wavefront,  ///< bitset fast path + histories skipped in the results; the
+              ///< per-worker scratch carries adjacency bitmaps and compiled
+              ///< schedules across same-topology jobs
+};
+
 /// Engine-level knobs (per BatchRunner, not per job).
 struct BatchOptions {
   /// Worker threads; 0 means hardware concurrency.
@@ -43,6 +54,10 @@ struct BatchOptions {
   /// classify once instead of once per job; outcomes are bit-identical
   /// either way (tests/test_schedule_cache.cpp).
   std::size_t cache_capacity = 0;
+
+  /// Simulation path; overrides any per-job simulator engine selection
+  /// (jobs carrying a trace sink still fall back to the scalar loop).
+  EngineMode engine = EngineMode::Auto;
 };
 
 /// Condensed outcome of one job (always recorded).
@@ -106,6 +121,7 @@ struct BatchReport {
   std::uint64_t valid_count = 0;           ///< jobs whose verification passed
   std::uint64_t total_local_rounds = 0;    ///< sum of election times
   std::uint64_t max_local_rounds = 0;      ///< slowest election in the batch
+  std::uint64_t total_global_rounds = 0;   ///< sum of global rounds executed
   radio::RunStats total_stats;             ///< channel statistics, summed
   double wall_millis = 0.0;                ///< wall time of the whole batch
   std::size_t threads_used = 1;            ///< workers actually spawned (<= pool size)
@@ -116,6 +132,11 @@ struct BatchReport {
 
   /// Jobs per second of wall time.
   [[nodiscard]] double throughput() const;
+
+  /// Simulated node-rounds per second of wall time: throughput weighted by
+  /// how much simulation each job actually executed, so sweeps over very
+  /// different job sizes stay comparable.
+  [[nodiscard]] double node_rounds_per_second() const;
 };
 
 /// Runs batches of election jobs over an owned thread pool.

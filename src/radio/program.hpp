@@ -56,8 +56,27 @@ class NodeProgram {
   virtual ~NodeProgram() = default;
 
   /// Action for local round `local_round` (>= 1), given the history
-  /// H[0..local_round-1].  Called exactly once per round, in order.
+  /// H[0..local_round-1].  Called at most once per round, in increasing round
+  /// order; rounds covered by a positive listen_streak() may be skipped
+  /// (the program is then treated as having listened through silence).
   virtual Action decide(config::Round local_round, const HistoryView& history) = 0;
+
+  /// Fast-path hint: a lower bound on how many consecutive local rounds,
+  /// starting at `local_round`, this program is guaranteed to Listen —
+  /// provided every one of those rounds observes silence.  When ALL awake
+  /// programs report a positive streak, the simulator proves the common
+  /// prefix globally silent, records it in bulk, and skips the decide()
+  /// calls.  A program returning k > 0 promises that (a) decide(local_round
+  /// + j) would return Listen for every j < k under all-silent observations,
+  /// and (b) its state after the next decide() call is the same whether or
+  /// not those k calls happened.  The default (0) opts out and keeps the
+  /// call-every-round contract of decide().
+  [[nodiscard]] virtual config::Round listen_streak(config::Round local_round,
+                                                    const HistoryView& history) {
+    (void)local_round;
+    (void)history;
+    return 0;
+  }
 
   /// Decision function f applied to the node's own history after
   /// termination: true iff this node declares itself leader.

@@ -1,6 +1,7 @@
 #include "radio/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "support/assert.hpp"
@@ -61,6 +62,21 @@ RunResult Simulator::run() const {
 }
 
 RunResult Simulator::run(SimulatorScratch& scratch) const {
+  // Tracing is a scalar-path feature: the fast path reorders per-node work
+  // within a round (which is unobservable in the results, but not in a
+  // per-action trace), so any trace sink forces the reference loop.
+  const bool bitset_ok = options_.trace == nullptr;
+  switch (options_.engine) {
+    case SimulatorEngine::Scalar:
+      return run_scalar(scratch);
+    case SimulatorEngine::Bitset:
+    case SimulatorEngine::Auto:
+      return bitset_ok ? run_bitset(scratch) : run_scalar(scratch);
+  }
+  return run_scalar(scratch);  // unreachable
+}
+
+RunResult Simulator::run_scalar(SimulatorScratch& scratch) const {
   const graph::Graph& graph = configuration_.graph();
   const graph::NodeId n = graph.node_count();
   std::optional<std::size_t> window =
@@ -251,12 +267,350 @@ RunResult Simulator::run(SimulatorScratch& scratch) const {
   result.all_terminated = (live == 0);
   for (graph::NodeId v = 0; v < n; ++v) {
     NodeState& node = nodes[v];
-    result.nodes[v].history = std::move(node.history);
-    result.nodes[v].history_dropped = node.dropped;
+    if (options_.keep_histories) {
+      result.nodes[v].history = std::move(node.history);
+      result.nodes[v].history_dropped = node.dropped;
+    } else {
+      result.nodes[v].history_dropped = node.dropped + node.history.size();
+    }
     result.nodes[v].elected = node.program->elected();
     if (node.phase == NodeState::Phase::Awake || node.phase == NodeState::Phase::Terminated) {
       result.nodes[v].wake_round = node.wake_round;
       result.nodes[v].forced_wake = node.forced;
+    }
+  }
+  return result;
+}
+
+RunResult Simulator::run_bitset(SimulatorScratch& s) const {
+  const graph::Graph& graph = configuration_.graph();
+  const graph::NodeId n = graph.node_count();
+  std::optional<std::size_t> window =
+      options_.history_window ? options_.history_window : drip_.history_window();
+  if (window && *window == 0) {
+    window = std::nullopt;  // 0 = explicit "retain everything" override
+  }
+
+  ARL_EXPECTS(options_.labels.empty() || options_.labels.size() == n,
+              "labels must be absent or cover every node");
+
+  // Per-node coin seeds, cached per master seed.  split(v) depends only on
+  // (seed, v), so a cache built for a smaller n extends in place.
+  if (!s.seeds_valid_ || s.seeds_from_ != options_.coin_seed) {
+    s.coin_seeds_.clear();
+    s.seeds_from_ = options_.coin_seed;
+    s.seeds_valid_ = true;
+  }
+  if (s.coin_seeds_.size() < n) {
+    const support::Rng seeder(options_.coin_seed);
+    const std::size_t known = s.coin_seeds_.size();
+    s.coin_seeds_.resize(n);
+    for (std::size_t v = known; v < n; ++v) {
+      s.coin_seeds_[v] = seeder.split(v).next();
+    }
+  }
+
+  // Adjacency bitmap, cached across same-topology runs.
+  if (!s.adjacency_.matches(graph)) {
+    s.adjacency_.build(graph);
+  }
+  const std::size_t words = s.adjacency_.words_per_row();
+
+  // Program/history arena: the slot vectors and history capacities persist
+  // across runs; programs themselves are stateful and re-instantiated.
+  s.programs_.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    NodeEnv env;
+    env.coin_seed = s.coin_seeds_[v];
+    if (!options_.labels.empty()) {
+      env.label = options_.labels[v];
+    }
+    s.programs_[v] = drip_.instantiate(env);
+    ARL_ENSURES(s.programs_[v] != nullptr, "drip must produce a program");
+  }
+  if (s.histories_.size() < n) {
+    s.histories_.resize(n);
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    s.histories_[v].clear();
+  }
+  s.dropped_.assign(n, 0);
+  s.wake_round_.assign(n, 0);
+  s.outgoing_.assign(n, 0);
+  s.forced_.assign(n, 0);
+  s.woke_now_.assign(n, 0);
+  s.awake_bits_.assign(words, 0);
+  s.terminated_bits_.assign(words, 0);
+  s.transmit_bits_.assign(words, 0);
+  s.heard_bits_.assign(words, 0);
+  s.awake_list_.clear();
+  s.woke_list_.clear();
+  s.transmitters_.clear();
+
+  s.wake_events_.clear();
+  s.wake_events_.reserve(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    s.wake_events_.emplace_back(configuration_.tag(v), v);
+  }
+  std::sort(s.wake_events_.begin(), s.wake_events_.end());
+
+  RunResult result;
+  result.nodes.resize(n);
+
+  auto push_history = [&](graph::NodeId v, HistoryEntry entry) {
+    History& h = s.histories_[v];
+    h.push_back(entry);
+    if (window && h.size() > 2 * *window) {
+      const std::size_t evict = h.size() - *window;
+      h.erase(h.begin(), h.begin() + static_cast<std::ptrdiff_t>(evict));
+      s.dropped_[v] += evict;
+    }
+  };
+
+  // What node v hears this round: popcount of its row against the
+  // transmitter bitset, early-exiting at two (two transmitters sound the
+  // same as twenty).
+  const bool cd = options_.channel_model == ChannelModel::CollisionDetection;
+  auto channel_at = [&](graph::NodeId v) -> HistoryEntry {
+    const std::uint64_t* row = s.adjacency_.row(v);
+    std::uint32_t count = 0;
+    graph::NodeId single = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t hit = row[w] & s.transmit_bits_[w];
+      if (hit == 0) {
+        continue;
+      }
+      count += static_cast<std::uint32_t>(std::popcount(hit));
+      if (count > 1) {
+        // Without collision detection, noise is indistinguishable from
+        // silence.
+        return cd ? HistoryEntry::collision() : HistoryEntry::silence();
+      }
+      single = static_cast<graph::NodeId>(w * 64 + static_cast<std::size_t>(std::countr_zero(hit)));
+    }
+    if (count == 0) {
+      return HistoryEntry::silence();
+    }
+    return HistoryEntry::message(s.outgoing_[single]);
+  };
+
+  std::uint32_t live = n;
+  std::size_t next_wake = 0;
+  const config::Round horizon = options_.max_rounds;
+  config::Round round = 0;
+
+  while (round < horizon && live > 0) {
+    // 1. Spontaneous wakeups: tag == round.  (A node force-woken — or even
+    //    terminated — before its tag keeps its earlier state.)
+    s.woke_list_.clear();
+    while (next_wake < s.wake_events_.size() && s.wake_events_[next_wake].first == round) {
+      const graph::NodeId v = s.wake_events_[next_wake].second;
+      ++next_wake;
+      if (!bitset_test(s.awake_bits_, v) && !bitset_test(s.terminated_bits_, v)) {
+        bitset_set(s.awake_bits_, v);
+        s.wake_round_[v] = round;
+        s.forced_[v] = 0;
+        s.woke_now_[v] = 1;
+        s.awake_list_.push_back(v);
+        s.woke_list_.push_back(v);
+      }
+    }
+
+    if (s.awake_list_.empty()) {
+      // All live nodes are still asleep: nothing observable happens before
+      // the next wakeup tag.
+      ARL_ASSERT(next_wake < s.wake_events_.size(), "live sleepers must have pending tags");
+      round = std::min(horizon, s.wake_events_[next_wake].first);
+      continue;
+    }
+
+    // 2. Bulk-skip provably silent rounds.  If every awake node promises via
+    //    listen_streak() to Listen for the next k rounds (given silence) and
+    //    no wakeup tag falls inside them, those rounds have no transmitter —
+    //    hence no message, no forced wakeup, and silence at every listener —
+    //    so they can be recorded wholesale without calling decide().
+    if (s.woke_list_.empty()) {
+      config::Round limit = horizon - round;
+      if (next_wake < s.wake_events_.size()) {
+        limit = std::min(limit, s.wake_events_[next_wake].first - round);
+      }
+      config::Round streak = limit;
+      for (const graph::NodeId v : s.awake_list_) {
+        const config::Round local = round - s.wake_round_[v];
+        const HistoryView view(s.histories_[v], s.dropped_[v]);
+        streak = std::min(streak, s.programs_[v]->listen_streak(local, view));
+        if (streak == 0) {
+          break;
+        }
+      }
+      if (streak > 0) {
+        for (const graph::NodeId v : s.awake_list_) {
+          // Bulk-append `streak` silences in O(window) instead of O(streak):
+          // the final (contents, dropped) pair is exactly what `streak`
+          // individual push_history calls would leave — eviction fires at
+          // size 2W+1 cutting back to W, so the size after the run is s0 +
+          // streak if no eviction fires, else W plus the pushes left over
+          // after the last eviction.  No observation happens mid-run (these
+          // rounds execute no decide() and no channel), so only the final
+          // state matters.
+          History& h = s.histories_[v];
+          const std::size_t s0 = h.size();
+          std::size_t total = s0 + streak;
+          if (window && total > 2 * *window) {
+            const std::size_t wsize = *window;
+            const std::size_t to_first_evict = 2 * wsize + 1 - s0;
+            total = wsize + (streak - to_first_evict) % (wsize + 1);
+            const std::size_t evicted = s0 + streak - total;
+            s.dropped_[v] += evicted;
+            const std::size_t keep_old = s0 > evicted ? s0 - evicted : 0;
+            h.erase(h.begin(), h.begin() + static_cast<std::ptrdiff_t>(s0 - keep_old));
+          }
+          h.insert(h.end(), total - h.size(), HistoryEntry::silence());
+        }
+        result.stats.node_rounds += static_cast<std::uint64_t>(s.awake_list_.size()) * streak;
+        round += streak;
+        continue;
+      }
+    }
+
+    // 3. Actions of nodes awake since an earlier round.
+    std::fill(s.transmit_bits_.begin(), s.transmit_bits_.end(), 0);
+    s.transmitters_.clear();
+    bool any_terminated = false;
+    for (const graph::NodeId v : s.awake_list_) {
+      if (s.woke_now_[v] != 0) {
+        continue;
+      }
+      const config::Round local = round - s.wake_round_[v];
+      const HistoryView view(s.histories_[v], s.dropped_[v]);
+      ARL_ASSERT(view.length() == local, "history length must equal the local round");
+      const Action action = s.programs_[v]->decide(local, view);
+      ++result.stats.node_rounds;
+      switch (action.kind) {
+        case Action::Kind::Listen:
+          break;
+        case Action::Kind::Transmit:
+          bitset_set(s.transmit_bits_, v);
+          s.outgoing_[v] = action.message;
+          s.transmitters_.push_back(v);
+          ++result.stats.transmissions;
+          break;
+        case Action::Kind::Terminate:
+          // H[done_v] is recorded as (∅), as in the scalar loop.
+          bitset_clear(s.awake_bits_, v);
+          bitset_set(s.terminated_bits_, v);
+          push_history(v, HistoryEntry::silence());
+          result.nodes[v].terminated = true;
+          result.nodes[v].done_round = local;
+          --live;
+          any_terminated = true;
+          break;
+      }
+    }
+
+    // 4. Channel resolution and history recording.
+    if (s.transmitters_.empty()) {
+      // Globally silent round: every awake node records (∅) under either
+      // wake policy, and no sleeper can be force-woken.
+      for (const graph::NodeId v : s.awake_list_) {
+        if (bitset_test(s.terminated_bits_, v)) {
+          continue;
+        }
+        if (s.woke_now_[v] != 0) {
+          result.nodes[v].wake_round = s.wake_round_[v];
+          result.nodes[v].forced_wake = false;
+        }
+        push_history(v, HistoryEntry::silence());
+      }
+    } else {
+      for (const graph::NodeId v : s.awake_list_) {
+        if (bitset_test(s.terminated_bits_, v)) {
+          continue;
+        }
+        HistoryEntry entry = HistoryEntry::silence();
+        if (s.woke_now_[v] != 0) {
+          // H[0] of a spontaneous wakeup, subject to the wake policy.
+          const HistoryEntry channel = channel_at(v);
+          if (channel.is_message()) {
+            s.forced_[v] = 1;
+            entry = channel;
+            ++result.stats.forced_wakeups;
+          } else if (options_.wake_policy == WakePolicy::HearAll) {
+            entry = channel;
+          }
+          result.nodes[v].wake_round = s.wake_round_[v];
+          result.nodes[v].forced_wake = s.forced_[v] != 0;
+        } else if (bitset_test(s.transmit_bits_, v)) {
+          entry = HistoryEntry::silence();  // a transmitter hears nothing
+        } else {
+          entry = channel_at(v);
+          if (entry.is_message()) {
+            ++result.stats.clean_receptions;
+          } else if (entry.is_collision()) {
+            ++result.stats.collisions_heard;
+          }
+        }
+        push_history(v, entry);
+      }
+
+      // Forced wakeups: sleepers inside some transmitter's neighbourhood
+      // that received a clean message (noise does not wake, §2.1).
+      std::fill(s.heard_bits_.begin(), s.heard_bits_.end(), 0);
+      for (const graph::NodeId t : s.transmitters_) {
+        const std::uint64_t* row = s.adjacency_.row(t);
+        for (std::size_t w = 0; w < words; ++w) {
+          s.heard_bits_[w] |= row[w];
+        }
+      }
+      for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t sleepers = s.heard_bits_[w] & ~s.awake_bits_[w] & ~s.terminated_bits_[w];
+        while (sleepers != 0) {
+          const graph::NodeId v =
+              static_cast<graph::NodeId>(w * 64 + static_cast<std::size_t>(std::countr_zero(sleepers)));
+          sleepers &= sleepers - 1;
+          const HistoryEntry channel = channel_at(v);
+          if (!channel.is_message()) {
+            continue;
+          }
+          bitset_set(s.awake_bits_, v);
+          s.wake_round_[v] = round;
+          s.forced_[v] = 1;
+          s.woke_now_[v] = 1;
+          s.awake_list_.push_back(v);
+          s.woke_list_.push_back(v);
+          push_history(v, channel);
+          result.nodes[v].wake_round = round;
+          result.nodes[v].forced_wake = true;
+          ++result.stats.forced_wakeups;
+        }
+      }
+    }
+
+    // 5. End of round: clear the woke flags and drop terminated nodes.
+    for (const graph::NodeId v : s.woke_list_) {
+      s.woke_now_[v] = 0;
+    }
+    if (any_terminated) {
+      std::erase_if(s.awake_list_,
+                    [&](graph::NodeId v) { return bitset_test(s.terminated_bits_, v); });
+    }
+    ++round;
+  }
+
+  result.rounds_executed = round;
+  result.all_terminated = (live == 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (options_.keep_histories) {
+      result.nodes[v].history = std::move(s.histories_[v]);
+      s.histories_[v].clear();
+      result.nodes[v].history_dropped = s.dropped_[v];
+    } else {
+      result.nodes[v].history_dropped = s.dropped_[v] + s.histories_[v].size();
+    }
+    result.nodes[v].elected = s.programs_[v]->elected();
+    if (bitset_test(s.awake_bits_, v) || bitset_test(s.terminated_bits_, v)) {
+      result.nodes[v].wake_round = s.wake_round_[v];
+      result.nodes[v].forced_wake = s.forced_[v] != 0;
     }
   }
   return result;

@@ -33,6 +33,7 @@
 
 #include "config/configuration.hpp"
 #include "graph/graph.hpp"
+#include "radio/bitset.hpp"
 #include "radio/history.hpp"
 #include "radio/program.hpp"
 #include "radio/trace.hpp"
@@ -43,6 +44,16 @@ namespace arl::radio {
 enum class WakePolicy : std::uint8_t {
   HearAll,     ///< record the channel state: (∅), (M) or (∗)
   SilentWake,  ///< record (∅) unless a clean message arrived
+};
+
+/// Which inner loop run() executes.  Both produce bit-identical results
+/// (same RunResult including RunStats and histories); the bitset path is the
+/// word-parallel fast path, the scalar path is the reference loop and the
+/// only one that emits trace callbacks.
+enum class SimulatorEngine : std::uint8_t {
+  Auto,    ///< bitset unless a trace sink is attached
+  Scalar,  ///< the reference per-node loop
+  Bitset,  ///< word-parallel fast path (falls back to scalar under a trace)
 };
 
 /// Run-control knobs.
@@ -71,6 +82,15 @@ struct SimulatorOptions {
   /// Channel feedback strength; the paper's model has collision detection.
   /// Under NoCollisionDetection every (∗) becomes (∅) at the listeners.
   ChannelModel channel_model = ChannelModel::CollisionDetection;
+
+  /// Inner-loop selection (see SimulatorEngine).
+  SimulatorEngine engine = SimulatorEngine::Auto;
+
+  /// When false, RunResult omits the per-node history vectors (the entries
+  /// are still recorded internally, so NodeOutcome::history_length() and
+  /// everything else stays identical).  Batch sweeps that only consume
+  /// outcomes set this to skip the final history copy-out.
+  bool keep_histories = true;
 
   /// Optional execution observer (not owned).
   TraceSink* trace = nullptr;
@@ -114,18 +134,47 @@ struct RunResult {
 
 /// Reusable per-run working memory.  A sweep that executes many simulations
 /// on one thread (e.g. an engine worker) hands the same scratch to every
-/// run() and amortizes the channel-resolution allocations; contents are
-/// overwritten each run and never carry information between runs.
+/// run() and amortizes the per-run allocations; contents are overwritten
+/// each run and never leak information between runs (asserted by the
+/// differential tests).  Besides the scalar path's channel buffers, the
+/// scratch owns the fast path's program/history arena (SoA node state and
+/// history buffers reused across jobs), a per-seed coin-seed cache, and the
+/// adjacency bitmap cached across same-topology runs.
 class SimulatorScratch {
  public:
   SimulatorScratch() = default;
 
  private:
   friend class Simulator;
+  // Scalar path: epoch-stamped channel-resolution buffers.
   std::vector<config::Round> stamp_;
   std::vector<std::uint32_t> transmitter_count_;
   std::vector<Message> pending_message_;
   std::vector<graph::NodeId> transmitters_;
+  // Fast path: per-node coin seeds, cached per master seed (split() output
+  // only depends on (seed, node id), so extending for a larger n is sound).
+  std::uint64_t seeds_from_ = 0;
+  bool seeds_valid_ = false;
+  std::vector<std::uint64_t> coin_seeds_;
+  // Fast path: program/history arena — SoA node state replacing the scalar
+  // loop's vector-of-NodeState, with history buffers whose capacity
+  // survives across runs.
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<History> histories_;
+  std::vector<std::size_t> dropped_;
+  std::vector<config::Round> wake_round_;
+  std::vector<Message> outgoing_;
+  std::vector<std::uint8_t> forced_;
+  std::vector<std::uint8_t> woke_now_;
+  // Fast path: round bitsets and worklists.
+  AdjacencyBitmap adjacency_;
+  std::vector<std::uint64_t> awake_bits_;
+  std::vector<std::uint64_t> terminated_bits_;
+  std::vector<std::uint64_t> transmit_bits_;
+  std::vector<std::uint64_t> heard_bits_;
+  std::vector<graph::NodeId> awake_list_;
+  std::vector<graph::NodeId> woke_list_;
+  std::vector<std::pair<config::Round, graph::NodeId>> wake_events_;
 };
 
 /// Executes one protocol on one configuration.
@@ -148,6 +197,9 @@ class Simulator {
   [[nodiscard]] RunResult run(SimulatorScratch& scratch) const;
 
  private:
+  [[nodiscard]] RunResult run_scalar(SimulatorScratch& scratch) const;
+  [[nodiscard]] RunResult run_bitset(SimulatorScratch& scratch) const;
+
   const config::Configuration& configuration_;
   const Drip& drip_;
   SimulatorOptions options_;

@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Self-test for tools/bench_gate: the gating policy (speedup tolerance,
+# informational suffixes, exact-match fields, missing/new keys) and the exit
+# code contract, driven through real snapshot files.
+set -u
+
+GATE="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+write() {  # write FILE then lines on stdin
+  cat > "$TMP/$1"
+}
+
+write committed.json <<'EOF'
+{
+  "bench": "E5",
+  "candidates": 32,
+  "identical_outcomes": true,
+  "wavefront_speedup": 6.0,
+  "scalar_cold_wall_ms": 100.0,
+  "wavefront_steady_jobs_per_s": 800.0
+}
+EOF
+
+# 1. Identical snapshots pass.
+cp "$TMP/committed.json" "$TMP/fresh.json"
+"$GATE" --committed="$TMP/committed.json" --fresh="$TMP/fresh.json" > /dev/null \
+  || fail "identical snapshots should pass"
+
+# 2. Speedup within tolerance passes; below tolerance fails with exit 1.
+write fresh.json <<'EOF'
+{
+  "bench": "E5",
+  "candidates": 32,
+  "identical_outcomes": true,
+  "wavefront_speedup": 3.5,
+  "scalar_cold_wall_ms": 220.0,
+  "wavefront_steady_jobs_per_s": 500.0
+}
+EOF
+"$GATE" --committed="$TMP/committed.json" --fresh="$TMP/fresh.json" --tolerance=0.5 > /dev/null \
+  || fail "speedup 3.5 vs 6.0 should pass at tolerance 0.5"
+out="$("$GATE" --committed="$TMP/committed.json" --fresh="$TMP/fresh.json" --tolerance=0.1)"
+[ $? -eq 1 ] || fail "speedup 3.5 vs 6.0 should fail at tolerance 0.1"
+echo "$out" | grep -q "REGRESSED" || fail "regression verdict should be printed"
+
+# 3. Informational fields (_ms / _per_s) never gate, however far they move.
+write fresh.json <<'EOF'
+{
+  "bench": "E5",
+  "candidates": 32,
+  "identical_outcomes": true,
+  "wavefront_speedup": 6.0,
+  "scalar_cold_wall_ms": 9999.0,
+  "wavefront_steady_jobs_per_s": 1.0
+}
+EOF
+"$GATE" --committed="$TMP/committed.json" --fresh="$TMP/fresh.json" > /dev/null \
+  || fail "informational fields must not gate"
+
+# 4. Exact-match fields fail on any drift.
+write fresh.json <<'EOF'
+{
+  "bench": "E5",
+  "candidates": 33,
+  "identical_outcomes": true,
+  "wavefront_speedup": 6.0,
+  "scalar_cold_wall_ms": 100.0,
+  "wavefront_steady_jobs_per_s": 800.0
+}
+EOF
+"$GATE" --committed="$TMP/committed.json" --fresh="$TMP/fresh.json" > /dev/null
+[ $? -eq 1 ] || fail "candidates 33 vs 32 should fail exact match"
+
+# 5. A bool flip fails exact match (identical_outcomes is the correctness bit).
+write fresh.json <<'EOF'
+{
+  "bench": "E5",
+  "candidates": 32,
+  "identical_outcomes": false,
+  "wavefront_speedup": 6.0,
+  "scalar_cold_wall_ms": 100.0,
+  "wavefront_steady_jobs_per_s": 800.0
+}
+EOF
+"$GATE" --committed="$TMP/committed.json" --fresh="$TMP/fresh.json" > /dev/null
+[ $? -eq 1 ] || fail "identical_outcomes=false should fail the gate"
+
+# 6. Missing and extra keys both fail.
+write fresh.json <<'EOF'
+{
+  "bench": "E5",
+  "candidates": 32,
+  "identical_outcomes": true,
+  "wavefront_speedup": 6.0,
+  "scalar_cold_wall_ms": 100.0
+}
+EOF
+"$GATE" --committed="$TMP/committed.json" --fresh="$TMP/fresh.json" > /dev/null
+[ $? -eq 1 ] || fail "a dropped key should fail the gate"
+write fresh.json <<'EOF'
+{
+  "bench": "E5",
+  "candidates": 32,
+  "identical_outcomes": true,
+  "wavefront_speedup": 6.0,
+  "scalar_cold_wall_ms": 100.0,
+  "wavefront_steady_jobs_per_s": 800.0,
+  "surprise": 1
+}
+EOF
+"$GATE" --committed="$TMP/committed.json" --fresh="$TMP/fresh.json" > /dev/null
+[ $? -eq 1 ] || fail "an extra key should fail the gate"
+
+# 7. Usage and parse errors exit 2.
+"$GATE" > /dev/null 2>&1
+[ $? -eq 2 ] || fail "missing arguments should exit 2"
+"$GATE" --committed="$TMP/absent.json" --fresh="$TMP/committed.json" > /dev/null 2>&1
+[ $? -eq 2 ] || fail "unreadable file should exit 2"
+echo 'not json' > "$TMP/bad.json"
+"$GATE" --committed="$TMP/bad.json" --fresh="$TMP/committed.json" > /dev/null 2>&1
+[ $? -eq 2 ] || fail "malformed snapshot should exit 2"
+"$GATE" --committed="$TMP/committed.json" --fresh="$TMP/committed.json" --tolerance=1.5 > /dev/null 2>&1
+[ $? -eq 2 ] || fail "out-of-range tolerance should exit 2"
+
+echo "bench_gate selftest: all checks passed"

@@ -140,9 +140,10 @@ done
 [ $? -eq 0 ] || fail "a self-counting workload without --count should run and exit 0"
 
 # The legacy flags are aliases: byte-identical tables to the --workload
-# spelling (execution circumstance rows filtered as in the shard checks).
+# spelling (execution circumstance rows filtered, and whitespace squeezed,
+# as in the shard checks: column widths align to the timing rows' digits).
 alias_filter() {
-  grep -vE "wall time|jobs per second|worker threads" "$1"
+  grep -vE "wall time|per second|worker threads" "$1" | sed -E 's/ +/ /g; s/-+/-/g'
 }
 "$cli" sweep --count=8 --n=8 --sigma=2 --seed=3 > "$tmpdir/legacy.txt" 2>&1 ||
   fail "legacy random sweep should exit 0"
@@ -165,7 +166,7 @@ fi
 # unsharded tables (whitespace squeezed as in the sharded checks below,
 # since column widths align to the filtered wall-time row's digits).
 wfilter() {
-  grep -vE "wall time|jobs per second|worker threads" "$1" | sed -E 's/ +/ /g; s/-+/-/g'
+  grep -vE "wall time|per second|worker threads" "$1" | sed -E 's/ +/ /g; s/-+/-/g'
 }
 wflags="--count=6 --workload=grid:rows=3,cols=3,sigma=2"
 "$cli" sweep $wflags > "$tmpdir/wsingle.txt" 2>&1 ||
@@ -217,6 +218,43 @@ for flags in "" "--cache=off" "--cache=0"; do
   esac
 done
 
+# ------------------------------------------------------------ engine modes
+
+# Bad --engine values exit 2 with a usage error naming the flag.
+for value in bogus fast ""; do
+  out=$("$cli" sweep --engine=$value --count=1 2>&1)
+  status=$?
+  [ "$status" -eq 2 ] || fail "--engine=$value: expected exit 2, got $status"
+  case "$out" in
+    *engine*) ;;
+    *) fail "--engine=$value error should mention the flag: $out" ;;
+  esac
+done
+
+# The engines compute bit-identical results: scalar, wavefront and the
+# default (auto) print the same tables once timing rows are filtered.
+# (Exit <= 1: the randomized baseline legitimately fails verification on
+# configurations outside its model, same as the mixed-protocol check.)
+eflags="--count=8 --n=8 --sigma=2 --seed=5 --protocol=canonical --protocol=randomized"
+"$cli" sweep $eflags --engine=scalar > "$tmpdir/escalar.txt" 2>&1
+[ $? -le 1 ] || fail "--engine=scalar sweep should run"
+"$cli" sweep $eflags --engine=wavefront > "$tmpdir/ewave.txt" 2>&1
+[ $? -le 1 ] || fail "--engine=wavefront sweep should run"
+"$cli" sweep $eflags > "$tmpdir/eauto.txt" 2>&1
+[ $? -le 1 ] || fail "default-engine sweep should run"
+if ! diff <(alias_filter "$tmpdir/escalar.txt") <(alias_filter "$tmpdir/ewave.txt") >/dev/null; then
+  fail "--engine=scalar and --engine=wavefront tables should be byte-identical"
+fi
+if ! diff <(alias_filter "$tmpdir/ewave.txt") <(alias_filter "$tmpdir/eauto.txt") >/dev/null; then
+  fail "default engine tables should match --engine=wavefront"
+fi
+
+# The sweep summary reports its own throughput (no bench run needed).
+grep -q "node-rounds per second" "$tmpdir/eauto.txt" ||
+  fail "sweep summary should print node-rounds per second"
+grep -q "global rounds" "$tmpdir/eauto.txt" ||
+  fail "sweep summary should print the global rounds total"
+
 # ----------------------------------------------------------- sharded sweeps
 
 # Malformed --shard values and conflicting distributed flags exit 2.
@@ -241,7 +279,7 @@ done
 # which may be a filtered row's wall-time digits).
 sweep_flags="--count=12 --n=8 --protocol=canonical --protocol=classify"
 filter() {
-  grep -vE "wall time|jobs per second|worker threads" "$1" | sed -E 's/ +/ /g; s/-+/-/g'
+  grep -vE "wall time|per second|worker threads" "$1" | sed -E 's/ +/ /g; s/-+/-/g'
 }
 "$cli" sweep $sweep_flags > "$tmpdir/single.txt" 2>&1 ||
   fail "unsharded reference sweep should exit 0"

@@ -1,0 +1,377 @@
+/// \file test_simulator_fast.cpp
+/// Differential suite for the simulator's word-parallel fast path: the
+/// bitset engine must produce RunResults bit-identical to the scalar
+/// reference loop — same per-node outcomes including full histories, same
+/// RunStats — across channel models, wake policies, history windows,
+/// protocols (with and without listen_streak), scratch reuse, and the batch
+/// engine's scalar/wavefront modes at several thread counts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/randomized.hpp"
+#include "config/configuration.hpp"
+#include "config/families.hpp"
+#include "config/mutations.hpp"
+#include "core/canonical_drip.hpp"
+#include "core/schedule.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/schedule_cache.hpp"
+#include "engine/sweep.hpp"
+#include "engine/workload.hpp"
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+#include "radio/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace arl;
+
+/// Full bit-identity over two runs: everything RunResult exposes.
+void expect_same_run(const radio::RunResult& scalar, const radio::RunResult& bitset,
+                     const std::string& what) {
+  ASSERT_EQ(scalar.nodes.size(), bitset.nodes.size()) << what;
+  EXPECT_EQ(scalar.rounds_executed, bitset.rounds_executed) << what;
+  EXPECT_EQ(scalar.all_terminated, bitset.all_terminated) << what;
+  EXPECT_TRUE(scalar.stats == bitset.stats) << what;
+  for (std::size_t v = 0; v < scalar.nodes.size(); ++v) {
+    const radio::NodeOutcome& a = scalar.nodes[v];
+    const radio::NodeOutcome& b = bitset.nodes[v];
+    const std::string node_what = what + ", node " + std::to_string(v);
+    EXPECT_EQ(a.wake_round, b.wake_round) << node_what;
+    EXPECT_EQ(a.forced_wake, b.forced_wake) << node_what;
+    EXPECT_EQ(a.terminated, b.terminated) << node_what;
+    EXPECT_EQ(a.done_round, b.done_round) << node_what;
+    EXPECT_EQ(a.elected, b.elected) << node_what;
+    EXPECT_EQ(a.history_dropped, b.history_dropped) << node_what;
+    ASSERT_EQ(a.history.size(), b.history.size()) << node_what;
+    for (std::size_t t = 0; t < a.history.size(); ++t) {
+      EXPECT_TRUE(a.history[t] == b.history[t]) << node_what << ", entry " << t;
+    }
+  }
+}
+
+/// The 8 option variants the suite crosses for every (configuration, drip):
+/// {CD, NoCD} x {HearAll, SilentWake} x {unwindowed, windowed}.  The
+/// windowed variant evicts aggressively but never below the drip's own
+/// declared minimum — a smaller window would violate the program's history
+/// contract, which is a caller bug, not an engine difference.
+std::vector<radio::SimulatorOptions> option_variants(const radio::Drip& drip,
+                                                     std::uint64_t coin_seed) {
+  const std::size_t window = std::max<std::size_t>(3, drip.history_window().value_or(0));
+  std::vector<radio::SimulatorOptions> variants;
+  for (const radio::ChannelModel model :
+       {radio::ChannelModel::CollisionDetection, radio::ChannelModel::NoCollisionDetection}) {
+    for (const radio::WakePolicy policy :
+         {radio::WakePolicy::HearAll, radio::WakePolicy::SilentWake}) {
+      for (const bool windowed : {false, true}) {
+        radio::SimulatorOptions options;
+        options.channel_model = model;
+        options.wake_policy = policy;
+        // 0 retains everything, even for drips that declare a window.
+        options.history_window = windowed ? window : 0;
+        options.coin_seed = coin_seed;
+        variants.push_back(options);
+      }
+    }
+  }
+  return variants;
+}
+
+std::string describe(const radio::SimulatorOptions& options) {
+  std::string out =
+      options.channel_model == radio::ChannelModel::CollisionDetection ? "cd" : "nocd";
+  out += options.wake_policy == radio::WakePolicy::HearAll ? "/hearall" : "/silentwake";
+  out += options.history_window == std::size_t{0} ? "/full" : "/windowed";
+  return out;
+}
+
+/// Runs every variant through both engines (fresh scratches) and asserts
+/// bit-identity.
+void expect_differential(const config::Configuration& configuration, const radio::Drip& drip,
+                         std::uint64_t coin_seed, const std::string& what) {
+  for (radio::SimulatorOptions options : option_variants(drip, coin_seed)) {
+    radio::SimulatorScratch scalar_scratch;
+    radio::SimulatorScratch bitset_scratch;
+    options.engine = radio::SimulatorEngine::Scalar;
+    const radio::RunResult scalar = radio::simulate(configuration, drip, options, scalar_scratch);
+    options.engine = radio::SimulatorEngine::Bitset;
+    const radio::RunResult bitset = radio::simulate(configuration, drip, options, bitset_scratch);
+    expect_same_run(scalar, bitset, what + " [" + describe(options) + "]");
+  }
+}
+
+/// A compiled canonical drip for `configuration` (robust mismatch policy, so
+/// windowed runs that starve the program of history terminate cleanly
+/// instead of asserting).
+std::unique_ptr<core::CanonicalDrip> canonical_for(const config::Configuration& configuration,
+                                                   radio::ChannelModel model) {
+  return std::make_unique<core::CanonicalDrip>(core::make_schedule(configuration, model),
+                                               core::MismatchPolicy::Robust);
+}
+
+config::Configuration random_configuration(support::Rng& rng) {
+  const auto n = static_cast<graph::NodeId>(2 + rng.next() % 9);  // 2..10
+  const double p = 0.15 + 0.1 * static_cast<double>(rng.next() % 8);
+  const auto sigma = static_cast<config::Tag>(rng.next() % 7);
+  graph::Graph graph = graph::gnp_connected(n, p, rng);
+  if (sigma == 0) {
+    return config::Configuration(std::move(graph),
+                                 std::vector<config::Tag>(n, config::Tag{0}));
+  }
+  return config::random_tags_with_span(std::move(graph), sigma, rng);
+}
+
+// ---------------------------------------------------------------- exhaustive
+
+TEST(SimulatorFast, ExhaustiveSmallConfigurationsBeacon) {
+  // Every connected 3-node configuration with tags in [0, 2], and every
+  // connected 4-node configuration with tags in [0, 1]: the beacon drip
+  // fires early, so these runs are dense in forced wakeups and collisions.
+  for (const auto& [n, tau] : std::vector<std::pair<graph::NodeId, config::Tag>>{{3, 2}, {4, 1}}) {
+    const std::vector<engine::BatchJob> jobs = engine::exhaustive_jobs(n, tau);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const testkit::BeaconDrip beacon(1 + i % 3, /*payload=*/7, /*lifetime=*/6);
+      expect_differential(jobs[i].configuration, beacon, /*coin_seed=*/i,
+                          "exhaustive n=" + std::to_string(n) + " #" + std::to_string(i));
+    }
+  }
+}
+
+TEST(SimulatorFast, ExhaustiveSmallConfigurationsCanonical) {
+  // The canonical DRIP over the full 3-node census: the protocol whose
+  // listen_streak() drives the fast path's bulk skipping.
+  const std::vector<engine::BatchJob> jobs = engine::exhaustive_jobs(3, 2);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (const radio::ChannelModel model :
+         {radio::ChannelModel::CollisionDetection, radio::ChannelModel::NoCollisionDetection}) {
+      const auto drip = canonical_for(jobs[i].configuration, model);
+      expect_differential(jobs[i].configuration, *drip, /*coin_seed=*/i,
+                          "exhaustive canonical #" + std::to_string(i));
+    }
+  }
+}
+
+// -------------------------------------------------------------- random fuzz
+
+TEST(SimulatorFast, RandomConfigurationsFuzz) {
+  // 10000 random configurations (n in [2, 10], random density, span in
+  // [0, 6] including the all-equal-tags symmetric case), rotating through
+  // the protocol zoo: beacons (collisions + forced wakeups), silence
+  // (termination discipline), the coin-flipping randomized baseline (the
+  // coin-seed cache), and the canonical DRIP (listen_streak bulk skips).
+  // Each runs under all 8 option variants on both engines.
+  constexpr std::size_t kConfigs = 10000;
+  support::Rng rng(20260808);
+  for (std::size_t i = 0; i < kConfigs; ++i) {
+    const config::Configuration configuration = random_configuration(rng);
+    const std::string what = "fuzz #" + std::to_string(i);
+    switch (i % 16) {
+      case 0: {
+        // Canonical DRIP every 16th config (schedule compilation is the
+        // expensive part, and the exhaustive census above already covers it
+        // densely on small n).
+        const auto drip =
+            canonical_for(configuration, radio::ChannelModel::CollisionDetection);
+        expect_differential(configuration, *drip, i, what + " canonical");
+        break;
+      }
+      case 1: {
+        const testkit::SilentDrip silent(2 + i % 5);
+        expect_differential(configuration, silent, i, what + " silent");
+        break;
+      }
+      case 2:
+      case 3: {
+        const baselines::RandomizedElection randomized(/*max_slots=*/64);
+        expect_differential(configuration, randomized, i, what + " randomized");
+        break;
+      }
+      default: {
+        const testkit::BeaconDrip beacon(1 + i % 4, /*payload=*/1 + i % 3,
+                                         /*lifetime=*/5 + i % 7);
+        expect_differential(configuration, beacon, i, what + " beacon");
+        break;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- horizon + fallback
+
+TEST(SimulatorFast, HorizonGuardParity) {
+  // The immortal drip never terminates: both engines must abort at the
+  // horizon with identical truncated results.
+  const config::Configuration configuration = config::staggered_path(5);
+  const testkit::ImmortalDrip immortal;
+  for (radio::SimulatorOptions options : option_variants(immortal, /*coin_seed=*/3)) {
+    options.max_rounds = 50;
+    radio::SimulatorScratch scalar_scratch;
+    radio::SimulatorScratch bitset_scratch;
+    options.engine = radio::SimulatorEngine::Scalar;
+    const radio::RunResult scalar =
+        radio::simulate(configuration, immortal, options, scalar_scratch);
+    options.engine = radio::SimulatorEngine::Bitset;
+    const radio::RunResult bitset =
+        radio::simulate(configuration, immortal, options, bitset_scratch);
+    EXPECT_FALSE(scalar.all_terminated);
+    expect_same_run(scalar, bitset, "horizon [" + describe(options) + "]");
+  }
+}
+
+TEST(SimulatorFast, TraceForcesScalarFallback) {
+  // A trace sink pins the run to the scalar loop even under Bitset/Auto; the
+  // recorded transmissions must match a plain scalar run.
+  const config::Configuration configuration = config::staggered_path(4);
+  const testkit::BeaconDrip beacon(1, 9, 5);
+
+  testkit::TransmissionLog scalar_log;
+  radio::SimulatorOptions options;
+  options.engine = radio::SimulatorEngine::Scalar;
+  options.trace = &scalar_log;
+  const radio::RunResult scalar = radio::simulate(configuration, beacon, options);
+
+  testkit::TransmissionLog bitset_log;
+  options.engine = radio::SimulatorEngine::Bitset;
+  options.trace = &bitset_log;
+  const radio::RunResult bitset = radio::simulate(configuration, beacon, options);
+
+  expect_same_run(scalar, bitset, "trace fallback");
+  EXPECT_EQ(scalar_log.entries(), bitset_log.entries());
+}
+
+// ------------------------------------------------------------ scratch reuse
+
+TEST(SimulatorFast, ScratchReuseStaysBitIdentical) {
+  // One scratch driven through an interleaved sequence of configurations,
+  // sizes, drips and seeds — every run must equal the same run on a fresh
+  // scratch.  This is the engine-worker usage pattern (one scratch, many
+  // jobs) plus the repeated-run pattern (same config twice in a row).
+  support::Rng rng(99);
+  std::vector<config::Configuration> configurations;
+  for (int i = 0; i < 6; ++i) {
+    configurations.push_back(random_configuration(rng));
+  }
+  radio::SimulatorScratch reused;
+  for (const radio::SimulatorEngine engine :
+       {radio::SimulatorEngine::Scalar, radio::SimulatorEngine::Bitset}) {
+    int step = 0;
+    for (const std::size_t index : {0u, 1u, 0u, 2u, 3u, 3u, 4u, 5u, 0u}) {
+      const config::Configuration& configuration = configurations[index];
+      const testkit::BeaconDrip beacon(1 + step % 3, 5, 6);
+      radio::SimulatorOptions options;
+      options.engine = engine;
+      options.coin_seed = static_cast<std::uint64_t>(step);
+      const radio::RunResult with_reuse = radio::simulate(configuration, beacon, options, reused);
+      radio::SimulatorScratch fresh;
+      const radio::RunResult with_fresh = radio::simulate(configuration, beacon, options, fresh);
+      expect_same_run(with_fresh, with_reuse,
+                      "scratch reuse step " + std::to_string(step) +
+                          (engine == radio::SimulatorEngine::Scalar ? " scalar" : " bitset"));
+      ++step;
+    }
+  }
+}
+
+// ------------------------------------------------------- keep_histories off
+
+TEST(SimulatorFast, DroppedHistoriesPreserveEverythingElse) {
+  // keep_histories = false empties the returned histories but must keep
+  // history_length() and every other field identical, on both engines.
+  support::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const config::Configuration configuration = random_configuration(rng);
+    const testkit::BeaconDrip beacon(1 + i % 3, 2, 5 + i % 4);
+    for (const radio::SimulatorEngine engine :
+         {radio::SimulatorEngine::Scalar, radio::SimulatorEngine::Bitset}) {
+      radio::SimulatorOptions options;
+      options.engine = engine;
+      const radio::RunResult kept = radio::simulate(configuration, beacon, options);
+      options.keep_histories = false;
+      const radio::RunResult dropped = radio::simulate(configuration, beacon, options);
+      ASSERT_EQ(kept.nodes.size(), dropped.nodes.size());
+      EXPECT_EQ(kept.rounds_executed, dropped.rounds_executed);
+      EXPECT_EQ(kept.all_terminated, dropped.all_terminated);
+      EXPECT_TRUE(kept.stats == dropped.stats);
+      for (std::size_t v = 0; v < kept.nodes.size(); ++v) {
+        EXPECT_TRUE(dropped.nodes[v].history.empty());
+        EXPECT_EQ(kept.nodes[v].history_length(), dropped.nodes[v].history_length());
+        EXPECT_EQ(kept.nodes[v].wake_round, dropped.nodes[v].wake_round);
+        EXPECT_EQ(kept.nodes[v].forced_wake, dropped.nodes[v].forced_wake);
+        EXPECT_EQ(kept.nodes[v].terminated, dropped.nodes[v].terminated);
+        EXPECT_EQ(kept.nodes[v].done_round, dropped.nodes[v].done_round);
+        EXPECT_EQ(kept.nodes[v].elected, dropped.nodes[v].elected);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- batch engine
+
+TEST(SimulatorFast, EngineModesProduceSameResultsAcrossThreadCounts) {
+  // The engine layer: a mixed-protocol sweep through the scalar and
+  // wavefront modes at 1, 2 and 8 worker threads (with and without the
+  // schedule cache) must agree on every outcome and aggregate.
+  const engine::WorkloadSpec workload = engine::parse_workload("random:n=8,p=0.3,sigma=3");
+  const engine::CountedSweep sweep = workload.instantiate(
+      /*seed=*/17,
+      {core::ProtocolSpec::canonical(), core::ProtocolSpec::randomized()},
+      {.count = 48});
+
+  std::optional<engine::BatchReport> reference;
+  for (const engine::EngineMode mode :
+       {engine::EngineMode::Scalar, engine::EngineMode::Wavefront, engine::EngineMode::Auto}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      for (const std::size_t cache : {std::size_t{0}, engine::ScheduleCache::kDefaultCapacity}) {
+        engine::BatchRunner runner(
+            {.threads = threads, .seed = 17, .cache_capacity = cache, .engine = mode});
+        const engine::BatchReport report = runner.run(sweep.count, sweep.source);
+        if (!reference) {
+          reference = report;
+          continue;
+        }
+        EXPECT_TRUE(engine::same_results(*reference, report))
+            << "mode " << static_cast<int>(mode) << ", threads " << threads << ", cache "
+            << cache;
+      }
+    }
+  }
+}
+
+TEST(SimulatorFast, MutationSweepEngineParityAtN64) {
+  // The E5 benchmark shape in miniature: single-tag mutations of an n=64
+  // configuration with a large tag span, where the wavefront mode's bulk
+  // skipping does almost all the work.  Scalar and wavefront reports must
+  // carry identical results.
+  support::Rng rng(4242);
+  const config::Configuration base =
+      config::random_tags_with_span(graph::gnp_connected(64, 0.1, rng), 256, rng);
+  const std::vector<config::Configuration> neighbourhood =
+      config::all_tag_mutations(base, base.span());
+  std::vector<engine::BatchJob> jobs;
+  for (std::size_t i = 0; i < neighbourhood.size() && jobs.size() < 12; i += 997) {
+    jobs.push_back({neighbourhood[i], core::ProtocolSpec::canonical(), {}});
+  }
+  ASSERT_FALSE(jobs.empty());
+
+  std::optional<engine::BatchReport> reference;
+  for (const engine::EngineMode mode :
+       {engine::EngineMode::Scalar, engine::EngineMode::Wavefront}) {
+    engine::BatchRunner runner({.threads = 2,
+                                .seed = 5,
+                                .cache_capacity = engine::ScheduleCache::kDefaultCapacity,
+                                .engine = mode});
+    const engine::BatchReport report = runner.run(jobs);
+    if (!reference) {
+      reference = report;
+    } else {
+      EXPECT_TRUE(engine::same_results(*reference, report));
+    }
+  }
+}
+
+}  // namespace

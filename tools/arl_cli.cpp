@@ -125,6 +125,10 @@ commands:
                                  capacity in entries; jobs sharing a
                                  configuration classify once, and the summary
                                  reports hit/miss/evict counts (default off)
+               --engine=MODE     simulation path: auto (default), scalar (the
+                                 reference loop) or wavefront (word-parallel
+                                 fast path); results are bit-identical, only
+                                 throughput differs
                --classify-only   shorthand for --protocol=classify
   workloads  list the registered workloads and the spec grammar (exit 0)
   merge      reassemble shard report files into the sweep's report
@@ -261,6 +265,22 @@ std::size_t parse_cache_capacity(const support::Args& args) {
   throw support::ContractViolation("--cache must be on, off, or a capacity in [0, 999999999]");
 }
 
+/// Parses the sweep's --engine flag (default auto).  Throws on anything
+/// else, reaching the usage-error handler (exit 2).
+engine::EngineMode parse_engine(const support::Args& args) {
+  const std::string value = args.get_string("engine", "auto");
+  if (value == "auto") {
+    return engine::EngineMode::Auto;
+  }
+  if (value == "scalar") {
+    return engine::EngineMode::Scalar;
+  }
+  if (value == "wavefront") {
+    return engine::EngineMode::Wavefront;
+  }
+  throw support::ContractViolation("--engine must be auto, scalar or wavefront");
+}
+
 /// Folds the --model/--fast execution flags into a legacy-alias workload
 /// spec — they are workload identity (sweeps classifying under different
 /// channel feedback must not merge), which is why the --workload spelling
@@ -384,10 +404,13 @@ void print_report(const engine::BatchReport& report) {
                                            static_cast<double>(simulated_jobs)});
   table.add_row({std::string("max local rounds"),
                  static_cast<std::int64_t>(report.max_local_rounds)});
+  table.add_row({std::string("global rounds"),
+                 static_cast<std::int64_t>(report.total_global_rounds)});
   table.add_row({std::string("radio transmissions"),
                  static_cast<std::int64_t>(report.total_stats.transmissions)});
   table.add_row({std::string("wall time ms"), report.wall_millis});
   table.add_row({std::string("jobs per second"), report.throughput()});
+  table.add_row({std::string("node-rounds per second"), report.node_rounds_per_second()});
   table.print_markdown(std::cout);
 
   // Cache counters, printed exactly when the cache ran (so scripts can key
@@ -634,6 +657,7 @@ int cmd_sweep(const support::Args& args) {
   // Flag-validation throws (here and below) reach main()'s ContractViolation
   // handler, which exits 2 like every other usage error.
   batch_options.cache_capacity = parse_cache_capacity(args);
+  batch_options.engine = parse_engine(args);
 
   // The protocol axis: repeatable --protocol flags, validated against the
   // registry; several protocols make the batch a head-to-head cross product.

@@ -1,0 +1,268 @@
+/// \file bench_gate.cpp
+/// The perf-trajectory gate: compares a fresh BENCH_*.json snapshot (the one
+/// `bench_election --json-out=DIR` just wrote) against the committed
+/// snapshot in bench/trajectory/, and exits nonzero when the fresh run
+/// regresses.  CI runs it after the short bench preset, so a pull request
+/// that slows the wavefront engine down (or changes a deterministic round
+/// count) goes red with a before/after table instead of merging silently.
+///
+/// Gating policy, keyed off the field name:
+///   - names containing "speedup" are the tracked perf invariants: the fresh
+///     value must be at least committed * (1 - tolerance);
+///   - names ending in "_ms" or "_per_s" are informational — raw rates move
+///     with the machine, so they are printed but never gated;
+///   - every other field is exact-match: round counts, feasibility bits and
+///     workload identity are pure functions of fixed seeds, so any drift is
+///     a semantic change, not noise.
+/// A key present on one side only fails the gate: a silently dropped field
+/// would read as "nothing regressed" forever after.
+///
+/// Usage: bench_gate --committed=PATH --fresh=PATH [--tolerance=0.5]
+/// Exit codes: 0 pass, 1 regression or mismatch, 2 usage/parse error.
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/table.hpp"
+
+namespace {
+
+/// One parsed snapshot value: a number, or a bool/string kept as its token
+/// (exact-match fields compare tokens, so the distinction never matters
+/// beyond formatting).
+struct Value {
+  bool numeric = false;
+  double number = 0.0;
+  std::string token;  ///< the raw JSON token, quotes stripped for strings
+
+  [[nodiscard]] std::string display() const { return token; }
+};
+
+using Snapshot = std::vector<std::pair<std::string, Value>>;
+
+/// Parses the flat JSON object the benches write: `{ "key": value, ... }`
+/// with number, true/false and "string" values only.  Not a general JSON
+/// parser — nested structures are a parse error, which is exactly right for
+/// a format whose consumers must be able to diff it field by field.
+std::optional<Snapshot> parse_snapshot(const std::string& path, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  Snapshot snapshot;
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+  };
+  const auto fail = [&](const std::string& reason) {
+    error = path + ": " + reason;
+    return std::nullopt;
+  };
+
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') {
+    return fail("expected '{'");
+  }
+  ++i;
+  skip_ws();
+  if (i < text.size() && text[i] == '}') {
+    return snapshot;  // empty object
+  }
+  while (true) {
+    skip_ws();
+    if (i >= text.size() || text[i] != '"') {
+      return fail("expected a quoted key");
+    }
+    const std::size_t key_end = text.find('"', i + 1);
+    if (key_end == std::string::npos) {
+      return fail("unterminated key");
+    }
+    std::string key = text.substr(i + 1, key_end - i - 1);
+    i = key_end + 1;
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') {
+      return fail("expected ':' after key \"" + key + "\"");
+    }
+    ++i;
+    skip_ws();
+
+    Value value;
+    if (i < text.size() && text[i] == '"') {
+      const std::size_t end = text.find('"', i + 1);
+      if (end == std::string::npos) {
+        return fail("unterminated string value for \"" + key + "\"");
+      }
+      value.token = text.substr(i + 1, end - i - 1);
+      i = end + 1;
+    } else {
+      std::size_t end = i;
+      while (end < text.size() && text[end] != ',' && text[end] != '}' &&
+             std::isspace(static_cast<unsigned char>(text[end])) == 0) {
+        ++end;
+      }
+      value.token = text.substr(i, end - i);
+      if (value.token == "true" || value.token == "false") {
+        // kept as token; exact-match comparison
+      } else {
+        char* parse_end = nullptr;
+        value.number = std::strtod(value.token.c_str(), &parse_end);
+        if (value.token.empty() || parse_end != value.token.c_str() + value.token.size()) {
+          return fail("unsupported value '" + value.token + "' for \"" + key +
+                      "\" (number, bool or string expected)");
+        }
+        value.numeric = true;
+      }
+      i = end;
+    }
+    snapshot.emplace_back(std::move(key), std::move(value));
+    skip_ws();
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') {
+      return snapshot;
+    }
+    return fail("expected ',' or '}'");
+  }
+}
+
+const Value* find(const Snapshot& snapshot, const std::string& key) {
+  for (const auto& [name, value] : snapshot) {
+    if (name == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+bool ends_with(const std::string& name, const std::string& suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " --committed=PATH --fresh=PATH [--tolerance=0.5]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string committed_path;
+  std::string fresh_path;
+  double tolerance = 0.5;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--committed=", 0) == 0) {
+      committed_path = arg.substr(12);
+    } else if (arg.rfind("--fresh=", 0) == 0) {
+      fresh_path = arg.substr(8);
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      char* end = nullptr;
+      tolerance = std::strtod(arg.c_str() + 12, &end);
+      if (end == nullptr || *end != '\0' || !(tolerance >= 0.0) || tolerance >= 1.0) {
+        std::cerr << "bench_gate: --tolerance must be a number in [0, 1)\n";
+        return 2;
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (committed_path.empty() || fresh_path.empty()) {
+    return usage(argv[0]);
+  }
+
+  std::string error;
+  const std::optional<Snapshot> committed = parse_snapshot(committed_path, error);
+  if (!committed) {
+    std::cerr << "bench_gate: " << error << "\n";
+    return 2;
+  }
+  const std::optional<Snapshot> fresh = parse_snapshot(fresh_path, error);
+  if (!fresh) {
+    std::cerr << "bench_gate: " << error << "\n";
+    return 2;
+  }
+
+  arl::support::Table table({"field", "committed", "fresh", "policy", "verdict"});
+  std::vector<std::string> failures;
+
+  // Committed keys drive the walk (trajectory order); fresh-only keys are
+  // picked up in a second pass.
+  for (const auto& [key, base] : *committed) {
+    const Value* now = find(*fresh, key);
+    std::string policy;
+    std::string verdict;
+    if (now == nullptr) {
+      policy = "-";
+      verdict = "MISSING";
+      failures.push_back("field \"" + key +
+                         "\" is in the committed snapshot but not the fresh run");
+      table.add_row({key, base.display(), std::string("-"), policy, verdict});
+      continue;
+    }
+    if (key.find("speedup") != std::string::npos && base.numeric && now->numeric) {
+      std::ostringstream need;
+      need << ">= " << base.number * (1.0 - tolerance);
+      policy = need.str();
+      if (now->number >= base.number * (1.0 - tolerance)) {
+        verdict = "ok";
+      } else {
+        verdict = "REGRESSED";
+        failures.push_back("\"" + key + "\" fell to " + now->display() + " (committed " +
+                           base.display() + ", tolerance " + std::to_string(tolerance) + ")");
+      }
+    } else if (ends_with(key, "_ms") || ends_with(key, "_per_s")) {
+      policy = "info";
+      verdict = "-";
+    } else {
+      policy = "exact";
+      const bool equal = base.numeric && now->numeric ? base.number == now->number
+                                                      : base.token == now->token;
+      if (equal) {
+        verdict = "ok";
+      } else {
+        verdict = "CHANGED";
+        failures.push_back("\"" + key + "\" changed from " + base.display() + " to " +
+                           now->display());
+      }
+    }
+    table.add_row({key, base.display(), now->display(), policy, verdict});
+  }
+  for (const auto& [key, value] : *fresh) {
+    if (find(*committed, key) == nullptr) {
+      table.add_row({key, std::string("-"), value.display(), std::string("-"),
+                     std::string("NEW")});
+      failures.push_back("field \"" + key + "\" is in the fresh run but not the committed "
+                         "snapshot (update the trajectory)");
+    }
+  }
+
+  table.print_markdown(std::cout);
+  if (!failures.empty()) {
+    std::cout << "\nbench_gate: FAIL (" << committed_path << " vs " << fresh_path << ")\n";
+    for (const std::string& f : failures) {
+      std::cout << "  - " << f << "\n";
+    }
+    return 1;
+  }
+  std::cout << "\nbench_gate: pass (" << committed_path << " vs " << fresh_path
+            << ", tolerance " << tolerance << ")\n";
+  return 0;
+}
