@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <istream>
 #include <limits>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "engine/workload.hpp"
 #include "support/assert.hpp"
 #include "support/hash.hpp"
+#include "support/line_io.hpp"
 #include "support/parse.hpp"
 
 namespace arl::dist {
@@ -50,26 +52,15 @@ core::Disposition parse_disposition(const std::string& token) {
 
 std::uint64_t parse_u64(const std::string& token, const char* what,
                         std::uint64_t max = std::numeric_limits<std::uint64_t>::max()) {
-  if (token.empty() || token.size() > 20 ||
-      token.find_first_not_of("0123456789") != std::string::npos) {
-    throw ReportFormatError(std::string(what) + " must be a decimal integer (got '" + token +
-                            "')");
+  // The strict decimal grammar is shared with the other line protocols
+  // (support/parse.hpp); fields narrower than 64 bits reject out-of-range
+  // values here instead of silently truncating in a cast.
+  const std::optional<std::uint64_t> value = support::parse_decimal_u64(token, max);
+  if (!value) {
+    throw ReportFormatError(std::string(what) + " must be a decimal integer within its field " +
+                            "range (got '" + token + "')");
   }
-  std::uint64_t value = 0;
-  for (const char c : token) {
-    const auto digit = static_cast<std::uint64_t>(c - '0');
-    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
-      throw ReportFormatError(std::string(what) + " overflows 64 bits (got '" + token + "')");
-    }
-    value = value * 10 + digit;
-  }
-  // Fields narrower than 64 bits reject out-of-range values here instead of
-  // silently truncating in a cast.
-  if (value > max) {
-    throw ReportFormatError(std::string(what) + " exceeds its field range (got '" + token +
-                            "')");
-  }
-  return value;
+  return *value;
 }
 
 /// parse_u64 bounded to a 32-bit field.
@@ -160,13 +151,18 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 /// Line cursor over the whole input: read_shard_report slurps every line up
-/// front so truncation (missing `end`) is distinguishable from stream errors.
+/// front so truncation (missing `end`) is distinguishable from stream
+/// errors.  Framing goes through the shared bounded reader
+/// (support/line_io.hpp) — the same splitter the sweep-service sessions use
+/// on their sockets — so a line that never terminates is a format error
+/// here, not an unbounded buffer.
 class LineReader {
  public:
   explicit LineReader(std::istream& in) {
-    std::string line;
-    while (std::getline(in, line)) {
-      lines_.push_back(line);
+    try {
+      lines_ = support::read_lines(in);
+    } catch (const support::LineTooLong& error) {
+      throw ReportFormatError(std::string("unframeable shard report: ") + error.what());
     }
   }
 

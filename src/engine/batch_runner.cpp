@@ -97,10 +97,15 @@ BatchRunner::BatchRunner(BatchOptions options)
     : options_(options), pool_(options.threads) {}
 
 template <typename Fetch>
-BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch) {
+BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch,
+                                   const RunOverrides& overrides) {
   ARL_EXPECTS(begin <= end, "job range must have begin <= end");
+  ARL_EXPECTS(!overrides.max_threads || *overrides.max_threads >= 1,
+              "RunOverrides::max_threads must be >= 1");
   support::Stopwatch watch;
   const JobId count = end - begin;
+  const std::uint64_t seed = overrides.seed.value_or(options_.seed);
+  const EngineMode engine = overrides.engine.value_or(options_.engine);
   BatchReport report;
   report.jobs.resize(count);
   if (options_.keep_reports) {
@@ -111,17 +116,24 @@ BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch) {
   // thread-safe), so jobs that repeat a configuration — cross-protocol
   // head-to-heads, mutation sweeps — compile it once.  Per batch, not per
   // runner: stats describe one batch and entries never leak across runs.
+  // An overriding shared cache replaces it entirely: entries then live as
+  // long as its owner (the sweep service's warm cross-request cache), and
+  // the owner — not this batch — accounts its stats.
   std::optional<ScheduleCache> cache;
-  if (options_.cache_capacity > 0) {
+  if (overrides.shared_cache == nullptr && options_.cache_capacity > 0) {
     cache.emplace(options_.cache_capacity);
   }
-  core::ScheduleCacheHandle* const cache_handle = cache ? &*cache : nullptr;
+  core::ScheduleCacheHandle* const cache_handle =
+      overrides.shared_cache != nullptr ? overrides.shared_cache : (cache ? &*cache : nullptr);
 
   // One long-lived task per worker, pulling job ids from a shared counter:
   // dynamic load balancing without per-job scheduling overhead, and each
   // worker's ElectionScratch is reused across every job it claims.
-  const std::size_t workers =
+  std::size_t workers =
       count == 0 ? 0 : std::min<std::size_t>(pool_.size(), static_cast<std::size_t>(count));
+  if (overrides.max_threads) {
+    workers = std::min(workers, *overrides.max_threads);
+  }
   // Workers claim *global* job ids: seeding and recorded outcomes use the
   // id the job has in the whole sweep, while result slots are range-local —
   // which is exactly why a shard run reproduces the unsharded jobs bit for
@@ -130,16 +142,17 @@ BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch) {
   std::vector<std::future<void>> futures;
   futures.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    futures.push_back(pool_.submit([this, begin, end, &fetch, &next, &report, cache_handle]() {
-      core::ElectionScratch scratch;
-      scratch.schedule_cache = cache_handle;
-      for (JobId id = next.fetch_add(1); id < end; id = next.fetch_add(1)) {
-        decltype(auto) job = fetch(id);
-        core::ElectionReport* keep = options_.keep_reports ? &report.reports[id - begin] : nullptr;
-        report.jobs[id - begin] = execute_job(job, id, options_.seed, options_.engine, scratch,
-                                              keep);
-      }
-    }));
+    futures.push_back(
+        pool_.submit([this, begin, end, &fetch, &next, &report, cache_handle, seed, engine]() {
+          core::ElectionScratch scratch;
+          scratch.schedule_cache = cache_handle;
+          for (JobId id = next.fetch_add(1); id < end; id = next.fetch_add(1)) {
+            decltype(auto) job = fetch(id);
+            core::ElectionReport* keep =
+                options_.keep_reports ? &report.reports[id - begin] : nullptr;
+            report.jobs[id - begin] = execute_job(job, id, seed, engine, scratch, keep);
+          }
+        }));
   }
 
   // Wait for every worker before rethrowing: the tasks capture locals by
@@ -171,15 +184,21 @@ BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs) {
   return run_batch(0, static_cast<JobId>(jobs.size()),
                    [&jobs](JobId id) -> const BatchJob& {
                      return jobs[static_cast<std::size_t>(id)];
-                   });
+                   },
+                   {});
 }
 
 BatchReport BatchRunner::run(JobId count, const JobSource& source) {
-  return run_batch(0, count, [&source](JobId id) { return source(id); });
+  return run_batch(0, count, [&source](JobId id) { return source(id); }, {});
 }
 
 BatchReport BatchRunner::run_range(JobId begin, JobId end, const JobSource& source) {
-  return run_batch(begin, end, [&source](JobId id) { return source(id); });
+  return run_batch(begin, end, [&source](JobId id) { return source(id); }, {});
+}
+
+BatchReport BatchRunner::run_range(JobId begin, JobId end, const JobSource& source,
+                                   const RunOverrides& overrides) {
+  return run_batch(begin, end, [&source](JobId id) { return source(id); }, overrides);
 }
 
 BatchReport run_batch(const std::vector<BatchJob>& jobs, BatchOptions options) {

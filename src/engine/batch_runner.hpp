@@ -139,6 +139,25 @@ struct BatchReport {
   [[nodiscard]] double node_rounds_per_second() const;
 };
 
+/// Per-run deviations from a runner's BatchOptions, for callers that reuse
+/// one runner (and its warm thread pool) across many differently-shaped
+/// runs — the sweep service dispatches every request through one shared
+/// BatchRunner this way.  Unset fields inherit the runner's options.
+struct RunOverrides {
+  std::optional<std::uint64_t> seed;    ///< batch master seed for this run
+  std::optional<EngineMode> engine;     ///< simulation path for this run
+  /// Worker cap for this run (>= 1); the run uses min(pool size, job count,
+  /// cap) workers.  Outcomes are thread-count-invariant, so this only
+  /// shapes throughput.
+  std::optional<std::size_t> max_threads;
+  /// External schedule cache shared beyond this batch (e.g. the service's
+  /// process-wide cache).  When set, the per-batch cache is not created,
+  /// BatchOptions::cache_capacity is ignored, and BatchReport::cache stays
+  /// unset — the cache's owner attributes stats across runs
+  /// (ScheduleCacheStats::since).
+  core::ScheduleCacheHandle* shared_cache = nullptr;
+};
+
 /// Runs batches of election jobs over an owned thread pool.
 class BatchRunner {
  public:
@@ -164,9 +183,16 @@ class BatchRunner {
   /// (asserted by tests/test_dist.cpp).
   [[nodiscard]] BatchReport run_range(JobId begin, JobId end, const JobSource& source);
 
+  /// run_range with per-run overrides (see RunOverrides).  Determinism is
+  /// unchanged: outcomes depend on the effective seed and the job ids, never
+  /// on the worker cap or where the cache lives.
+  [[nodiscard]] BatchReport run_range(JobId begin, JobId end, const JobSource& source,
+                                      const RunOverrides& overrides);
+
  private:
   template <typename Fetch>
-  BatchReport run_batch(JobId begin, JobId end, const Fetch& fetch);
+  BatchReport run_batch(JobId begin, JobId end, const Fetch& fetch,
+                        const RunOverrides& overrides);
 
   BatchOptions options_;
   support::ThreadPool pool_;

@@ -41,6 +41,19 @@ double ScheduleCacheStats::hit_rate() const {
   return static_cast<double>(hits) / static_cast<double>(lookups);
 }
 
+ScheduleCacheStats ScheduleCacheStats::since(const ScheduleCacheStats& earlier) const {
+  ARL_EXPECTS(hits >= earlier.hits && misses >= earlier.misses &&
+                  evictions >= earlier.evictions && schedule_builds >= earlier.schedule_builds,
+              "ScheduleCacheStats::since needs an earlier snapshot of the same cache");
+  ScheduleCacheStats delta;
+  delta.hits = hits - earlier.hits;
+  delta.misses = misses - earlier.misses;
+  delta.evictions = evictions - earlier.evictions;
+  delta.schedule_builds = schedule_builds - earlier.schedule_builds;
+  delta.entries = entries;
+  return delta;
+}
+
 ScheduleCache::ScheduleCache(std::size_t capacity, std::size_t shards) {
   ARL_EXPECTS(capacity >= 1, "ScheduleCache capacity must be >= 1");
   if (shards == 0) {

@@ -49,6 +49,13 @@ struct ScheduleCacheStats {
   /// Hits per lookup, in [0, 1] (0 when nothing was looked up).
   [[nodiscard]] double hit_rate() const;
 
+  /// The counter growth between an `earlier` snapshot of the same cache and
+  /// this one: monotonic counters subtract, `entries` (a gauge) keeps this
+  /// snapshot's value.  This is how the sweep service attributes hits and
+  /// misses to one request on its process-wide cache — snapshot before,
+  /// snapshot after, report the difference.
+  [[nodiscard]] ScheduleCacheStats since(const ScheduleCacheStats& earlier) const;
+
   friend bool operator==(const ScheduleCacheStats& a, const ScheduleCacheStats& b) = default;
 };
 

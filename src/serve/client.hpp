@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file client.hpp
+/// Client side of the sweep service: one blocking connection that speaks
+/// the serve_proto.hpp line protocol and recovers response streams.
+///
+/// A `submit()` walks the full response framing — ack, begin, the raw
+/// `arl-shard-report 1` body, done — and returns the body bytes exactly as
+/// the server's `dist::write_shard_report` produced them, so callers can
+/// parse them (`dist::read_shard_report`), print them as a sweep table, or
+/// write them to a file that `arl merge` consumes unchanged.  `busy` and
+/// `error` outcomes are returned, not thrown: they are protocol results a
+/// caller handles (retry, report); only *transport* failures — connect
+/// errors, mid-response EOF, frame violations — throw `ClientError`.
+
+#include <stdexcept>
+#include <string>
+
+#include "serve/serve_proto.hpp"
+#include "support/line_io.hpp"
+
+namespace arl::serve {
+
+/// Thrown on transport failures: connection refused, the server closing
+/// mid-response, or a response that violates the protocol.
+class ClientError : public std::runtime_error {
+ public:
+  explicit ClientError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Outcome of one submission.
+struct SubmitResult {
+  /// The terminal response line: Done on success, Busy or Error otherwise.
+  Response outcome;
+
+  /// The raw shard-report bytes (newline-terminated lines), nonempty
+  /// exactly when outcome.kind == Done.
+  std::string report;
+
+  [[nodiscard]] bool ok() const { return outcome.kind == Response::Kind::Done; }
+};
+
+/// One connection to a sweep service.  Blocking, single-threaded; reusable
+/// for any number of requests in sequence.
+class Client {
+ public:
+  /// Connects to the server's socket.  Throws ClientError on failure (or
+  /// when the platform has no Unix-domain sockets).
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Round-trips a ping; returns the Pong (cumulative cache counters).
+  [[nodiscard]] Response ping();
+
+  /// Submits one sweep and consumes its full response stream.
+  [[nodiscard]] SubmitResult submit(const SweepRequest& request);
+
+ private:
+  void send_all(std::string_view bytes);
+  [[nodiscard]] std::string next_line();
+  [[nodiscard]] Response next_protocol_line();
+
+  int fd_ = -1;
+  support::LineFramer framer_;
+};
+
+}  // namespace arl::serve

@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file serve_proto.hpp
+/// Versioned line protocol of the sweep service (`arl serve`).
+///
+/// One request per line, one response framing per request.  Every protocol
+/// line — in either direction — starts with `arl-serve <version>`, so the
+/// raw `arl-shard-report 1` lines a sweep response streams between its
+/// `begin` and `done` markers are unambiguous: no report record ever begins
+/// with the serve tag.  Clients therefore recover exactly the bytes
+/// `dist::write_shard_report` produced, and can hand them to `arl merge`
+/// unchanged.
+///
+/// Requests (client to server):
+///
+///   arl-serve 1 ping
+///   arl-serve 1 sweep workload=<name> protocols=<p1,p2,...> seed=<u64>
+///       [count=<u64>] [shard=<i/K>] [engine=<scalar|wavefront>]
+///       [threads=<u64>] [cache=off]
+///
+/// Fields appear in exactly that order, each at most once.  `workload` and
+/// the protocol names must be the *canonical* registry spellings (identity
+/// is re-parsed through `engine::parse_workload` / `core::parse_protocol`
+/// and the round trip compared, never trusted as opaque strings — the same
+/// rule the shard-report parser enforces).  `count` is required exactly when
+/// the workload does not imply its own job count (`WorkloadSpec::bounded()`);
+/// the optional knobs have canonical-absence defaults (`engine` absent means
+/// auto, `cache=off` is the only spelling that disables the shared cache).
+///
+/// Responses (server to client):
+///
+///   arl-serve 1 pong <hits> <misses> <entries>          (cumulative cache)
+///   arl-serve 1 error <message>                          (rest of line)
+///   arl-serve 1 busy <queue-limit>                       (backpressure)
+///   arl-serve 1 ack <id>                                 (queued)
+///   arl-serve 1 begin <id>                               (executing)
+///   ... raw arl-shard-report lines ...
+///   arl-serve 1 done <id> cache <req-hits> <req-misses> <req-builds>
+///       <cum-hits> <cum-misses> <cum-entries>
+///
+/// The parser is strict in the report_io tradition: unknown versions,
+/// reordered or duplicated fields, non-canonical spellings, out-of-range
+/// numbers and trailing garbage all throw `ProtoError` — a malformed request
+/// costs the client an `error` line, never the server its process.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "dist/shard.hpp"
+#include "engine/batch_runner.hpp"
+#include "engine/workload.hpp"
+
+namespace arl::serve {
+
+/// Thrown on any malformed, non-canonical or out-of-range protocol line.
+class ProtoError : public std::runtime_error {
+ public:
+  explicit ProtoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The current (and only) serve protocol version; readers reject every
+/// version they were not built for, like the shard-report format.
+inline constexpr std::uint32_t kServeProtocolVersion = 1;
+
+/// Per-line byte bound for *request* lines.  Requests carry one workload
+/// name, a protocol list and a few numbers — 4 KiB is far above any
+/// legitimate request while bounding a peer that streams garbage.
+inline constexpr std::size_t kMaxRequestLineBytes = 4096;
+
+/// Ceiling on `count` (configurations per request): large enough for any
+/// sweep the engine can actually execute, small enough that count * P job
+/// ids never approach overflow.
+inline constexpr std::uint64_t kMaxRequestCount = 1'000'000'000;
+
+/// Ceiling on the per-request worker cap.
+inline constexpr std::uint64_t kMaxRequestThreads = 256;
+
+/// One sweep to execute: the workload axis, the protocol axis, the seed and
+/// the run-shaping knobs.  Mirrors what `arl sweep` resolves from its flags,
+/// so a submission and a local sweep describe runs identically.
+struct SweepRequest {
+  engine::WorkloadSpec workload;
+  std::vector<core::ProtocolSpec> protocols = {core::ProtocolSpec::canonical()};
+  std::uint64_t seed = 1;
+
+  /// Configurations to draw; present exactly when !workload.bounded().
+  std::optional<std::uint64_t> count;
+
+  /// Run only this shard of the sweep's job range (absent: the whole range).
+  std::optional<dist::ShardSpec> shard;
+
+  /// Simulation path; Auto (the canonical absence) lets the engine choose.
+  engine::EngineMode engine = engine::EngineMode::Auto;
+
+  /// Worker cap for this request, in [1, kMaxRequestThreads] (absent: the
+  /// server's full pool).  Shapes throughput only, never outcomes.
+  std::optional<std::uint64_t> threads;
+
+  /// False when the request opts out of the server's shared schedule cache.
+  bool use_cache = true;
+
+  friend bool operator==(const SweepRequest& a, const SweepRequest& b) = default;
+};
+
+/// A parsed request line.
+struct Request {
+  enum class Kind : std::uint8_t { Ping, Sweep };
+
+  Kind kind = Kind::Ping;
+  SweepRequest sweep;  ///< meaningful only when kind == Sweep
+
+  friend bool operator==(const Request& a, const Request& b) = default;
+};
+
+/// Cumulative counters of the server's shared cache (pong / done lines).
+struct CacheTotals {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+
+  friend bool operator==(const CacheTotals& a, const CacheTotals& b) = default;
+};
+
+/// What one request took from / added to the shared cache (done lines) —
+/// the `ScheduleCacheStats::since` delta, on the wire.
+struct RequestCacheUse {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t schedule_builds = 0;
+
+  friend bool operator==(const RequestCacheUse& a, const RequestCacheUse& b) = default;
+};
+
+/// A parsed response line.
+struct Response {
+  enum class Kind : std::uint8_t { Pong, Error, Busy, Ack, Begin, Done };
+
+  Kind kind = Kind::Pong;
+  std::string message;            ///< Error: human-readable reason (nonempty)
+  std::uint64_t queue_limit = 0;  ///< Busy: the queue bound that was hit
+  std::uint64_t id = 0;           ///< Ack / Begin / Done: server-side request id
+  RequestCacheUse request_cache;  ///< Done: this request's cache delta
+  CacheTotals totals;             ///< Done / Pong: cumulative cache counters
+
+  friend bool operator==(const Response& a, const Response& b) = default;
+};
+
+/// Serializes a request in its canonical spelling (no trailing newline).
+/// `parse_request(format_request(r)) == r` for every valid request.
+[[nodiscard]] std::string format_request(const Request& request);
+
+/// Parses one request line, enforcing the full grammar: canonical workload
+/// and protocol spellings, field order, count-presence rule, numeric ranges.
+/// Throws ProtoError on any violation.
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Serializes a response line (no trailing newline).
+[[nodiscard]] std::string format_response(const Response& response);
+
+/// Classifies one line of a response stream: a parsed Response for
+/// `arl-serve`-tagged lines, nullopt for anything else (a report body line).
+/// Throws ProtoError when a serve-tagged line is malformed.
+[[nodiscard]] std::optional<Response> match_response(std::string_view line);
+
+}  // namespace arl::serve

@@ -1,0 +1,562 @@
+#include "serve/server.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dist/report_io.hpp"
+#include "engine/batch_runner.hpp"
+#include "serve/serve_proto.hpp"
+#include "support/line_io.hpp"
+
+#if ARL_SERVE_HAS_UNIX_SOCKETS
+#include <cerrno>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace arl::serve {
+
+#if ARL_SERVE_HAS_UNIX_SOCKETS
+
+namespace {
+
+/// What the dispatcher hands back for one executed job.
+struct JobResult {
+  std::string report;             ///< serialized shard report ("" on failure)
+  RequestCacheUse request_cache;  ///< this request's shared-cache delta
+  CacheTotals totals;             ///< cumulative shared-cache counters after
+  std::string error;              ///< nonempty exactly when execution failed
+};
+
+/// One acknowledged sweep request, shared between the session that owns the
+/// socket and the dispatcher that executes it.  The promises sequence the
+/// response stream: `started` releases the `begin` line, `finished` the
+/// report (or error) — the session remains the only writer throughout.
+struct PendingJob {
+  std::uint64_t id = 0;
+  SweepRequest request;
+  std::promise<void> started;
+  std::future<void> started_future = started.get_future();
+  std::promise<JobResult> finished;
+  std::future<JobResult> finished_future = finished.get_future();
+};
+
+/// Writes all of `bytes`, tolerating short sends and EINTR.  False when the
+/// peer is gone or SO_SNDTIMEO expired — the caller abandons the session.
+bool send_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t sent = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(sent));
+  }
+  return true;
+}
+
+bool send_line(int fd, const std::string& line) { return send_all(fd, line + "\n"); }
+
+Response error_response(std::string message) {
+  Response response;
+  response.kind = Response::Kind::Error;
+  response.message = std::move(message);
+  return response;
+}
+
+}  // namespace
+
+struct SweepServer::Impl {
+  ServerOptions options;
+  engine::BatchRunner runner;
+  std::unique_ptr<engine::ScheduleCache> cache;  // null when cache_capacity == 0
+
+  int listen_fd = -1;
+  int stop_rd = -1;
+  int stop_wr = -1;
+  bool ran = false;
+
+  // Job queue and counters, guarded by one mutex (the counters change on
+  // the same events the queue does).
+  mutable std::mutex mutex;
+  std::condition_variable work_cv;
+  std::deque<std::shared_ptr<PendingJob>> queue;
+  bool draining = false;
+  bool dispatcher_stop = false;
+  std::uint64_t next_id = 1;
+  ServerCounters counters;
+
+  // Session bookkeeping.  std::list: nodes are stable, so session threads
+  // may hold pointers to their own entry while the accept loop reaps others.
+  struct Session {
+    std::thread thread;
+    int fd = -1;
+    bool open = true;                ///< guarded by sessions_mutex (drain shuts open fds down)
+    std::atomic<bool> finished{false};
+  };
+  std::mutex sessions_mutex;
+  std::list<Session> sessions;
+
+  explicit Impl(ServerOptions opts)
+      : options(std::move(opts)),
+        runner(engine::BatchOptions{.threads = options.threads}) {
+    if (options.socket_path.empty()) {
+      throw ServeError("serve: socket path must not be empty");
+    }
+    if (options.queue_limit == 0) {
+      throw ServeError("serve: queue limit must be >= 1");
+    }
+    sockaddr_un address{};
+    if (options.socket_path.size() >= sizeof(address.sun_path)) {
+      throw ServeError("serve: socket path exceeds the " +
+                       std::to_string(sizeof(address.sun_path) - 1) + "-byte sockaddr_un bound");
+    }
+    if (options.cache_capacity > 0) {
+      cache = std::make_unique<engine::ScheduleCache>(options.cache_capacity);
+    }
+
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd < 0) {
+      throw ServeError(std::string("serve: socket() failed: ") + std::strerror(errno));
+    }
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, options.socket_path.c_str(), options.socket_path.size() + 1);
+    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+      const int saved = errno;
+      ::close(listen_fd);
+      listen_fd = -1;
+      if (saved == EADDRINUSE) {
+        throw ServeError("serve: socket path '" + options.socket_path +
+                         "' already exists (another server, or a stale socket to remove)");
+      }
+      throw ServeError("serve: bind('" + options.socket_path +
+                       "') failed: " + std::strerror(saved));
+    }
+    if (::listen(listen_fd, 64) != 0) {
+      const int saved = errno;
+      cleanup_listener();
+      throw ServeError(std::string("serve: listen() failed: ") + std::strerror(saved));
+    }
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0) {
+      const int saved = errno;
+      cleanup_listener();
+      throw ServeError(std::string("serve: pipe() failed: ") + std::strerror(saved));
+    }
+    stop_rd = pipe_fds[0];
+    stop_wr = pipe_fds[1];
+    ::fcntl(stop_rd, F_SETFD, FD_CLOEXEC);
+    ::fcntl(stop_wr, F_SETFD, FD_CLOEXEC);
+  }
+
+  ~Impl() {
+    cleanup_listener();
+    if (stop_rd >= 0) {
+      ::close(stop_rd);
+    }
+    if (stop_wr >= 0) {
+      ::close(stop_wr);
+    }
+  }
+
+  void cleanup_listener() {
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      ::unlink(options.socket_path.c_str());
+    }
+  }
+
+  CacheTotals totals_snapshot() const {
+    if (!cache) {
+      return {};
+    }
+    const engine::ScheduleCacheStats stats = cache->stats();
+    return {stats.hits, stats.misses, stats.entries};
+  }
+
+  /// Executes one sweep request on the shared runner.  Never throws: any
+  /// failure (out-of-range workload parameters and the like) becomes the
+  /// request's error line.
+  JobResult execute(const SweepRequest& request) {
+    JobResult result;
+    try {
+      engine::InstantiateOptions instantiate;
+      if (request.count) {
+        instantiate.count = static_cast<std::size_t>(*request.count);
+      }
+      const engine::CountedSweep sweep =
+          request.workload.instantiate(request.seed, request.protocols, instantiate);
+      dist::JobRange range{0, sweep.count};
+      if (request.shard) {
+        range = dist::shard_range(sweep.count, *request.shard);
+      }
+
+      engine::RunOverrides overrides;
+      overrides.seed = request.seed;
+      if (request.engine != engine::EngineMode::Auto) {
+        overrides.engine = request.engine;
+      }
+      if (request.threads) {
+        overrides.max_threads = static_cast<std::size_t>(*request.threads);
+      }
+      const bool shared = cache != nullptr && request.use_cache;
+      if (shared) {
+        overrides.shared_cache = cache.get();
+      }
+
+      // The dispatcher serializes requests, so nothing else touches the
+      // shared cache between these snapshots: the delta is exact.
+      engine::ScheduleCacheStats before;
+      if (shared) {
+        before = cache->stats();
+      }
+      engine::BatchReport report = runner.run_range(range.begin, range.end, sweep.source,
+                                                    overrides);
+      if (shared) {
+        const engine::ScheduleCacheStats delta = cache->stats().since(before);
+        report.cache = delta;
+        result.request_cache = {delta.hits, delta.misses, delta.schedule_builds};
+      }
+
+      dist::SweepKey key;
+      key.description = request.workload.name();
+      key.digest = request.workload.digest();
+      key.seed = request.seed;
+      key.total_jobs = sweep.count;
+      key.protocols.reserve(request.protocols.size());
+      for (const core::ProtocolSpec& protocol : request.protocols) {
+        key.protocols.push_back(protocol.name());
+      }
+      std::ostringstream out;
+      dist::write_shard_report(dist::make_shard_report(std::move(key), range, std::move(report)),
+                               out);
+      result.report = out.str();
+    } catch (const std::exception& failure) {
+      result.report.clear();
+      result.error = failure.what();
+    }
+    result.totals = totals_snapshot();
+    return result;
+  }
+
+  void dispatch_loop() {
+    for (;;) {
+      std::shared_ptr<PendingJob> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_cv.wait(lock, [this] { return dispatcher_stop || !queue.empty(); });
+        if (queue.empty()) {
+          return;  // dispatcher_stop and nothing left: fully drained
+        }
+        job = queue.front();
+        queue.pop_front();
+        counters.queued = queue.size();
+        counters.active = 1;
+      }
+      job->started.set_value();
+      JobResult result = execute(job->request);
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        counters.active = 0;
+        if (result.error.empty()) {
+          counters.completed += 1;
+        } else {
+          counters.failed += 1;
+        }
+      }
+      job->finished.set_value(std::move(result));
+    }
+  }
+
+  /// Handles one framed request line.  Returns false when the session's
+  /// socket failed (the session then closes); a *protocol* failure returns
+  /// true after answering with an error line.
+  bool handle_line(int fd, const std::string& line) {
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const ProtoError& violation) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        counters.protocol_errors += 1;
+      }
+      return send_line(fd, format_response(error_response(violation.what())));
+    }
+
+    if (request.kind == Request::Kind::Ping) {
+      Response pong;
+      pong.kind = Response::Kind::Pong;
+      pong.totals = totals_snapshot();
+      return send_line(fd, format_response(pong));
+    }
+
+    std::shared_ptr<PendingJob> job;
+    Response refusal;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (draining) {
+        counters.drain_rejections += 1;
+        refusal = error_response("server is draining; submit again after it restarts");
+      } else if (queue.size() >= options.queue_limit) {
+        counters.busy_rejections += 1;
+        refusal.kind = Response::Kind::Busy;
+        refusal.queue_limit = options.queue_limit;
+      } else {
+        job = std::make_shared<PendingJob>();
+        job->id = next_id;
+        next_id += 1;
+        job->request = request.sweep;
+        queue.push_back(job);
+        counters.accepted += 1;
+        counters.queued = queue.size();
+      }
+    }
+    if (!job) {
+      return send_line(fd, format_response(refusal));
+    }
+    work_cv.notify_one();
+
+    Response ack;
+    ack.kind = Response::Kind::Ack;
+    ack.id = job->id;
+    // A send failure past this point abandons the session but never the
+    // job: it already holds a queue slot and the dispatcher will run it
+    // (fulfilling promises nobody reads is harmless).
+    if (!send_line(fd, format_response(ack))) {
+      return false;
+    }
+
+    job->started_future.wait();
+    Response begin;
+    begin.kind = Response::Kind::Begin;
+    begin.id = job->id;
+    if (!send_line(fd, format_response(begin))) {
+      return false;
+    }
+
+    const JobResult result = job->finished_future.get();
+    if (!result.error.empty()) {
+      return send_line(fd, format_response(error_response(result.error)));
+    }
+    if (!send_all(fd, result.report)) {
+      return false;
+    }
+    Response done;
+    done.kind = Response::Kind::Done;
+    done.id = job->id;
+    done.request_cache = result.request_cache;
+    done.totals = result.totals;
+    return send_line(fd, format_response(done));
+  }
+
+  void session_loop(Session* session) {
+    const int fd = session->fd;
+    support::LineFramer framer(kMaxRequestLineBytes);
+    char buffer[4096];
+    bool alive = true;
+    try {
+      while (alive) {
+        while (alive) {
+          const std::optional<std::string> line = framer.pop();
+          if (!line) {
+            break;
+          }
+          alive = handle_line(fd, *line);
+        }
+        if (!alive) {
+          break;
+        }
+        const ssize_t got = ::recv(fd, buffer, sizeof(buffer), 0);
+        if (got == 0) {
+          break;  // orderly close (or drain's SHUT_RD)
+        }
+        if (got < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          break;
+        }
+        framer.feed(std::string_view(buffer, static_cast<std::size_t>(got)));
+      }
+    } catch (const support::LineTooLong& violation) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        counters.protocol_errors += 1;
+      }
+      send_line(fd, format_response(error_response(violation.what())));
+    }
+    {
+      // Mark closed under the lock so drain never shuts down a dead fd.
+      const std::lock_guard<std::mutex> lock(sessions_mutex);
+      session->open = false;
+    }
+    ::close(fd);
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      counters.sessions -= 1;
+    }
+    session->finished.store(true);
+  }
+
+  void spawn_session(int fd) {
+    const timeval timeout{static_cast<time_t>(options.send_timeout_seconds), 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+    Session* session = nullptr;
+    {
+      const std::lock_guard<std::mutex> lock(sessions_mutex);
+      sessions.emplace_back();
+      session = &sessions.back();
+      session->fd = fd;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      counters.sessions += 1;
+    }
+    session->thread = std::thread([this, session] { session_loop(session); });
+  }
+
+  void reap_finished_sessions() {
+    const std::lock_guard<std::mutex> lock(sessions_mutex);
+    for (auto it = sessions.begin(); it != sessions.end();) {
+      if (it->finished.load()) {
+        it->thread.join();
+        it = sessions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void run() {
+    std::thread dispatcher([this] { dispatch_loop(); });
+    for (;;) {
+      pollfd fds[2] = {{listen_fd, POLLIN, 0}, {stop_rd, POLLIN, 0}};
+      const int ready = ::poll(fds, 2, 200);
+      if (ready < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+      reap_finished_sessions();
+      if ((fds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        break;  // stop requested
+      }
+      if ((fds[0].revents & POLLIN) != 0) {
+        const int client = ::accept(listen_fd, nullptr, nullptr);
+        if (client >= 0) {
+          spawn_session(client);
+        }
+      }
+    }
+
+    // Drain: no new connections or submissions, but everything acknowledged
+    // completes and streams back before run() returns.
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      draining = true;
+    }
+    cleanup_listener();
+    {
+      // Wake sessions blocked in recv(); their write side stays open so
+      // in-flight responses still reach the client.
+      const std::lock_guard<std::mutex> lock(sessions_mutex);
+      for (Session& session : sessions) {
+        if (session.open) {
+          ::shutdown(session.fd, SHUT_RD);
+        }
+      }
+    }
+    // The accept loop is gone, so nothing appends to `sessions`; joining
+    // without the lock is safe (session threads touch only their own node).
+    for (Session& session : sessions) {
+      if (session.thread.joinable()) {
+        session.thread.join();
+      }
+    }
+    sessions.clear();
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      dispatcher_stop = true;
+      counters.sessions = 0;
+    }
+    work_cv.notify_all();
+    dispatcher.join();
+  }
+};
+
+SweepServer::SweepServer(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+SweepServer::~SweepServer() = default;
+
+void SweepServer::run() {
+  if (impl_->ran) {
+    throw ServeError("serve: run() may be called at most once");
+  }
+  impl_->ran = true;
+  impl_->run();
+}
+
+void SweepServer::request_stop() {
+  const char byte = 's';
+  // Async-signal-safe: one write, no locks, no allocation.
+  [[maybe_unused]] const ssize_t rc = ::write(impl_->stop_wr, &byte, 1);
+}
+
+int SweepServer::stop_fd() const { return impl_->stop_wr; }
+
+ServerCounters SweepServer::counters() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->counters;
+}
+
+engine::ScheduleCacheStats SweepServer::cache_stats() const {
+  if (!impl_->cache) {
+    return {};
+  }
+  return impl_->cache->stats();
+}
+
+const ServerOptions& SweepServer::options() const { return impl_->options; }
+
+#else  // !ARL_SERVE_HAS_UNIX_SOCKETS
+
+struct SweepServer::Impl {};
+
+namespace {
+[[noreturn]] void unsupported() {
+  throw ServeError("the sweep service requires unix domain sockets, unavailable on this platform");
+}
+}  // namespace
+
+SweepServer::SweepServer(ServerOptions) { unsupported(); }
+SweepServer::~SweepServer() = default;
+void SweepServer::run() { unsupported(); }
+void SweepServer::request_stop() { unsupported(); }
+int SweepServer::stop_fd() const { unsupported(); }
+ServerCounters SweepServer::counters() const { unsupported(); }
+engine::ScheduleCacheStats SweepServer::cache_stats() const { unsupported(); }
+const ServerOptions& SweepServer::options() const { unsupported(); }
+
+#endif  // ARL_SERVE_HAS_UNIX_SOCKETS
+
+}  // namespace arl::serve

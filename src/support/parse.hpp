@@ -3,10 +3,14 @@
 /// \file parse.hpp
 /// Strict numeric grammar shared by the text surfaces that must agree on
 /// one canonical spelling of a number: workload names (engine/workload.cpp,
-/// whose `p=` values travel inside shard-report descriptions) and the
-/// shard-report wire format itself (dist/report_io.cpp).  One predicate, so
-/// the two parsers can never drift apart on what a number looks like.
+/// whose `p=` values travel inside shard-report descriptions), the
+/// shard-report wire format (dist/report_io.cpp) and the sweep-service
+/// request protocol (serve/serve_proto.cpp).  One predicate and one integer
+/// parser, so the parsers can never drift apart on what a number looks like.
 
+#include <cstdint>
+#include <limits>
+#include <optional>
 #include <string_view>
 
 namespace arl::support {
@@ -43,6 +47,32 @@ namespace arl::support {
     }
   }
   return i == text.size();
+}
+
+/// Parses a strict canonical decimal u64: nonempty, digits only (no signs,
+/// whitespace or leading-zero alternatives rejected by length alone), at
+/// most 20 characters, and within [0, max].  Returns nullopt on any
+/// violation so callers translate into their own error types.
+[[nodiscard]] constexpr std::optional<std::uint64_t> parse_decimal_u64(
+    std::string_view text, std::uint64_t max = std::numeric_limits<std::uint64_t>::max()) {
+  if (text.empty() || text.size() > 20) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;
+    }
+    value = value * 10 + digit;
+  }
+  if (value > max) {
+    return std::nullopt;
+  }
+  return value;
 }
 
 }  // namespace arl::support

@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# End-to-end checks for the sweep service, run by ctest (see CMakeLists.txt):
+# a daemon on a Unix socket, concurrent sharded submissions whose merged
+# reports reproduce a single-process sweep's tables exactly, warm-cache
+# accounting across requests, and a graceful SIGTERM drain that unlinks the
+# socket.  Usage: check_serve.sh <path-to-arl-binary>
+set -u
+
+cli="$1"
+failures=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+tmpdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -KILL "$server_pid" 2>/dev/null
+    wait "$server_pid" 2>/dev/null
+  fi
+  rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+socket="$tmpdir/arl.sock"
+
+# Usage errors (exit 2) before any server exists; a missing server is a
+# runtime error (exit 1), not a usage error.
+"$cli" serve >/dev/null 2>&1
+[ $? -eq 2 ] || fail "serve without --socket should exit 2"
+"$cli" serve --socket="$socket" --queue=0 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "serve --queue=0 should exit 2"
+"$cli" submit >/dev/null 2>&1
+[ $? -eq 2 ] || fail "submit without --socket should exit 2"
+"$cli" submit --socket="$socket" --ping >/dev/null 2>&1
+[ $? -eq 1 ] || fail "submit to a missing server should exit 1"
+
+# Start the daemon and wait for its socket to appear.
+"$cli" serve --socket="$socket" --queue=8 2>"$tmpdir/serve.log" &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$socket" ] && break
+  sleep 0.05
+done
+[ -S "$socket" ] || fail "server did not create its socket"
+
+out=$("$cli" submit --socket="$socket" --ping 2>&1)
+[ $? -eq 0 ] || fail "ping should exit 0: $out"
+case "$out" in
+  *pong*) ;;
+  *) fail "ping should answer pong: $out" ;;
+esac
+
+# Flag validation that needs a live connection (submit connects first):
+# a numeric cache capacity is a server-side knob, a usage error here.
+"$cli" submit --socket="$socket" --cache=64 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "submit --cache=<N> (a server-side knob) should exit 2"
+
+# The path is taken: a second daemon must refuse to start, and must not
+# disturb the first one's socket.
+"$cli" serve --socket="$socket" >/dev/null 2>&1
+[ $? -eq 1 ] || fail "serve on an occupied socket should exit 1"
+[ -S "$socket" ] || fail "the refused daemon must leave the live socket alone"
+
+# Four concurrent sharded submissions; their merged reports print exactly
+# the single-process sweep's tables.  Wall time, throughput, worker counts
+# and cache counters are execution circumstances, filtered as in
+# check_cli.sh; whitespace is squeezed because column widths align to the
+# widest cell.
+sweep_flags="--count=12 --n=8 --protocol=canonical --protocol=classify --seed=5"
+filter() {
+  # cat -s squeezes the blank line orphaned by removing the cache block.
+  grep -vE "wall time|per second|worker threads|schedule cache" "$1" |
+    sed -E 's/ +/ /g; s/-+/-/g' | cat -s
+}
+"$cli" sweep $sweep_flags >"$tmpdir/single.txt" 2>&1 ||
+  fail "single-process reference sweep should exit 0"
+pids=""
+for i in 0 1 2 3; do
+  "$cli" submit --socket="$socket" $sweep_flags --shard=$i/4 \
+    --out="$tmpdir/shard-$i.txt" >/dev/null 2>"$tmpdir/submit-$i.log" &
+  pids="$pids $!"
+done
+for pid in $pids; do
+  wait "$pid" || fail "concurrent submit (pid $pid) should exit 0"
+done
+for i in 0 1 2 3; do
+  head -1 "$tmpdir/shard-$i.txt" | grep -q "arl-shard-report" ||
+    fail "submit --out should write a versioned shard report (shard $i)"
+done
+"$cli" merge "$tmpdir"/shard-[0-3].txt >"$tmpdir/merged.txt" 2>&1 ||
+  fail "merge of the served shards should exit 0"
+if ! diff <(filter "$tmpdir/merged.txt") <(filter "$tmpdir/single.txt") >/dev/null; then
+  fail "merged served shards should print exactly the single-process tables"
+fi
+
+# An unsharded submit prints those same tables directly.
+"$cli" submit --socket="$socket" $sweep_flags >"$tmpdir/served.txt" 2>"$tmpdir/cold.log" ||
+  fail "unsharded submit should exit 0"
+if ! diff <(filter "$tmpdir/served.txt") <(filter "$tmpdir/single.txt") >/dev/null; then
+  fail "submit should print exactly the tables 'arl sweep' prints"
+fi
+
+# Warm re-submission: the shared cache answers every configuration the
+# earlier requests compiled — nonzero hits, zero misses, zero builds.
+"$cli" submit --socket="$socket" $sweep_flags >/dev/null 2>"$tmpdir/warm.log" ||
+  fail "warm submit should exit 0"
+warm=$(sed -n 's/^serve cache: \([0-9]*\) hits, \([0-9]*\) misses, \([0-9]*\) schedule builds.*/\1 \2 \3/p' "$tmpdir/warm.log")
+set -- $warm
+if [ $# -ne 3 ]; then
+  fail "warm submit should report its cache use on stderr: $(cat "$tmpdir/warm.log")"
+else
+  [ "$1" -gt 0 ] || fail "warm submit should hit the shared cache (got $1 hits)"
+  [ "$2" -eq 0 ] || fail "warm submit should miss nothing (got $2 misses)"
+  [ "$3" -eq 0 ] || fail "warm submit should build no schedules (got $3 builds)"
+fi
+
+# Opting out of the cache leaves the shared counters untouched.
+out=$("$cli" submit --socket="$socket" $sweep_flags --cache=off 2>&1 >/dev/null)
+case "$out" in
+  *"serve cache: 0 hits, 0 misses, 0 schedule builds"*) ;;
+  *) fail "--cache=off should bypass the shared cache: $out" ;;
+esac
+
+# Graceful drain: SIGTERM finishes in-flight work, prints a summary, exits
+# 0 and unlinks the socket — no orphaned daemon, no leftover path.
+kill -TERM "$server_pid"
+wait "$server_pid"
+status=$?
+server_pid=""
+[ "$status" -eq 0 ] || fail "SIGTERM drain should exit 0, got $status"
+grep -q "drained" "$tmpdir/serve.log" ||
+  fail "the drain should log a summary: $(cat "$tmpdir/serve.log")"
+[ ! -e "$socket" ] || fail "the drain should unlink the socket"
+"$cli" submit --socket="$socket" --ping >/dev/null 2>&1
+[ $? -eq 1 ] || fail "submit after the drain should exit 1"
+
+if [ "$failures" -gt 0 ]; then
+  exit 1
+fi
+echo "serve e2e ok"

@@ -1,6 +1,6 @@
 /// \file test_support.cpp
 /// Unit tests for the support library: contracts, PRNG, tables, CLI parsing,
-/// thread pool.
+/// thread pool, line framing.
 
 #include <gtest/gtest.h>
 
@@ -10,6 +10,8 @@
 
 #include "support/assert.hpp"
 #include "support/cli.hpp"
+#include "support/line_io.hpp"
+#include "support/parse.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table.hpp"
@@ -245,6 +247,93 @@ TEST(ThreadPool, ExceptionsPropagate) {
                      }
                    }),
       std::runtime_error);
+}
+
+// ------------------------------------------------------------ line framing
+
+TEST(LineFramer, FramesLinesAcrossArbitraryChunks) {
+  LineFramer framer;
+  framer.feed("first li");
+  EXPECT_EQ(framer.pop(), std::nullopt);  // no newline yet
+  framer.feed("ne\nsecond\nthi");
+  EXPECT_EQ(framer.pop(), "first line");
+  EXPECT_EQ(framer.pop(), "second");
+  EXPECT_EQ(framer.pop(), std::nullopt);
+  EXPECT_EQ(framer.partial_bytes(), 3u);
+  framer.feed("rd\n");
+  EXPECT_EQ(framer.pop(), "third");
+  EXPECT_EQ(framer.partial_bytes(), 0u);
+}
+
+TEST(LineFramer, FinishTurnsThePartialTailIntoALine) {
+  LineFramer framer;
+  framer.feed("complete\ntail without newline");
+  framer.finish();
+  EXPECT_EQ(framer.pop(), "complete");
+  EXPECT_EQ(framer.pop(), "tail without newline");  // std::getline convention
+  EXPECT_EQ(framer.pop(), std::nullopt);
+  EXPECT_TRUE(framer.drained());
+}
+
+TEST(LineFramer, EmptyLinesAndEmptyTailAreHandled) {
+  LineFramer framer;
+  framer.feed("\n\nx\n");
+  framer.finish();  // empty tail: no extra line
+  EXPECT_EQ(framer.pop(), "");
+  EXPECT_EQ(framer.pop(), "");
+  EXPECT_EQ(framer.pop(), "x");
+  EXPECT_EQ(framer.pop(), std::nullopt);
+  EXPECT_TRUE(framer.drained());
+}
+
+TEST(LineFramer, EnforcesTheByteBoundAndStaysPoisoned) {
+  LineFramer framer(8);
+  framer.feed("ok\n");
+  EXPECT_THROW(framer.feed("123456789"), LineTooLong);  // 9 > 8, no newline
+  EXPECT_THROW(framer.feed("x"), LineTooLong);          // poisoned: keeps throwing
+  EXPECT_EQ(framer.pop(), "ok");                        // lines framed before stay readable
+}
+
+TEST(LineFramer, BoundAppliesToOneLineNotTheStream) {
+  LineFramer framer(8);
+  // Many short lines through one small-bound framer: the bound is per line.
+  for (int i = 0; i < 100; ++i) {
+    framer.feed("12345678\n");
+    EXPECT_EQ(framer.pop(), "12345678");
+  }
+}
+
+TEST(ReadLines, MatchesGetlineIncludingMissingFinalNewline) {
+  std::istringstream with_newline("a\nb\n");
+  EXPECT_EQ(read_lines(with_newline), (std::vector<std::string>{"a", "b"}));
+  std::istringstream without_newline("a\nb");
+  EXPECT_EQ(read_lines(without_newline), (std::vector<std::string>{"a", "b"}));
+  std::istringstream empty("");
+  EXPECT_TRUE(read_lines(empty).empty());
+}
+
+TEST(ReadLines, ThrowsOnOverlongLines) {
+  std::istringstream in(std::string(100, 'x'));
+  EXPECT_THROW((void)read_lines(in, 10), LineTooLong);
+}
+
+// ------------------------------------------------------------- number parse
+
+TEST(ParseDecimalU64, AcceptsCanonicalDigits) {
+  EXPECT_EQ(parse_decimal_u64("0"), 0u);
+  EXPECT_EQ(parse_decimal_u64("42"), 42u);
+  EXPECT_EQ(parse_decimal_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseDecimalU64, RejectsNonCanonicalAndOutOfRange) {
+  EXPECT_EQ(parse_decimal_u64(""), std::nullopt);
+  EXPECT_EQ(parse_decimal_u64("-1"), std::nullopt);
+  EXPECT_EQ(parse_decimal_u64("1e3"), std::nullopt);
+  EXPECT_EQ(parse_decimal_u64(" 1"), std::nullopt);
+  EXPECT_EQ(parse_decimal_u64("18446744073709551616"), std::nullopt);  // 2^64
+  EXPECT_EQ(parse_decimal_u64("11", 10), std::nullopt);                // above max
+  EXPECT_EQ(parse_decimal_u64("10", 10), 10u);                         // at max
 }
 
 // ---------------------------------------------------------------- stopwatch

@@ -8,6 +8,9 @@
 ///                   --shard=i/K emits one shard of a distributed sweep,
 ///                   --workers=K forks K local worker processes and merges
 ///   arl merge     — reassemble shard report files into the sweep's report
+///   arl serve     — sweep service daemon on a unix socket: one shared
+///                   engine + schedule cache across requests (serve/)
+///   arl submit    — submit one sweep to a running service
 ///   arl workloads — list the registered sweep workloads (engine/workload.hpp)
 ///   arl trace     — replay the canonical DRIP with a per-round trace
 ///   arl schedule  — compile and print the canonical schedule (deployable)
@@ -25,6 +28,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -36,6 +40,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #define ARL_CLI_HAS_FORK 1
+#include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
 #else
@@ -58,6 +63,9 @@
 #include "engine/workload.hpp"
 #include "graph/generators.hpp"
 #include "radio/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/serve_proto.hpp"
+#include "serve/server.hpp"
 #include "radio/validator.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
@@ -136,6 +144,32 @@ commands:
                verifies the shards describe one sweep (same spec digest,
                seed, protocols) and tile its job ids exactly; prints the
                usual sweep tables.  exit 2 on malformed or mismatched input
+  serve      run the sweep service: a unix-socket daemon executing sweep
+             requests one at a time through one shared engine and one
+             cross-request schedule cache (warm requests skip compiles)
+               --socket=PATH     socket path to listen on (required; the
+                                 path must not already exist)
+               --threads=N       engine worker threads in [0, 256]; 0 = hardware
+               --cache=on|off|N  shared schedule cache across requests:
+                                 on (default), off, or a capacity in entries
+               --queue=N         requests allowed to wait in [1, 4096]
+                                 (default 8); past it submissions get `busy`
+               SIGINT/SIGTERM drain gracefully: acknowledged requests finish
+               and stream back, then the socket is unlinked
+  submit     submit one sweep to a running service; prints the same tables
+             as `arl sweep` (responses are shard reports, so --out files
+             feed `arl merge` unchanged)
+               --socket=PATH     the service socket (required)
+               --ping            round-trip a ping and print the server's
+                                 cumulative cache counters instead
+               sweep axes as in `arl sweep`: --workload or the legacy
+                 family flags, --protocol (repeatable), --count, --seed,
+                 --shard=i/K, --engine=MODE
+               --threads=N       cap this request's workers in [1, 256]
+                                 (omit for the server's full pool)
+               --cache=off       opt this request out of the shared cache
+               --out=FILE        write the raw shard report to FILE instead
+                                 of printing tables
   trace      replay the canonical DRIP round by round
                --verbose         also print listens and silences
   schedule   compile and print the canonical schedule (text format)
@@ -160,6 +194,72 @@ config::Configuration read_configuration(const support::Args& args, std::size_t 
   }
   return config::from_text(std::cin);
 }
+
+#if ARL_CLI_HAS_FORK
+
+// ---- interrupt handling -----------------------------------------------
+//
+// Three commands own cleanup obligations a Ctrl-C must not skip: `sweep
+// --workers` (forked children to terminate and temp shard files to remove),
+// `sweep --shard --out` (a half-written report file that must never appear
+// under the final name) and `serve` (a graceful drain).  Handlers are
+// installed without SA_RESTART so blocking syscalls return EINTR, and every
+// handler body is async-signal-safe (flag writes, unlink, write, _exit).
+
+/// Set by the --workers parent's handler; the waitpid loop turns it into
+/// SIGTERM for the children plus temp-file cleanup.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+void flag_interrupt(int) { g_interrupted = 1; }
+
+/// The temp path a `--shard --out` run is writing; the handler unlinks it
+/// and exits so an interrupt can never leave a truncated file behind
+/// (the final name only ever appears via rename of a complete report).
+char g_shard_tmp_path[4096] = {0};
+
+void shard_interrupt(int) {
+  if (g_shard_tmp_path[0] != '\0') {
+    ::unlink(g_shard_tmp_path);
+  }
+  ::_exit(130);
+}
+
+/// The serve stop pipe (SweepServer::stop_fd); one byte requests a drain.
+int g_serve_stop_fd = -1;
+
+void serve_interrupt(int) {
+  if (g_serve_stop_fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t rc = ::write(g_serve_stop_fd, &byte, 1);
+  }
+}
+
+/// Installs one handler for SIGINT and SIGTERM, restoring the previous
+/// dispositions on scope exit (so one command's handler never leaks into
+/// another's run).
+class ScopedSignalHandlers {
+ public:
+  explicit ScopedSignalHandlers(void (*handler)(int)) {
+    struct sigaction action {};
+    action.sa_handler = handler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: blocked syscalls must see EINTR
+    ::sigaction(SIGINT, &action, &old_int_);
+    ::sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~ScopedSignalHandlers() {
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+  }
+  ScopedSignalHandlers(const ScopedSignalHandlers&) = delete;
+  ScopedSignalHandlers& operator=(const ScopedSignalHandlers&) = delete;
+
+ private:
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
+#endif  // ARL_CLI_HAS_FORK
 
 radio::ChannelModel parse_model(const support::Args& args) {
   const std::string model = args.get_string("model", "cd");
@@ -352,6 +452,27 @@ engine::WorkloadSpec sweep_workload(const support::Args& args) {
   return apply_execution_flags(std::move(spec), args);
 }
 
+/// The protocol axis shared by `sweep` and `submit`: repeatable --protocol
+/// flags validated against the registry (several protocols make the batch a
+/// head-to-head cross product), with --classify-only as a shorthand that
+/// conflicts with explicit flags.  Throws support::ContractViolation on the
+/// conflict (exit 2).
+std::vector<core::ProtocolSpec> sweep_protocols(const support::Args& args) {
+  std::vector<core::ProtocolSpec> protocols;
+  for (const std::string& name : args.get_strings("protocol")) {
+    protocols.push_back(core::parse_protocol(name));
+  }
+  if (args.has("classify-only") && !protocols.empty()) {
+    throw support::ContractViolation(
+        "--classify-only conflicts with --protocol; use --protocol=classify instead");
+  }
+  if (protocols.empty()) {
+    protocols.push_back(args.has("classify-only") ? core::ProtocolSpec::classify_only()
+                                                  : core::ProtocolSpec::canonical());
+  }
+  return protocols;
+}
+
 /// The sweep identity shard reports carry (see dist/report_io.hpp): the
 /// workload's canonical name and digest plus the run-sizing fields.
 dist::SweepKey make_sweep_key(const engine::WorkloadSpec& workload, engine::JobId total_jobs,
@@ -472,6 +593,42 @@ int run_shard_sweep(const engine::CountedSweep& sweep, const dist::SweepKey& key
     }
     return all_valid ? 0 : 1;
   }
+#if ARL_CLI_HAS_FORK
+  // Write-then-rename, with a SIGINT/SIGTERM handler that unlinks the temp
+  // file: the final name only ever appears via rename of a complete,
+  // flushed report, so an interrupted run leaves *nothing* — never a
+  // truncated file a later `arl merge` would have to diagnose.
+  const std::string tmp_path = out_path + ".tmp." + std::to_string(::getpid());
+  if (tmp_path.size() >= sizeof(g_shard_tmp_path)) {
+    throw support::ContractViolation("--out path is too long");
+  }
+  std::snprintf(g_shard_tmp_path, sizeof(g_shard_tmp_path), "%s", tmp_path.c_str());
+  const ScopedSignalHandlers guard(shard_interrupt);
+  bool all_valid = false;
+  {
+    std::ofstream file(tmp_path);
+    if (!file) {
+      g_shard_tmp_path[0] = '\0';
+      throw support::ContractViolation("cannot open " + tmp_path + " for writing");
+    }
+    all_valid = emit_shard(sweep, key, range, batch_options, file);
+    file.flush();
+    if (!file) {
+      file.close();
+      ::unlink(tmp_path.c_str());
+      g_shard_tmp_path[0] = '\0';
+      // Environment failure (disk full, I/O error), not misuse: exits 1.
+      throw std::runtime_error("writing " + tmp_path + " failed");
+    }
+  }
+  if (std::rename(tmp_path.c_str(), out_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    g_shard_tmp_path[0] = '\0';
+    throw std::runtime_error("renaming " + tmp_path + " to " + out_path + " failed");
+  }
+  g_shard_tmp_path[0] = '\0';
+  return all_valid ? 0 : 1;
+#else
   std::ofstream file(out_path);
   if (!file) {
     throw support::ContractViolation("cannot open " + out_path + " for writing");
@@ -483,6 +640,7 @@ int run_shard_sweep(const engine::CountedSweep& sweep, const dist::SweepKey& key
     throw std::runtime_error("writing " + out_path + " failed");
   }
   return all_valid ? 0 : 1;
+#endif
 }
 
 /// The zero-infrastructure distributed driver: split the sweep into
@@ -535,7 +693,12 @@ int run_workers_sweep(const engine::CountedSweep& sweep, const dist::SweepKey& k
   };
 
   // Fork before any BatchRunner exists: the children must not inherit a
-  // half-alive thread pool, and each builds its own below.
+  // half-alive thread pool, and each builds its own below.  From here to
+  // the last reap, SIGINT/SIGTERM only set a flag: the wait loop converts
+  // it into SIGTERM for every child plus temp-file cleanup, so a Ctrl-C
+  // orphans no worker and leaks no shard file.
+  g_interrupted = 0;
+  const ScopedSignalHandlers guard(flag_interrupt);
   std::cout.flush();
   std::cerr.flush();
   for (std::uint32_t w = 0; w < workers; ++w) {
@@ -551,6 +714,12 @@ int run_workers_sweep(const engine::CountedSweep& sweep, const dist::SweepKey& k
       throw std::runtime_error("fork failed while starting sweep workers");
     }
     if (pid == 0) {
+      // Worker: back to default signal dispositions (a terminal Ctrl-C
+      // delivers SIGINT to the whole foreground process group, and the
+      // default action — die — is exactly right for a child whose partial
+      // shard file the parent removes).
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
       // Worker: run shard w, write its report, and _exit without touching
       // the parent's stdio buffers.
       // Failures are reported on the inherited (unbuffered) stderr before
@@ -583,16 +752,41 @@ int run_workers_sweep(const engine::CountedSweep& sweep, const dist::SweepKey& k
   }
 
   bool worker_failed = false;
+  bool children_signalled = false;
+  // On interrupt, forward SIGTERM to every child once, then keep reaping —
+  // no child may be left running.  Checked both on EINTR and between
+  // waits, because the signal may land while no wait is in flight.
+  const auto forward_interrupt = [&]() {
+    if (g_interrupted != 0 && !children_signalled) {
+      children_signalled = true;
+      for (const pid_t worker : children) {
+        ::kill(worker, SIGTERM);
+      }
+    }
+  };
   for (const pid_t child : children) {
     int status = 0;
     pid_t reaped;
-    while ((reaped = ::waitpid(child, &status, 0)) < 0 && errno == EINTR) {
+    for (;;) {
+      forward_interrupt();
+      reaped = ::waitpid(child, &status, 0);
+      if (reaped >= 0 || errno != EINTR) {
+        break;
+      }
     }
     // A wait that never succeeded leaves the child's fate unknown — treat
     // it as a failure rather than reading a file it may still be writing.
     if (reaped != child || !WIFEXITED(status) || WEXITSTATUS(status) > 1) {
       worker_failed = true;
     }
+  }
+  if (g_interrupted != 0) {
+    // Interrupted after every child was terminated and reaped: remove the
+    // (possibly partial) shard files and exit with the conventional
+    // interrupted status instead of merging a torso.
+    cleanup();
+    std::cerr << "error: sweep interrupted; workers terminated, shard files removed\n";
+    return 130;
   }
   if (worker_failed) {
     cleanup();
@@ -661,19 +855,7 @@ int cmd_sweep(const support::Args& args) {
 
   // The protocol axis: repeatable --protocol flags, validated against the
   // registry; several protocols make the batch a head-to-head cross product.
-  std::vector<core::ProtocolSpec> protocols;
-  for (const std::string& name : args.get_strings("protocol")) {
-    protocols.push_back(core::parse_protocol(name));
-  }
-  if (args.has("classify-only") && !protocols.empty()) {
-    std::cerr << "error: --classify-only conflicts with --protocol; "
-                 "use --protocol=classify instead\n";
-    return 2;
-  }
-  if (protocols.empty()) {
-    protocols.push_back(args.has("classify-only") ? core::ProtocolSpec::classify_only()
-                                                  : core::ProtocolSpec::canonical());
-  }
+  const std::vector<core::ProtocolSpec> protocols = sweep_protocols(args);
 
   // The distributed axis: --shard=i/K emits one shard report, --workers=K
   // forks local workers and merges; they are drivers of the same sweep, so
@@ -781,6 +963,163 @@ int cmd_merge(const support::Args& args) {
   return report.valid_count == report.jobs.size() ? 0 : 1;
 }
 
+/// `arl serve` — run the sweep service until SIGINT/SIGTERM, then drain.
+/// ServeError (bad socket, unsupported platform) reaches main()'s generic
+/// handler and exits 1.
+int cmd_serve(const support::Args& args) {
+  const std::string socket_path = args.get_string("socket", "");
+  if (socket_path.empty()) {
+    throw support::ContractViolation("serve needs --socket=PATH (the unix socket to listen on)");
+  }
+  const std::int64_t threads_flag = args.get_int("threads", 0);
+  if (threads_flag < 0 || threads_flag > 256) {
+    throw support::ContractViolation("--threads must be in [0, 256] (0 = hardware concurrency)");
+  }
+  const std::int64_t queue_flag = args.get_int("queue", 8);
+  if (queue_flag < 1 || queue_flag > 4096) {
+    throw support::ContractViolation("--queue must be in [1, 4096]");
+  }
+
+  serve::ServerOptions options;
+  options.socket_path = socket_path;
+  options.threads = static_cast<unsigned>(threads_flag);
+  // Unlike `sweep`, the cache defaults ON: cross-request reuse is the
+  // service's whole point, so opting *out* is the explicit choice.
+  options.cache_capacity = args.has("cache") ? parse_cache_capacity(args)
+                                             : engine::ScheduleCache::kDefaultCapacity;
+  options.queue_limit = static_cast<std::size_t>(queue_flag);
+
+  serve::SweepServer server(std::move(options));
+#if ARL_CLI_HAS_FORK
+  g_serve_stop_fd = server.stop_fd();
+  const ScopedSignalHandlers guard(serve_interrupt);
+#endif
+  std::cerr << "arl serve: listening on " << socket_path << " (queue " << queue_flag
+            << ", cache " << server.options().cache_capacity << " entries)\n";
+  server.run();
+#if ARL_CLI_HAS_FORK
+  g_serve_stop_fd = -1;
+#endif
+  const serve::ServerCounters counters = server.counters();
+  const engine::ScheduleCacheStats cache = server.cache_stats();
+  std::cerr << "arl serve: drained; " << counters.completed << " completed, " << counters.failed
+            << " failed, " << counters.busy_rejections << " busy, " << counters.protocol_errors
+            << " protocol errors; cache " << cache.hits << " hits, " << cache.misses
+            << " misses, " << cache.entries << " entries\n";
+  return 0;
+}
+
+/// `arl submit` — one sweep against a running service.  The response *is* a
+/// shard report, so --out files feed `arl merge` unchanged; without --out a
+/// full-range submission prints exactly the `arl sweep` tables, and a
+/// --shard submission prints the raw report (like `sweep --shard`).
+int cmd_submit(const support::Args& args) {
+  const std::string socket_path = args.get_string("socket", "");
+  if (socket_path.empty()) {
+    throw support::ContractViolation("submit needs --socket=PATH (a running `arl serve` socket)");
+  }
+  serve::Client client(socket_path);
+
+  if (args.has("ping")) {
+    const serve::Response pong = client.ping();
+    std::cout << "pong: cache " << pong.totals.hits << " hits, " << pong.totals.misses
+              << " misses, " << pong.totals.entries << " entries\n";
+    return 0;
+  }
+
+  serve::SweepRequest request;
+  request.workload = sweep_workload(args);
+  request.protocols = sweep_protocols(args);
+  request.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (args.has("count") && request.workload.bounded()) {
+    std::cerr << "error: --count conflicts with the self-counting workload '"
+              << request.workload.name() << "' (its configuration count is implied)\n";
+    return 2;
+  }
+  if (!request.workload.bounded()) {
+    const std::int64_t count_flag = args.get_int("count", 100);
+    if (count_flag < 1 || count_flag > static_cast<std::int64_t>(serve::kMaxRequestCount)) {
+      throw support::ContractViolation("--count must be in [1, " +
+                                       std::to_string(serve::kMaxRequestCount) + "]");
+    }
+    request.count = static_cast<std::uint64_t>(count_flag);
+  }
+  if (args.has("shard")) {
+    request.shard = dist::parse_shard(args.get_string("shard", ""));
+  }
+  request.engine = parse_engine(args);
+  const std::int64_t threads_flag = args.get_int("threads", 0);
+  if (threads_flag < 0 || threads_flag > static_cast<std::int64_t>(serve::kMaxRequestThreads)) {
+    throw support::ContractViolation("--threads must be in [0, 256] (0 = the server's pool)");
+  }
+  if (threads_flag > 0) {
+    request.threads = static_cast<std::uint64_t>(threads_flag);
+  }
+  if (args.has("cache")) {
+    const std::string value = args.get_string("cache", "");
+    if (value == "off") {
+      request.use_cache = false;
+    } else if (value != "on" && !value.empty()) {
+      throw support::ContractViolation(
+          "--cache must be on or off for submit (capacity is a server-side option)");
+    }
+  }
+
+  const serve::SubmitResult result = client.submit(request);
+  if (result.outcome.kind == serve::Response::Kind::Busy) {
+    std::cerr << "error: server busy (queue limit " << result.outcome.queue_limit
+              << "); try again\n";
+    return 1;
+  }
+  if (result.outcome.kind == serve::Response::Kind::Error) {
+    std::cerr << "error: server: " << result.outcome.message << '\n';
+    return 1;
+  }
+
+  // The per-request / cumulative cache attribution from the done line, on
+  // stderr so --out keeps stdout clean and scripts can key on the prefix.
+  const serve::RequestCacheUse& used = result.outcome.request_cache;
+  const serve::CacheTotals& totals = result.outcome.totals;
+  std::cerr << "serve cache: " << used.hits << " hits, " << used.misses << " misses, "
+            << used.schedule_builds << " schedule builds this request; cumulative "
+            << totals.hits << " hits, " << totals.misses << " misses, " << totals.entries
+            << " entries\n";
+
+  // Parse the report even when only writing it to a file: the exit code
+  // promises every job verified, and the end-line digest check catches a
+  // response corrupted in flight.
+  std::istringstream body(result.report);
+  const dist::ShardReport shard = dist::read_shard_report(body);
+  const bool all_valid = shard.report.valid_count == shard.report.jobs.size();
+
+  const std::string out_path = args.get_string("out", "");
+  if (args.has("out") && out_path.empty()) {
+    std::cerr << "error: --out needs a file path (omit the flag to print tables)\n";
+    return 2;
+  }
+  if (!out_path.empty()) {
+    std::ofstream file(out_path);
+    if (!file) {
+      throw support::ContractViolation("cannot open " + out_path + " for writing");
+    }
+    file << result.report;
+    file.flush();
+    if (!file) {
+      throw std::runtime_error("writing " + out_path + " failed");
+    }
+    return all_valid ? 0 : 1;
+  }
+  if (request.shard) {
+    // A single shard is not the whole sweep; emit the raw report (exactly
+    // what `sweep --shard` prints) for a later merge.
+    std::cout << result.report;
+    return all_valid ? 0 : 1;
+  }
+  const engine::BatchReport report = dist::complete_report(dist::merge_shards({shard}));
+  print_report(report);
+  return report.valid_count == report.jobs.size() ? 0 : 1;
+}
+
 int cmd_trace(const support::Args& args) {
   const config::Configuration c = read_configuration(args, 1);
   const auto schedule = core::make_schedule(c, parse_model(args));
@@ -873,6 +1212,12 @@ int main(int argc, char** argv) {
     }
     if (command == "merge") {
       return cmd_merge(args);
+    }
+    if (command == "serve") {
+      return cmd_serve(args);
+    }
+    if (command == "submit") {
+      return cmd_submit(args);
     }
     if (command == "workloads") {
       return cmd_workloads();
