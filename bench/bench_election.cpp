@@ -60,21 +60,21 @@ void print_e3_table() {
   };
 
   for (const config::Tag m : {2u, 4u, 8u, 16u, 32u}) {
-    add("G_m path", "g" + std::to_string(m), config::family_g(m));
+    add("G_m path", std::string("g") + std::to_string(m), config::family_g(m));
   }
   for (const config::Tag m : {2u, 8u, 32u, 128u}) {
-    add("H_m", "h" + std::to_string(m), config::family_h(m));
+    add("H_m", std::string("h") + std::to_string(m), config::family_h(m));
   }
   for (const graph::NodeId n : {8u, 16u, 32u, 64u}) {
-    add("staggered path", "staggered" + std::to_string(n), config::staggered_path(n));
+    add("staggered path", std::string("staggered") + std::to_string(n), config::staggered_path(n));
   }
   for (const graph::NodeId n : {8u, 16u, 32u}) {
-    add("random gnp(0.3) sigma=3", "gnp" + std::to_string(n),
+    add("random gnp(0.3) sigma=3", std::string("gnp") + std::to_string(n),
         config::random_tags_with_span(graph::gnp_connected(n, 0.3, rng), 3, rng));
   }
   for (const graph::NodeId n : {9u, 16u, 25u}) {
     const auto side = static_cast<graph::NodeId>(n == 9 ? 3 : n == 16 ? 4 : 5);
-    add("grid sigma=2", "grid" + std::to_string(n),
+    add("grid sigma=2", std::string("grid") + std::to_string(n),
         config::random_tags_with_span(graph::grid(side, side), 2, rng));
   }
 

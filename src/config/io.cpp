@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/assert.hpp"
+#include "support/parse.hpp"
 
 namespace arl::config {
 
@@ -57,16 +58,19 @@ Configuration from_text(std::istream& in) {
   ARL_EXPECTS(n >= 1 && n <= 0xFFFFFFFFULL, "node count out of range");
 
   ARL_EXPECTS(next_content_line(in, line), "missing 'tags' line");
-  std::istringstream tags_line(line);
-  tags_line >> keyword;
-  ARL_EXPECTS(keyword == "tags", "malformed 'tags' line");
   std::vector<Tag> tags;
-  tags.reserve(n);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    std::uint64_t tag = 0;
-    tags_line >> tag;
-    ARL_EXPECTS(!tags_line.fail(), "too few tags");
-    tags.push_back(static_cast<Tag>(tag));
+  {
+    support::TokenCursor cursor(line);
+    std::string_view token;
+    ARL_EXPECTS(cursor.next(token) && token == "tags", "malformed 'tags' line");
+    std::vector<Tag> parsed;
+    parsed.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Tag tag = 0;
+      ARL_EXPECTS(cursor.next_number(tag), "too few tags");
+      parsed.push_back(tag);
+    }
+    tags = std::move(parsed);
   }
 
   ARL_EXPECTS(next_content_line(in, line), "missing 'edges' line");
@@ -79,11 +83,10 @@ Configuration from_text(std::istream& in) {
   edges.reserve(m);
   for (std::uint64_t i = 0; i < m; ++i) {
     ARL_EXPECTS(next_content_line(in, line), "too few edge lines");
-    std::istringstream edge_line(line);
+    support::TokenCursor cursor(line);
     std::uint64_t u = 0;
     std::uint64_t v = 0;
-    edge_line >> u >> v;
-    ARL_EXPECTS(!edge_line.fail(), "malformed edge line");
+    ARL_EXPECTS(cursor.next_number(u) && cursor.next_number(v), "malformed edge line");
     ARL_EXPECTS(u < n && v < n, "edge endpoint out of range");
     edges.emplace_back(static_cast<graph::NodeId>(u), static_cast<graph::NodeId>(v));
   }

@@ -69,6 +69,8 @@ struct ClassifierResult {
   /// validating the O(n³Δ) bound of Lemma 3.5.
   std::uint64_t steps = 0;
 
+  friend bool operator==(const ClassifierResult& a, const ClassifierResult& b) = default;
+
   [[nodiscard]] bool feasible() const { return verdict == Verdict::Feasible; }
 
   /// Classes at the end of iteration j (j >= 1); j = 0 gives the initial

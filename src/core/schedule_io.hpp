@@ -1,7 +1,7 @@
 #pragma once
 
 /// \file schedule_io.hpp
-/// Serialization for compiled canonical schedules.
+/// Serialization for compiled canonical schedules and Classifier runs.
 ///
 /// A dedicated leader election algorithm is DATA: the list sequence L_j plus
 /// the leader signature.  In a deployment, a planner with knowledge of the
@@ -17,11 +17,29 @@
 ///     phase <num_classes>               (T times, followed by its entries)
 ///     entry <old_class> <k> <a b c>*    (c is 1 or *)
 ///
-/// Lines starting with '#' and blank lines are ignored.
+/// The companion classification format serializes the full Classifier run
+/// (every iteration's partition, labels and representatives) — what a keyed
+/// artifact store must persist alongside the schedule so a preloaded entry
+/// reproduces a fresh compile bit for bit (iteration and step counts are
+/// part of every job outcome):
+///
+///     arl-classification v1
+///     model <cd|nocd>
+///     verdict <feasible|infeasible>
+///     iterations <k>
+///     leader <class> <node>             (only when feasible)
+///     steps <basic-operation count>
+///     record <num_classes> <n>          (k times, followed by its body)
+///     classes <c_0> ... <c_{n-1}>
+///     label <k> <a b c>*                (n lines, one per node; c is 1 or *)
+///     reps <r_1> ... <r_num_classes>
+///
+/// Lines starting with '#' and blank lines are ignored in both formats.
 
 #include <iosfwd>
 #include <string>
 
+#include "core/classifier.hpp"
 #include "core/schedule.hpp"
 
 namespace arl::core {
@@ -46,5 +64,26 @@ void schedule_to_text(const CanonicalSchedule& schedule, std::ostream& out);
 /// fingerprint and a keyed artifact store can verify a deserialized schedule
 /// against its key (asserted by tests/test_scenarios.cpp).
 [[nodiscard]] std::uint64_t schedule_fingerprint(const CanonicalSchedule& schedule);
+
+/// Writes the classification text representation (format above).
+void classification_to_text(const ClassifierResult& result, std::ostream& out);
+
+/// Renders a classification to a string.
+[[nodiscard]] std::string classification_to_text_string(const ClassifierResult& result);
+
+/// Parses the classification text representation; throws ContractViolation
+/// on malformed input (wrong counts, unsorted labels, inconsistent node
+/// counts across records, ...).  `classification_from_text(
+/// classification_to_text(r)) == r` field for field.
+[[nodiscard]] ClassifierResult classification_from_text(std::istream& in);
+
+/// Parses a classification from a string.
+[[nodiscard]] ClassifierResult classification_from_text_string(const std::string& text);
+
+/// Stable 64-bit content digest of a Classifier run — domain-separated from
+/// both `config::fingerprint` and `schedule_fingerprint`, covering every
+/// field a preloaded artifact must reproduce (verdict, model, every
+/// iteration record, leader, steps).  A text round trip preserves it.
+[[nodiscard]] std::uint64_t classification_fingerprint(const ClassifierResult& result);
 
 }  // namespace arl::core

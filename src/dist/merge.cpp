@@ -142,4 +142,21 @@ engine::BatchReport complete_report(ShardReport merged) {
   return std::move(merged.report);
 }
 
+std::vector<JobRange> missing_ranges(const ShardReport& merged) {
+  // merge_shards leaves `ranges` sorted, disjoint and coalesced; walking
+  // the cursor across them yields the complement directly.
+  std::vector<JobRange> missing;
+  engine::JobId cursor = 0;
+  for (const JobRange& range : merged.ranges) {
+    if (cursor < range.begin) {
+      missing.push_back({cursor, range.begin});
+    }
+    cursor = range.end;
+  }
+  if (cursor < merged.key.total_jobs) {
+    missing.push_back({cursor, merged.key.total_jobs});
+  }
+  return missing;
+}
+
 }  // namespace arl::dist

@@ -48,4 +48,12 @@ class MergeError : public std::runtime_error {
 /// Throws MergeError when jobs are missing.
 [[nodiscard]] engine::BatchReport complete_report(ShardReport merged);
 
+/// The complement of `merged`'s cover in [0, key.total_jobs): the job-id
+/// ranges a partially completed sweep still has to run, sorted and
+/// disjoint (empty when the cover is complete).  This is the resume
+/// primitive: run each missing range with `arl sweep --shard=B-E`, merge
+/// the new shard reports with the surviving ones, and `complete_report`
+/// yields the bit-identical uninterrupted result.
+[[nodiscard]] std::vector<JobRange> missing_ranges(const ShardReport& merged);
+
 }  // namespace arl::dist

@@ -39,6 +39,33 @@ ShardSpec parse_shard(std::string_view text) {
   return shard;
 }
 
+JobRange parse_job_range(std::string_view text) {
+  const auto fail = [&]() -> JobRange {
+    throw support::ContractViolation("job range must be B-E with 0 <= B < E (got '" +
+                                     std::string(text) + "')");
+  };
+  const std::size_t dash = text.find('-');
+  if (dash == std::string_view::npos || dash == 0 || dash + 1 == text.size()) {
+    return fail();
+  }
+  const auto parse_id = [&](std::string_view digits) -> engine::JobId {
+    if (digits.empty() || digits.size() > 18 ||
+        digits.find_first_not_of("0123456789") != std::string_view::npos) {
+      fail();
+    }
+    std::uint64_t value = 0;
+    for (const char c : digits) {
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return static_cast<engine::JobId>(value);
+  };
+  JobRange range{parse_id(text.substr(0, dash)), parse_id(text.substr(dash + 1))};
+  if (range.begin >= range.end) {
+    return fail();
+  }
+  return range;
+}
+
 JobRange shard_range(engine::JobId total_jobs, const ShardSpec& shard) {
   ARL_EXPECTS(shard.count >= 1 && shard.index < shard.count,
               "shard index must be in [0, count)");

@@ -58,6 +58,13 @@ struct JobRange {
   friend bool operator==(const JobRange& a, const JobRange& b) = default;
 };
 
+/// Parses "B-E" as the half-open global job-id range [B, E) (strict:
+/// decimal digits, one dash, B < E).  This is the resume notation: `arl
+/// merge --missing` names a coverage gap this way and `arl sweep
+/// --shard=B-E` re-runs exactly those global ids.  Throws
+/// support::ContractViolation on anything else.
+[[nodiscard]] JobRange parse_job_range(std::string_view text);
+
 /// The contiguous job-id range shard `shard.index` of `shard.count` runs in
 /// a sweep of `total_jobs` jobs (possibly empty when K > N).  Pure function
 /// of its arguments; ranges of the K shards tile [0, total_jobs) exactly.

@@ -20,6 +20,7 @@
 #include "engine/job.hpp"
 #include "engine/schedule_cache.hpp"
 #include "radio/simulator.hpp"
+#include "store/artifact_store.hpp"
 #include "support/thread_pool.hpp"
 
 namespace arl::engine {
@@ -54,6 +55,14 @@ struct BatchOptions {
   /// classify once instead of once per job; outcomes are bit-identical
   /// either way (tests/test_schedule_cache.cpp).
   std::size_t cache_capacity = 0;
+
+  /// Directory of a persistent on-disk artifact store (store/); empty (the
+  /// default) runs without one.  When set, the per-batch cache becomes a
+  /// two-tier store::TieredScheduleCache — memory tier sized by
+  /// `cache_capacity` (or the cache default when 0) — so classifications
+  /// and schedules survive the process and preload the next cold batch.
+  /// Outcomes are bit-identical with the store on, off, or pre-populated.
+  std::string store_directory = {};
 
   /// Simulation path; overrides any per-job simulator engine selection
   /// (jobs carrying a trace sink still fall back to the scalar loop).
@@ -129,6 +138,12 @@ struct BatchReport {
   /// Schedule-cache counters of this batch; nullopt when it ran uncached
   /// (BatchOptions::cache_capacity == 0).
   std::optional<ScheduleCacheStats> cache;
+
+  /// Artifact-store counters of this batch (the disk tier's hits, saves and
+  /// rejected files); nullopt unless BatchOptions::store_directory was set.
+  /// Like `cache`, execution circumstance — never part of the merged wire
+  /// format or of same_results().
+  std::optional<store::ArtifactStoreStats> artifact_store;
 
   /// Jobs per second of wall time.
   [[nodiscard]] double throughput() const;

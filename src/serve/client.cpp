@@ -9,6 +9,7 @@
 #if ARL_SERVE_HAS_UNIX_SOCKETS
 #include <cerrno>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 #endif
@@ -17,7 +18,7 @@ namespace arl::serve {
 
 #if ARL_SERVE_HAS_UNIX_SOCKETS
 
-Client::Client(const std::string& socket_path) {
+Client::Client(const std::string& socket_path, unsigned timeout_seconds) {
   sockaddr_un address{};
   if (socket_path.empty() || socket_path.size() >= sizeof(address.sun_path)) {
     throw ClientError("submit: bad socket path '" + socket_path + "'");
@@ -25,6 +26,15 @@ Client::Client(const std::string& socket_path) {
   fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
     throw ClientError(std::string("submit: socket() failed: ") + std::strerror(errno));
+  }
+  if (timeout_seconds > 0) {
+    // Bound both directions: a wedged server neither reads requests nor
+    // writes responses.  recv()/send() then fail with EAGAIN/EWOULDBLOCK,
+    // which the I/O loops turn into a timeout ClientError.
+    const timeval timeout{static_cast<time_t>(timeout_seconds), 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    timeout_seconds_ = timeout_seconds;
   }
   address.sun_family = AF_UNIX;
   std::memcpy(address.sun_path, socket_path.c_str(), socket_path.size() + 1);
@@ -50,6 +60,10 @@ void Client::send_all(std::string_view bytes) {
       if (errno == EINTR) {
         continue;
       }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw ClientError("submit: server did not accept the request within " +
+                          std::to_string(timeout_seconds_) + "s (wedged server?)");
+      }
       throw ClientError(std::string("submit: send failed: ") + std::strerror(errno));
     }
     bytes.remove_prefix(static_cast<std::size_t>(sent));
@@ -69,6 +83,10 @@ std::string Client::next_line() {
     if (got < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw ClientError("submit: no response from the server within " +
+                          std::to_string(timeout_seconds_) + "s (wedged server?)");
       }
       throw ClientError(std::string("submit: recv failed: ") + std::strerror(errno));
     }
@@ -164,7 +182,7 @@ SubmitResult Client::submit(const SweepRequest& sweep) {
 
 #else  // !ARL_SERVE_HAS_UNIX_SOCKETS
 
-Client::Client(const std::string&) {
+Client::Client(const std::string&, unsigned) {
   throw ClientError("the sweep service requires unix domain sockets, unavailable here");
 }
 Client::~Client() = default;

@@ -44,9 +44,13 @@ struct SubmitResult {
 /// for any number of requests in sequence.
 class Client {
  public:
-  /// Connects to the server's socket.  Throws ClientError on failure (or
-  /// when the platform has no Unix-domain sockets).
-  explicit Client(const std::string& socket_path);
+  /// Connects to the server's socket.  `timeout_seconds` > 0 bounds every
+  /// send and receive (SO_SNDTIMEO / SO_RCVTIMEO), so a wedged server — one
+  /// that accepted the connection but never answers — costs a ClientError
+  /// after that long instead of blocking forever; 0 (the default, matching
+  /// the historic behaviour) waits indefinitely.  Throws ClientError on
+  /// connect failure (or when the platform has no Unix-domain sockets).
+  explicit Client(const std::string& socket_path, unsigned timeout_seconds = 0);
   ~Client();
 
   Client(const Client&) = delete;
@@ -64,6 +68,7 @@ class Client {
   [[nodiscard]] Response next_protocol_line();
 
   int fd_ = -1;
+  unsigned timeout_seconds_ = 0;  ///< 0: wait forever (no SO_RCVTIMEO/SO_SNDTIMEO set)
   support::LineFramer framer_;
 };
 

@@ -16,7 +16,7 @@
 ///   arl-serve 1 ping
 ///   arl-serve 1 sweep workload=<name> protocols=<p1,p2,...> seed=<u64>
 ///       [count=<u64>] [shard=<i/K>] [engine=<scalar|wavefront>]
-///       [threads=<u64>] [cache=off]
+///       [threads=<u64>] [cache=off] [store=off]
 ///
 /// Fields appear in exactly that order, each at most once.  `workload` and
 /// the protocol names must be the *canonical* registry spellings (identity
@@ -25,7 +25,8 @@
 /// rule the shard-report parser enforces).  `count` is required exactly when
 /// the workload does not imply its own job count (`WorkloadSpec::bounded()`);
 /// the optional knobs have canonical-absence defaults (`engine` absent means
-/// auto, `cache=off` is the only spelling that disables the shared cache).
+/// auto, `cache=off` is the only spelling that disables the shared cache,
+/// `store=off` the only one that skips the server's artifact store).
 ///
 /// Responses (server to client):
 ///
@@ -103,6 +104,11 @@ struct SweepRequest {
 
   /// False when the request opts out of the server's shared schedule cache.
   bool use_cache = true;
+
+  /// False when the request opts out of the server's on-disk artifact store
+  /// (it still uses the in-memory tier; `store=off` only skips the disk).
+  /// Meaningful only on servers started with a store directory.
+  bool use_store = true;
 
   friend bool operator==(const SweepRequest& a, const SweepRequest& b) = default;
 };

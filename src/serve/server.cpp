@@ -16,6 +16,7 @@
 #include "dist/report_io.hpp"
 #include "engine/batch_runner.hpp"
 #include "serve/serve_proto.hpp"
+#include "store/tiered_cache.hpp"
 #include "support/line_io.hpp"
 
 #if ARL_SERVE_HAS_UNIX_SOCKETS
@@ -23,6 +24,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -85,7 +87,16 @@ Response error_response(std::string message) {
 struct SweepServer::Impl {
   ServerOptions options;
   engine::BatchRunner runner;
-  std::unique_ptr<engine::ScheduleCache> cache;  // null when cache_capacity == 0
+  // Exactly one of these is set when caching is on: `tiered` (memory LRU
+  // over the artifact store) when a store directory was given, else
+  // `plain_cache`; both null when cache_capacity == 0.
+  std::unique_ptr<engine::ScheduleCache> plain_cache;
+  std::unique_ptr<store::TieredScheduleCache> tiered;
+
+  /// The memory tier, whichever shape the cache has (null when uncached).
+  [[nodiscard]] engine::ScheduleCache* memory_cache() const {
+    return tiered ? &tiered->memory() : plain_cache.get();
+  }
 
   int listen_fd = -1;
   int stop_rd = -1;
@@ -113,9 +124,42 @@ struct SweepServer::Impl {
   std::mutex sessions_mutex;
   std::list<Session> sessions;
 
+  /// Decides whether the already-occupied socket path is a *stale* socket —
+  /// the leftover of a crashed daemon — and unlinks it if so.  Returns true
+  /// exactly when the path was removed and a rebind is worth one retry.
+  /// Probe before unlink: a path that is not a socket is never touched, and
+  /// a socket some process still serves (the probe connect() succeeds)
+  /// belongs to that process.  Only ECONNREFUSED — a socket inode nobody
+  /// listens on — marks the path dead.
+  [[nodiscard]] bool reclaim_stale_socket() const {
+    struct ::stat info {};
+    if (::lstat(options.socket_path.c_str(), &info) != 0 || !S_ISSOCK(info.st_mode)) {
+      return false;
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (probe < 0) {
+      return false;
+    }
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, options.socket_path.c_str(), options.socket_path.size() + 1);
+    const int rc = ::connect(probe, reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+    const bool stale = rc != 0 && errno == ECONNREFUSED;
+    ::close(probe);
+    if (!stale) {
+      return false;
+    }
+    return ::unlink(options.socket_path.c_str()) == 0;
+  }
+
+  [[nodiscard]] static engine::BatchOptions runner_options(const ServerOptions& opts) {
+    engine::BatchOptions batch;
+    batch.threads = opts.threads;
+    return batch;
+  }
+
   explicit Impl(ServerOptions opts)
-      : options(std::move(opts)),
-        runner(engine::BatchOptions{.threads = options.threads}) {
+      : options(std::move(opts)), runner(runner_options(options)) {
     if (options.socket_path.empty()) {
       throw ServeError("serve: socket path must not be empty");
     }
@@ -127,8 +171,14 @@ struct SweepServer::Impl {
       throw ServeError("serve: socket path exceeds the " +
                        std::to_string(sizeof(address.sun_path) - 1) + "-byte sockaddr_un bound");
     }
-    if (options.cache_capacity > 0) {
-      cache = std::make_unique<engine::ScheduleCache>(options.cache_capacity);
+    if (!options.store_directory.empty() && options.cache_capacity == 0) {
+      throw ServeError("serve: the artifact store needs the cache enabled (cache_capacity >= 1)");
+    }
+    if (!options.store_directory.empty()) {
+      tiered = std::make_unique<store::TieredScheduleCache>(options.store_directory,
+                                                            options.cache_capacity);
+    } else if (options.cache_capacity > 0) {
+      plain_cache = std::make_unique<engine::ScheduleCache>(options.cache_capacity);
     }
 
     listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
@@ -137,16 +187,33 @@ struct SweepServer::Impl {
     }
     address.sun_family = AF_UNIX;
     std::memcpy(address.sun_path, options.socket_path.c_str(), options.socket_path.size() + 1);
-    if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
-      const int saved = errno;
+    int rc = ::bind(listen_fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+    int saved = errno;
+    if (rc != 0 && saved == EADDRINUSE && reclaim_stale_socket()) {
+      // A crashed daemon left a dead socket (the probe connect() got
+      // ECONNREFUSED); it has been unlinked — rebind once.
+      rc = ::bind(listen_fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+      saved = errno;
+    }
+    if (rc != 0) {
       ::close(listen_fd);
       listen_fd = -1;
       if (saved == EADDRINUSE) {
         throw ServeError("serve: socket path '" + options.socket_path +
-                         "' already exists (another server, or a stale socket to remove)");
+                         "' is in use (a live server, or a non-socket file this server "
+                         "refuses to remove)");
       }
       throw ServeError("serve: bind('" + options.socket_path +
                        "') failed: " + std::strerror(saved));
+    }
+    // The socket carries submissions from this user only; don't inherit a
+    // permissive umask.  chmod-by-path, not fchmod: POSIX leaves fchmod on
+    // a socket fd unspecified, while the bound path is a normal inode.
+    if (::chmod(options.socket_path.c_str(), S_IRUSR | S_IWUSR) != 0) {
+      const int saved = errno;
+      cleanup_listener();
+      throw ServeError(std::string("serve: chmod(0600) on the socket failed: ") +
+                       std::strerror(saved));
     }
     if (::listen(listen_fd, 64) != 0) {
       const int saved = errno;
@@ -184,10 +251,11 @@ struct SweepServer::Impl {
   }
 
   CacheTotals totals_snapshot() const {
-    if (!cache) {
+    const engine::ScheduleCache* memory = memory_cache();
+    if (memory == nullptr) {
       return {};
     }
-    const engine::ScheduleCacheStats stats = cache->stats();
+    const engine::ScheduleCacheStats stats = memory->stats();
     return {stats.hits, stats.misses, stats.entries};
   }
 
@@ -216,21 +284,29 @@ struct SweepServer::Impl {
       if (request.threads) {
         overrides.max_threads = static_cast<std::size_t>(*request.threads);
       }
-      const bool shared = cache != nullptr && request.use_cache;
+      engine::ScheduleCache* const memory = memory_cache();
+      const bool shared = memory != nullptr && request.use_cache;
       if (shared) {
-        overrides.shared_cache = cache.get();
+        // store=off keeps the warm memory tier but skips the disk: the
+        // request then sees exactly a memory-only server.
+        overrides.shared_cache =
+            (tiered && request.use_store)
+                ? static_cast<core::ScheduleCacheHandle*>(tiered.get())
+                : static_cast<core::ScheduleCacheHandle*>(memory);
       }
 
       // The dispatcher serializes requests, so nothing else touches the
-      // shared cache between these snapshots: the delta is exact.
+      // shared cache between these snapshots: the delta is exact.  The
+      // memory tier fronts both shapes, so its counters attribute tiered
+      // requests too (a disk hit promotes into the memory tier).
       engine::ScheduleCacheStats before;
       if (shared) {
-        before = cache->stats();
+        before = memory->stats();
       }
       engine::BatchReport report = runner.run_range(range.begin, range.end, sweep.source,
                                                     overrides);
       if (shared) {
-        const engine::ScheduleCacheStats delta = cache->stats().since(before);
+        const engine::ScheduleCacheStats delta = memory->stats().since(before);
         report.cache = delta;
         result.request_cache = {delta.hits, delta.misses, delta.schedule_builds};
       }
@@ -530,10 +606,18 @@ ServerCounters SweepServer::counters() const {
 }
 
 engine::ScheduleCacheStats SweepServer::cache_stats() const {
-  if (!impl_->cache) {
+  const engine::ScheduleCache* memory = impl_->memory_cache();
+  if (memory == nullptr) {
     return {};
   }
-  return impl_->cache->stats();
+  return memory->stats();
+}
+
+store::ArtifactStoreStats SweepServer::store_stats() const {
+  if (!impl_->tiered) {
+    return {};
+  }
+  return impl_->tiered->artifacts().stats();
 }
 
 const ServerOptions& SweepServer::options() const { return impl_->options; }
@@ -555,6 +639,7 @@ void SweepServer::request_stop() { unsupported(); }
 int SweepServer::stop_fd() const { unsupported(); }
 ServerCounters SweepServer::counters() const { unsupported(); }
 engine::ScheduleCacheStats SweepServer::cache_stats() const { unsupported(); }
+store::ArtifactStoreStats SweepServer::store_stats() const { unsupported(); }
 const ServerOptions& SweepServer::options() const { unsupported(); }
 
 #endif  // ARL_SERVE_HAS_UNIX_SOCKETS

@@ -37,6 +37,7 @@
 #include <string>
 
 #include "engine/schedule_cache.hpp"
+#include "store/artifact_store.hpp"
 
 /// Unix-domain sockets gate the whole subsystem, like fork gates the CLI's
 /// --workers mode; on other platforms construction throws.
@@ -57,8 +58,11 @@ class ServeError : public std::runtime_error {
 
 /// Configuration of a SweepServer.
 struct ServerOptions {
-  /// Filesystem path of the Unix-domain socket.  Must not already exist:
-  /// the server refuses to steal a path (remove a stale socket explicitly).
+  /// Filesystem path of the Unix-domain socket.  A *live* socket (one a
+  /// connect() reaches) is refused; a stale one — left behind by a crashed
+  /// daemon, detectable because connecting yields ECONNREFUSED — is
+  /// unlinked and the path rebound.  A path occupied by a non-socket is
+  /// always refused, and never unlinked.
   std::string socket_path;
 
   /// BatchRunner worker threads; 0 means hardware concurrency.
@@ -67,6 +71,13 @@ struct ServerOptions {
   /// Capacity of the process-wide schedule cache shared across requests;
   /// 0 disables caching entirely (requests run uncached).
   std::size_t cache_capacity = engine::ScheduleCache::kDefaultCapacity;
+
+  /// Directory of an on-disk artifact store behind the shared cache (see
+  /// store/tiered_cache.hpp); empty runs memory-only.  With a store, the
+  /// daemon's warm cache survives restarts: compiles persist as they
+  /// happen, and a fresh process preloads them on first touch.  Requires
+  /// cache_capacity > 0.
+  std::string store_directory = {};
 
   /// Sweep jobs allowed to *wait* (beyond the one executing); further
   /// submissions are answered with `busy`.  Must be >= 1.
@@ -124,9 +135,13 @@ class SweepServer {
   /// Snapshot of the counters.
   [[nodiscard]] ServerCounters counters() const;
 
-  /// Cumulative counters of the shared schedule cache (all zero when
-  /// caching is disabled).
+  /// Cumulative counters of the shared schedule cache's memory tier (all
+  /// zero when caching is disabled).
   [[nodiscard]] engine::ScheduleCacheStats cache_stats() const;
+
+  /// Cumulative counters of the artifact store tier (all zero when the
+  /// server runs without a store directory).
+  [[nodiscard]] store::ArtifactStoreStats store_stats() const;
 
   [[nodiscard]] const ServerOptions& options() const;
 

@@ -1,0 +1,375 @@
+#include "store/artifact_store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "config/fingerprint.hpp"
+#include "config/io.hpp"
+#include "core/schedule_io.hpp"
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define ARL_STORE_HAS_POSIX_IO 1
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define ARL_STORE_HAS_POSIX_IO 0
+#include <cstdio>
+#include <filesystem>
+#endif
+
+namespace arl::store {
+
+namespace {
+
+/// Store-private key domain, distinct from the config/schedule/classification
+/// fingerprint seeds, so entry names never alias any of the content digests
+/// the entry embeds.
+constexpr std::uint64_t kEntryKeySeed = 0x5704EULL;
+
+/// Seed of the trailing `end` digest over the entry body.
+constexpr std::uint64_t kBodyDigestSeed = 0x5704EB0D7ULL;
+
+std::uint64_t entry_key(const config::Configuration& configuration, radio::ChannelModel model,
+                        bool fast_classifier) {
+  return support::Hash64(kEntryKeySeed)
+      .absorb(config::fingerprint(configuration))
+      .absorb(static_cast<std::uint64_t>(model))
+      .absorb(fast_classifier ? 1 : 0)
+      .digest();
+}
+
+std::string hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xF];
+    value >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_hex64(const std::string& token) {
+  ARL_EXPECTS(
+      token.size() == 16 && token.find_first_not_of("0123456789abcdef") == std::string::npos,
+      "artifact field must be 16 lowercase hex digits");
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    value = (value << 4) | static_cast<std::uint64_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+  }
+  return value;
+}
+
+/// Composes the full entry file contents (including the `end` line).
+std::string compose_entry(std::uint64_t key, const config::Configuration& configuration,
+                          radio::ChannelModel model, bool fast_classifier,
+                          const core::CompiledConfiguration& compiled) {
+  std::ostringstream body;
+  body << "arl-artifact 1\n";
+  body << "key " << hex64(key) << '\n';
+  body << "model " << (model == radio::ChannelModel::CollisionDetection ? "cd" : "nocd") << '\n';
+  body << "fast " << (fast_classifier ? 1 : 0) << '\n';
+  body << "config-fingerprint " << hex64(config::fingerprint(configuration)) << '\n';
+  body << "classification-fingerprint "
+       << hex64(core::classification_fingerprint(compiled.classification)) << '\n';
+  if (compiled.schedule != nullptr) {
+    body << "schedule-fingerprint " << hex64(core::schedule_fingerprint(*compiled.schedule))
+         << '\n';
+  } else {
+    body << "schedule-fingerprint -\n";
+  }
+  config::to_text(configuration, body);
+  core::classification_to_text(compiled.classification, body);
+  if (compiled.schedule != nullptr) {
+    core::schedule_to_text(*compiled.schedule, body);
+  }
+  std::string text = body.str();
+  text += "end " + hex64(support::hash_text_bulk(text, kBodyDigestSeed)) + '\n';
+  return text;
+}
+
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+/// Parses and fully verifies an entry file's contents against the queried
+/// key.  Throws (support::ContractViolation or std::exception) on any
+/// corruption or mismatch; the caller turns that into a rejected miss.
+core::CompiledConfiguration parse_entry(const std::string& text, std::uint64_t key,
+                                        const config::Configuration& configuration,
+                                        radio::ChannelModel model, bool fast_classifier) {
+  // The `end` line is the last one; everything before it is covered by the
+  // digest.  Splitting on the raw bytes (not content lines) means a single
+  // flipped bit anywhere — even in a comment — rejects the file.
+  ARL_EXPECTS(!text.empty() && text.back() == '\n', "artifact must end in a newline");
+  const auto last_line_start = text.rfind('\n', text.size() - 2);
+  ARL_EXPECTS(last_line_start != std::string::npos, "artifact has no body");
+  const std::string end_line = text.substr(last_line_start + 1, text.size() - last_line_start - 2);
+  const std::string body = text.substr(0, last_line_start + 1);
+  {
+    std::istringstream parse(end_line);
+    std::string keyword;
+    std::string digest;
+    parse >> keyword >> digest;
+    ARL_EXPECTS(!parse.fail() && keyword == "end", "artifact missing 'end' digest line");
+    ARL_EXPECTS(parse_hex64(digest) == support::hash_text_bulk(body, kBodyDigestSeed),
+                "artifact body digest mismatch");
+  }
+
+  std::istringstream in(body);
+  std::string line;
+  std::string keyword;
+  std::string value;
+  const auto field = [&](const char* name) {
+    ARL_EXPECTS(next_content_line(in, line), "artifact truncated");
+    std::istringstream parse(line);
+    parse >> keyword >> value;
+    ARL_EXPECTS(!parse.fail() && keyword == name, "malformed artifact header field");
+  };
+
+  field("arl-artifact");
+  ARL_EXPECTS(value == "1", "unknown artifact format version");
+  field("key");
+  ARL_EXPECTS(parse_hex64(value) == key, "artifact key mismatch");
+  field("model");
+  ARL_EXPECTS(value == (model == radio::ChannelModel::CollisionDetection ? "cd" : "nocd"),
+              "artifact channel model mismatch");
+  field("fast");
+  ARL_EXPECTS(value == (fast_classifier ? "1" : "0"), "artifact classifier choice mismatch");
+  field("config-fingerprint");
+  ARL_EXPECTS(parse_hex64(value) == config::fingerprint(configuration),
+              "artifact configuration fingerprint mismatch");
+  field("classification-fingerprint");
+  const std::uint64_t classification_digest = parse_hex64(value);
+  field("schedule-fingerprint");
+  const bool has_schedule = value != "-";
+  const std::uint64_t schedule_digest = has_schedule ? parse_hex64(value) : 0;
+
+  // The embedded sections.  config::from_text is self-terminating, so the
+  // sections parse back to back from the same stream.
+  const config::Configuration stored = config::from_text(in);
+  ARL_EXPECTS(stored == configuration,
+              "artifact stores a different configuration (key collision)");
+
+  core::CompiledConfiguration compiled;
+  compiled.classification = core::classification_from_text(in);
+  ARL_EXPECTS(core::classification_fingerprint(compiled.classification) == classification_digest,
+              "artifact classification fingerprint mismatch");
+  ARL_EXPECTS(compiled.classification.model == model, "artifact classification model mismatch");
+  if (has_schedule) {
+    auto schedule = std::make_shared<core::CanonicalSchedule>(core::schedule_from_text(in));
+    ARL_EXPECTS(core::schedule_fingerprint(*schedule) == schedule_digest,
+                "artifact schedule fingerprint mismatch");
+    compiled.schedule = std::move(schedule);
+  }
+  return compiled;
+}
+
+bool file_exists(const std::string& path) {
+#if ARL_STORE_HAS_POSIX_IO
+  struct ::stat info {};
+  return ::stat(path.c_str(), &info) == 0;
+#else
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+#endif
+}
+
+/// mkdir -p.  Returns false on failure; true when the directory exists.
+bool make_directories(const std::string& path) {
+#if ARL_STORE_HAS_POSIX_IO
+  std::string prefix;
+  std::size_t start = 0;
+  while (start <= path.size()) {
+    const std::size_t slash = path.find('/', start);
+    prefix = slash == std::string::npos ? path : path.substr(0, slash);
+    start = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (prefix.empty()) {
+      continue;
+    }
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return false;
+    }
+  }
+  struct ::stat info {};
+  return ::stat(path.c_str(), &info) == 0 && S_ISDIR(info.st_mode);
+#else
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  return std::filesystem::is_directory(path, ec);
+#endif
+}
+
+/// Writes `text` to `final_path` via a private tmp sibling: write, fsync,
+/// rename, fsync the directory.  Returns false on any failure (the tmp file
+/// is unlinked best-effort; the final path is never left partial).
+bool write_entry_atomically(const std::string& directory, const std::string& final_path,
+                            const std::string& tmp_path, const std::string& text) {
+#if ARL_STORE_HAS_POSIX_IO
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  std::size_t written = 0;
+  bool ok = true;
+  while (written < text.size()) {
+    const ::ssize_t n = ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ok = false;
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  ok = ok && ::fsync(fd) == 0;
+  ok = ::close(fd) == 0 && ok;
+  ok = ok && ::rename(tmp_path.c_str(), final_path.c_str()) == 0;
+  if (!ok) {
+    ::unlink(tmp_path.c_str());
+    return false;
+  }
+  // Make the rename itself durable.
+  const int dir_fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    (void)::close(dir_fd);
+  }
+  return true;
+#else
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out << text;
+    if (!out.good()) {
+      std::remove(tmp_path.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  (void)directory;
+  return true;
+#endif
+}
+
+}  // namespace
+
+ArtifactStoreStats ArtifactStoreStats::since(const ArtifactStoreStats& earlier) const {
+  ArtifactStoreStats delta;
+  delta.hits = hits - earlier.hits;
+  delta.misses = misses - earlier.misses;
+  delta.rejected = rejected - earlier.rejected;
+  delta.saves = saves - earlier.saves;
+  delta.skipped = skipped - earlier.skipped;
+  delta.errors = errors - earlier.errors;
+  return delta;
+}
+
+ArtifactStore::ArtifactStore(std::string directory) : directory_(std::move(directory)) {
+  ARL_EXPECTS(!directory_.empty(), "artifact store needs a directory path");
+  if (!make_directories(directory_)) {
+    throw std::runtime_error("artifact store: cannot create directory '" + directory_ + "'");
+  }
+}
+
+std::string ArtifactStore::entry_path(const config::Configuration& configuration,
+                                      radio::ChannelModel model, bool fast_classifier) const {
+  return directory_ + '/' + hex64(entry_key(configuration, model, fast_classifier)) + ".arl";
+}
+
+std::shared_ptr<const core::CompiledConfiguration> ArtifactStore::load(
+    const config::Configuration& configuration, radio::ChannelModel model, bool fast_classifier) {
+  const std::uint64_t key = entry_key(configuration, model, fast_classifier);
+  const std::string path = directory_ + '/' + hex64(key) + ".arl";
+
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      return nullptr;
+    }
+    std::ostringstream sink;
+    sink << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.errors;
+      ++stats_.misses;
+      return nullptr;
+    }
+    text = sink.str();
+  }
+
+  try {
+    auto compiled = std::make_shared<core::CompiledConfiguration>(
+        parse_entry(text, key, configuration, model, fast_classifier));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    return compiled;
+  } catch (const std::exception&) {
+    // Corrupt, truncated, foreign-format or colliding entry: a miss, never
+    // a wrong artifact.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rejected;
+    ++stats_.misses;
+    return nullptr;
+  }
+}
+
+void ArtifactStore::save(const config::Configuration& configuration, radio::ChannelModel model,
+                         bool fast_classifier, const core::CompiledConfiguration& compiled) {
+  const std::uint64_t key = entry_key(configuration, model, fast_classifier);
+  const std::string path = directory_ + '/' + hex64(key) + ".arl";
+
+  // An entry on disk is at least classification-complete; only a schedule
+  // upgrade justifies rewriting it (and a classification-only save must
+  // never downgrade a schedule-bearing entry).
+  if (compiled.schedule == nullptr && file_exists(path)) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.skipped;
+    return;
+  }
+
+  std::uint64_t tmp_id = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    tmp_id = tmp_counter_++;
+  }
+#if ARL_STORE_HAS_POSIX_IO
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(::getpid()) + "." + std::to_string(tmp_id);
+#else
+  const std::string tmp_path = path + ".tmp." + std::to_string(tmp_id);
+#endif
+
+  const std::string text = compose_entry(key, configuration, model, fast_classifier, compiled);
+  const bool ok = write_entry_atomically(directory_, path, tmp_path, text);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ok) {
+    ++stats_.saves;
+  } else {
+    ++stats_.errors;
+  }
+}
+
+ArtifactStoreStats ArtifactStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace arl::store

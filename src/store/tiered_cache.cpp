@@ -1,0 +1,32 @@
+#include "store/tiered_cache.hpp"
+
+namespace arl::store {
+
+TieredScheduleCache::TieredScheduleCache(std::string directory, std::size_t memory_capacity)
+    : memory_(memory_capacity), artifacts_(std::move(directory)) {}
+
+std::shared_ptr<const core::CompiledConfiguration> TieredScheduleCache::lookup(
+    const config::Configuration& configuration, radio::ChannelModel model, bool fast_classifier) {
+  if (auto hit = memory_.lookup(configuration, model, fast_classifier)) {
+    return hit;
+  }
+  if (auto loaded = artifacts_.load(configuration, model, fast_classifier)) {
+    // Promote the disk hit so repeat lookups stay in memory.  store() takes
+    // the artifact by value; the copy is cheap — the schedule rides along as
+    // a shared_ptr and only the classification records are duplicated.
+    return memory_.store(configuration, model, fast_classifier, *loaded);
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const core::CompiledConfiguration> TieredScheduleCache::store(
+    const config::Configuration& configuration, radio::ChannelModel model, bool fast_classifier,
+    core::CompiledConfiguration compiled) {
+  // Write-through: memory first (it may upgrade/merge with a resident
+  // entry), then persist what the memory tier actually settled on.
+  auto stored = memory_.store(configuration, model, fast_classifier, std::move(compiled));
+  artifacts_.save(configuration, model, fast_classifier, *stored);
+  return stored;
+}
+
+}  // namespace arl::store

@@ -64,4 +64,31 @@ class Hash64 {
   return hash.digest();
 }
 
+/// Bulk digest of a byte string: length first, then eight bytes per
+/// absorbed word (little-endian packing, zero-padded tail; the absorbed
+/// length disambiguates the padding).  ~8x fewer avalanche rounds than
+/// hash_text on long texts — used for the artifact store's body digest,
+/// whose entries run to tens of kilobytes.  NOT interchangeable with
+/// hash_text: the two digest families disagree on every input by design.
+[[nodiscard]] constexpr std::uint64_t hash_text_bulk(std::string_view text, std::uint64_t seed) {
+  Hash64 hash(seed);
+  hash.absorb(text.size());
+  std::size_t i = 0;
+  for (; i + 8 <= text.size(); i += 8) {
+    std::uint64_t word = 0;
+    for (int b = 0; b < 8; ++b) {
+      word |= static_cast<std::uint64_t>(static_cast<unsigned char>(text[i + b])) << (8 * b);
+    }
+    hash.absorb(word);
+  }
+  if (i < text.size()) {
+    std::uint64_t word = 0;
+    for (int b = 0; i < text.size(); ++i, ++b) {
+      word |= static_cast<std::uint64_t>(static_cast<unsigned char>(text[i])) << (8 * b);
+    }
+    hash.absorb(word);
+  }
+  return hash.digest();
+}
+
 }  // namespace arl::support

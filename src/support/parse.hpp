@@ -7,11 +7,22 @@
 /// shard-report wire format (dist/report_io.cpp) and the sweep-service
 /// request protocol (serve/serve_proto.cpp).  One predicate and one integer
 /// parser, so the parsers can never drift apart on what a number looks like.
+///
+/// `TokenCursor` serves the artifact text formats (config::to_text,
+/// classification_to_text, schedule_to_text), whose hot lines carry
+/// thousands of numeric tokens — an adjacency list, a per-node class
+/// vector, a label history per node.  One istringstream extraction per
+/// token costs a locale-aware stream setup per line and a virtual sentry
+/// per number; that made *parsing* a stored artifact about as expensive as
+/// re-deriving it.  The cursor scans a line in place with std::from_chars:
+/// no allocation, no locale, no stream state.
 
+#include <charconv>
 #include <cstdint>
 #include <limits>
 #include <optional>
 #include <string_view>
+#include <system_error>
 
 namespace arl::support {
 
@@ -74,5 +85,48 @@ namespace arl::support {
   }
   return value;
 }
+
+/// Splits one line into whitespace-separated tokens, in place.  The cursor
+/// only borrows the text — callers keep the backing string alive for as
+/// long as returned tokens are used.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::string_view text)
+      : pos_(text.data()), end_(text.data() + text.size()) {}
+
+  /// Advances to the next token; false at end of line.
+  bool next(std::string_view& token) {
+    while (pos_ != end_ && is_space(*pos_)) {
+      ++pos_;
+    }
+    if (pos_ == end_) {
+      return false;
+    }
+    const char* start = pos_;
+    while (pos_ != end_ && !is_space(*pos_)) {
+      ++pos_;
+    }
+    token = std::string_view(start, static_cast<std::size_t>(pos_ - start));
+    return true;
+  }
+
+  /// Parses the next token as an integer of type T; false when the line is
+  /// exhausted or the token has any non-numeric byte (no partial parses).
+  template <typename T>
+  bool next_number(T& value) {
+    std::string_view token;
+    if (!next(token)) {
+      return false;
+    }
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+    return ec == std::errc{} && ptr == token.data() + token.size();
+  }
+
+ private:
+  static bool is_space(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+  const char* pos_;
+  const char* end_;
+};
 
 }  // namespace arl::support

@@ -4,6 +4,10 @@
 set -u
 
 cli="$1"
+case "$cli" in
+  /*) ;;
+  *) cli="$PWD/$cli" ;;  # the resume check re-runs emitted specs from a temp cwd
+esac
 failures=0
 
 fail() {
@@ -329,6 +333,107 @@ head -5 "$tmpdir/s0.txt" > "$tmpdir/truncated.txt"
   fail "other-seed shard should run and exit 0"
 "$cli" merge "$tmpdir/s0.txt" "$tmpdir/other-seed.txt" >/dev/null 2>&1
 [ $? -eq 2 ] || fail "merge of shards from different seeds should exit 2"
+
+# ----------------------------------------------------------- artifact store
+
+# Bad --store values exit 2: an empty path, the server-side "off" spelling,
+# and the contradictory store-without-cache combination.
+"$cli" sweep --store= --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "empty --store= should exit 2"
+"$cli" sweep --store=off --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--store=off should exit 2 for sweep (it takes a directory)"
+"$cli" sweep --store="$tmpdir/store" --cache=off --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--store with --cache=off should exit 2"
+
+# A store-backed sweep prints the artifact store stats line, persists
+# entries, and a second (cold-process) run preloads them: zero saves, and
+# tables byte-identical to the storeless run.  (Cache/store stats lines are
+# execution circumstances, filtered like the timing rows.)
+store_filter() {
+  grep -vE "wall time|per second|worker threads|schedule cache:|artifact store:" "$1" |
+    grep -v '^$' | sed -E 's/ +/ /g; s/-+/-/g'
+}
+store_flags="--count=6 --n=8 --sigma=2 --seed=11 --protocol=canonical --protocol=classify"
+"$cli" sweep $store_flags > "$tmpdir/nostore.txt" 2>&1 ||
+  fail "storeless reference sweep should exit 0"
+out=$("$cli" sweep $store_flags --store="$tmpdir/store" 2>&1)
+[ $? -eq 0 ] || fail "store-backed sweep should exit 0"
+case "$out" in
+  *"artifact store:"*) ;;
+  *) fail "--store sweep should print the artifact store stats line: $out" ;;
+esac
+ls "$tmpdir/store"/*.arl >/dev/null 2>&1 || fail "--store should leave entry files behind"
+if ls "$tmpdir/store"/*.tmp* >/dev/null 2>&1; then
+  fail "--store must not leave tmp residue after a completed sweep"
+fi
+out=$("$cli" sweep $store_flags --store="$tmpdir/store" 2>&1)
+[ $? -eq 0 ] || fail "warm store-backed sweep should exit 0"
+case "$out" in
+  *"artifact store:"*" 0 saves"*) ;;
+  *) fail "a warm store-backed sweep should save nothing: $out" ;;
+esac
+echo "$out" > "$tmpdir/warmstore.txt"
+if ! diff <(store_filter "$tmpdir/warmstore.txt") <(store_filter "$tmpdir/nostore.txt") >/dev/null
+then
+  fail "store-backed sweep tables should be byte-identical to the storeless run"
+fi
+
+# A corrupted store degrades to misses, never to wrong results.
+for entry in "$tmpdir/store"/*.arl; do
+  printf 'arl-art' > "$entry"
+done
+out=$("$cli" sweep $store_flags --store="$tmpdir/store" 2>&1)
+[ $? -eq 0 ] || fail "sweep over a corrupted store should still exit 0"
+echo "$out" > "$tmpdir/corruptstore.txt"
+if ! diff <(store_filter "$tmpdir/corruptstore.txt") <(store_filter "$tmpdir/nostore.txt") \
+    >/dev/null; then
+  fail "sweep over a corrupted store should still print the storeless tables"
+fi
+
+# -------------------------------------------------------- resumable sweeps
+
+# Malformed or out-of-range --shard=B-E values exit 2.
+for value in 5-3 3-3 1-2-3 a-b 1- -2; do
+  "$cli" sweep --shard=$value --count=6 >/dev/null 2>&1
+  [ $? -eq 2 ] || fail "--shard=$value should exit 2"
+done
+"$cli" sweep $sweep_flags --shard=0-999 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "a --shard range beyond the sweep's jobs should exit 2"
+
+# An explicit job range emits a shard report mergeable with its complement,
+# reproducing the unsharded tables exactly (sweep_flags has 24 jobs).
+"$cli" sweep $sweep_flags --shard=0-10 --out="$tmpdir/r0.txt" >/dev/null 2>&1 ||
+  fail "--shard=0-10 should run and exit 0"
+"$cli" sweep $sweep_flags --shard=10-24 --out="$tmpdir/r1.txt" >/dev/null 2>&1 ||
+  fail "--shard=10-24 should run and exit 0"
+"$cli" merge "$tmpdir/r0.txt" "$tmpdir/r1.txt" > "$tmpdir/rmerged.txt" 2>&1 ||
+  fail "merge of the two job ranges should exit 0"
+if ! diff <(filter "$tmpdir/rmerged.txt") <(filter "$tmpdir/single.txt") >/dev/null; then
+  fail "merged job-range shards should print exactly the unsharded tables"
+fi
+
+# merge --missing: a complete cover reports completeness (exit 0, nothing
+# on stdout); a partial one emits one exact re-run spec per gap.
+out=$("$cli" merge --missing "$tmpdir/r0.txt" "$tmpdir/r1.txt" 2>/dev/null)
+[ $? -eq 0 ] || fail "merge --missing over a complete cover should exit 0"
+[ -z "$out" ] || fail "a complete cover should emit no re-run specs: $out"
+out=$("$cli" merge --missing "$tmpdir/r0.txt" 2>/dev/null)
+[ $? -eq 0 ] || fail "merge --missing over a partial cover should exit 0"
+case "$out" in
+  "arl sweep "*"--shard=10-24"*"--out=resume-10-24.txt"*) ;;
+  *) fail "merge --missing should emit the exact gap spec: $out" ;;
+esac
+
+# The emitted spec re-runs the gap, and survivors + resumed shard merge to
+# the exact uninterrupted tables — the SIGKILL recovery path end to end.
+spec="${out#arl }"
+(cd "$tmpdir" && eval "'$cli' $spec" >/dev/null 2>&1) ||
+  fail "the emitted resume spec should run and exit 0"
+"$cli" merge "$tmpdir/r0.txt" "$tmpdir/resume-10-24.txt" > "$tmpdir/resumed.txt" 2>&1 ||
+  fail "merge of survivor + resumed shard should exit 0"
+if ! diff <(filter "$tmpdir/resumed.txt") <(filter "$tmpdir/single.txt") >/dev/null; then
+  fail "resumed merge should print exactly the uninterrupted sweep tables"
+fi
 
 if [ "$failures" -gt 0 ]; then
   exit 1

@@ -138,6 +138,92 @@ grep -q "drained" "$tmpdir/serve.log" ||
 "$cli" submit --socket="$socket" --ping >/dev/null 2>&1
 [ $? -eq 1 ] || fail "submit after the drain should exit 1"
 
+# --------------------------------------------- hardening + artifact store
+
+# Submit-side flag validation: a timeout outside [0, 86400] and a directory
+# --store (a server-side knob) are usage errors.
+for value in bogus -1 86401; do
+  "$cli" submit --socket="$socket" --timeout=$value --ping >/dev/null 2>&1
+  [ $? -eq 2 ] || fail "submit --timeout=$value should exit 2"
+done
+"$cli" submit --socket="$socket" --store="$tmpdir/dir" --ping >/dev/null 2>&1
+[ $? -eq 2 ] || fail "submit --store=<DIR> (a server-side knob) should exit 2"
+
+# A store without a cache is contradictory (the store is the cache's disk
+# tier) — refused at flag parse time.
+"$cli" serve --socket="$socket" --store="$tmpdir/store" --cache=off >/dev/null 2>&1
+[ $? -eq 2 ] || fail "serve --store with --cache=off should exit 2"
+
+# A non-socket file at the path is refused and never unlinked.
+echo "precious" > "$socket"
+"$cli" serve --socket="$socket" >/dev/null 2>&1
+[ $? -eq 1 ] || fail "serve on a non-socket path should exit 1"
+[ "$(cat "$socket" 2>/dev/null)" = "precious" ] ||
+  fail "the refused daemon must not unlink a non-socket file"
+rm -f "$socket"
+
+# A store-backed daemon: the socket is owner-only, submissions persist
+# artifacts, and — after a SIGKILL that leaves a stale socket behind — a
+# fresh daemon reclaims the path and preloads the store (zero compiles).
+"$cli" serve --socket="$socket" --store="$tmpdir/store" 2>"$tmpdir/serve2.log" &
+server_pid=$!
+disown "$server_pid"  # keep bash from announcing the deliberate SIGKILL below
+for _ in $(seq 1 100); do
+  [ -S "$socket" ] && break
+  sleep 0.05
+done
+[ -S "$socket" ] || fail "store-backed server did not create its socket"
+mode=$(stat -c %a "$socket" 2>/dev/null || stat -f %Lp "$socket" 2>/dev/null)
+[ "$mode" = "600" ] || fail "the socket should be chmod 0600, got $mode"
+grep -q "store $tmpdir/store" "$tmpdir/serve2.log" ||
+  fail "the startup line should name the store: $(cat "$tmpdir/serve2.log")"
+
+"$cli" submit --socket="$socket" $sweep_flags >/dev/null 2>&1 ||
+  fail "submit to the store-backed server should exit 0"
+ls "$tmpdir/store"/*.arl >/dev/null 2>&1 ||
+  fail "the served sweep should persist artifact entries"
+
+# SIGKILL: the crash that leaves a stale socket file on disk.
+kill -KILL "$server_pid"
+while kill -0 "$server_pid" 2>/dev/null; do sleep 0.05; done
+server_pid=""
+[ -S "$socket" ] || fail "SIGKILL should leave the stale socket behind (test premise)"
+
+"$cli" serve --socket="$socket" --store="$tmpdir/store" 2>"$tmpdir/serve3.log" &
+server_pid=$!
+started=0
+for _ in $(seq 1 100); do
+  if "$cli" submit --socket="$socket" --ping >/dev/null 2>&1; then
+    started=1
+    break
+  fi
+  sleep 0.05
+done
+[ "$started" -eq 1 ] || fail "a fresh daemon should reclaim the stale socket and serve"
+
+# The same submission against the restarted daemon: identical tables, and
+# the drain summary shows disk loads with zero saves (nothing recompiled).
+"$cli" submit --socket="$socket" $sweep_flags >"$tmpdir/served-warm.txt" \
+    2>"$tmpdir/warm2.log" ||
+  fail "submit to the restarted server should exit 0"
+if ! diff <(filter "$tmpdir/served-warm.txt") <(filter "$tmpdir/single.txt") >/dev/null; then
+  fail "the store-preloaded submit should print exactly the single-process tables"
+fi
+kill -TERM "$server_pid"
+wait "$server_pid"
+status=$?
+server_pid=""
+[ "$status" -eq 0 ] || fail "the restarted daemon's SIGTERM drain should exit 0, got $status"
+store_line=$(sed -n 's/^arl serve: store \([0-9]*\) loads, .* \([0-9]*\) saves.*/\1 \2/p' \
+  "$tmpdir/serve3.log")
+set -- $store_line
+if [ $# -ne 2 ]; then
+  fail "the drain should log store counters: $(cat "$tmpdir/serve3.log")"
+else
+  [ "$1" -gt 0 ] || fail "the restarted daemon should load from the store (got $1 loads)"
+  [ "$2" -eq 0 ] || fail "the restarted daemon should save nothing (got $2 saves)"
+fi
+
 if [ "$failures" -gt 0 ]; then
   exit 1
 fi

@@ -353,6 +353,82 @@ INSTANTIATE_TEST_SUITE_P(WorkloadKinds, WorkloadMergeAlgebra,
 
 // ------------------------------------------------------------ sweep identity
 
+// ---------------------------------------------------------- resume notation
+
+TEST(ResumeNotation, JobRangesParseStrictly) {
+  EXPECT_EQ(dist::parse_job_range("0-5"), (dist::JobRange{0, 5}));
+  EXPECT_EQ(dist::parse_job_range("17-18"), (dist::JobRange{17, 18}));
+  EXPECT_EQ(dist::parse_job_range("100-250"), (dist::JobRange{100, 250}));
+
+  for (const char* bad : {"", "-", "3-3", "5-3", "a-b", "1-2-3", "1/2", " 1-2", "1-2 ", "-5",
+                          "3-", "0x1-2", "+1-2", "12345678901234567890-12345678901234567899"}) {
+    EXPECT_THROW((void)dist::parse_job_range(bad), support::ContractViolation) << "'" << bad << "'";
+  }
+}
+
+TEST(ResumeNotation, MissingRangesComplementTheCover) {
+  const engine::CountedSweep sweep = registry_sweep();
+  const std::vector<dist::ShardReport> shards = run_shards(sweep, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  const engine::JobId total = shards[0].key.total_jobs;
+
+  // Full cover: nothing missing.
+  EXPECT_TRUE(dist::missing_ranges(dist::merge_shards(shards)).empty());
+
+  // One lost shard: exactly its range is missing (head, middle, tail).
+  for (std::size_t lost = 0; lost < shards.size(); ++lost) {
+    std::vector<dist::ShardReport> survivors;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (i != lost) {
+        survivors.push_back(shards[i]);
+      }
+    }
+    const std::vector<dist::JobRange> gaps =
+        dist::missing_ranges(dist::merge_shards(survivors));
+    ASSERT_EQ(gaps.size(), 1u) << "lost shard " << lost;
+    EXPECT_EQ(gaps[0], shards[lost].ranges.front()) << "lost shard " << lost;
+  }
+
+  // Two lost, non-adjacent shards: two gaps, in job-id order.
+  const std::vector<dist::JobRange> gaps =
+      dist::missing_ranges(dist::merge_shards({shards[1]}));
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], shards[0].ranges.front());
+  EXPECT_EQ(gaps[1], shards[2].ranges.front());
+
+  // The complement really is a partition: gaps + covered ranges tile
+  // [0, total) exactly.
+  engine::JobId covered = 0;
+  for (const dist::JobRange& gap : gaps) {
+    covered += gap.size();
+  }
+  EXPECT_EQ(covered + shards[1].ranges.front().size(), total);
+}
+
+TEST(ResumeNotation, ResumedShardsMergeBitIdenticalToTheUninterruptedRun) {
+  // The crash-recovery contract end to end: drop one shard of a sharded run
+  // (the SIGKILLed worker), re-run exactly the gap missing_ranges() names,
+  // and the merge of survivors + resumed shard equals the full merge.
+  const engine::CountedSweep sweep = registry_sweep();
+  const dist::SweepKey key = registry_key(sweep);
+  const std::vector<dist::ShardReport> shards = run_shards(sweep, 3);
+
+  std::vector<dist::ShardReport> survivors = {shards[0], shards[2]};
+  const std::vector<dist::JobRange> gaps =
+      dist::missing_ranges(dist::merge_shards(survivors));
+  for (const dist::JobRange& gap : gaps) {
+    engine::BatchRunner runner({.threads = 2, .seed = kSeed});
+    engine::BatchReport report = runner.run_range(gap.begin, gap.end, sweep.source);
+    survivors.push_back(dist::make_shard_report(key, gap, std::move(report)));
+  }
+
+  const engine::BatchReport resumed = dist::complete_report(dist::merge_shards(survivors));
+  const engine::BatchReport reference = dist::complete_report(dist::merge_shards(shards));
+  EXPECT_EQ(resumed.jobs, reference.jobs);
+  EXPECT_EQ(resumed.by_protocol, reference.by_protocol);
+  EXPECT_TRUE(engine::same_results(resumed, run_unsharded(sweep)));
+}
+
 TEST(SweepIdentity, WorkloadDigestIsTheSweepDigestOfItsName) {
   // The contract that lets a spec's digest feed dist::SweepKey directly.
   for (const engine::WorkloadSpec& workload : engine::registered_workloads()) {

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -19,8 +21,10 @@
 #include "serve/client.hpp"
 #include "serve/serve_proto.hpp"
 #include "serve/server.hpp"
+#include "store/artifact_store.hpp"
 
 #if ARL_SERVE_HAS_UNIX_SOCKETS
+#include <dirent.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -467,6 +471,216 @@ TEST_F(ServeTest, BackpressureAnswersBusyAndDrainFinishesAcknowledgedJobs) {
 
   // After the drain, new submissions cannot even connect.
   EXPECT_THROW(serve::Client{socket_path_}, serve::ClientError);
+}
+
+// ----------------------------------------------------------- serve hardening
+
+TEST_F(ServeTest, SocketModeIsOwnerOnly) {
+  // The socket must never carry the umask's default world-writable mode:
+  // anyone who can connect can submit sweeps.  chmod runs between bind and
+  // listen, so no client ever observes a laxer mode.
+  serve::ServerOptions options;
+  options.socket_path = socket_path_;
+  serve::SweepServer server(options);
+
+  struct stat info {};
+  ASSERT_EQ(::stat(socket_path_.c_str(), &info), 0);
+  EXPECT_EQ(info.st_mode & 0777u, 0600u)
+      << "socket mode is " << std::oct << (info.st_mode & 0777u);
+}
+
+TEST_F(ServeTest, AStaleSocketFileIsReclaimed) {
+  // Simulate a SIGKILLed daemon: bind the path, then close the listener
+  // without unlinking — exactly the residue a dead process leaves.  No
+  // process listens, so connect() yields ECONNREFUSED and the new server
+  // must unlink and rebind instead of failing with EADDRINUSE.
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    std::memcpy(address.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
+    ASSERT_EQ(::listen(fd, 1), 0);
+    ::close(fd);
+  }
+  struct stat residue {};
+  ASSERT_EQ(::stat(socket_path_.c_str(), &residue), 0) << "no stale socket to reclaim";
+
+  serve::ServerOptions options;
+  options.socket_path = socket_path_;
+  options.threads = 1;
+  serve::SweepServer server(options);  // must not throw
+  std::thread runner = serve_on_thread(server);
+
+  serve::Client client(socket_path_);
+  EXPECT_EQ(client.ping().kind, serve::Response::Kind::Pong);
+
+  server.request_stop();
+  runner.join();
+}
+
+TEST_F(ServeTest, ANonSocketFileIsRefusedAndNeverUnlinked) {
+  // A regular file at the socket path is someone's data, not daemon
+  // residue: the server must refuse to start and must not delete it.
+  {
+    std::ofstream file(socket_path_);
+    file << "precious bytes\n";
+  }
+  serve::ServerOptions options;
+  options.socket_path = socket_path_;
+  EXPECT_THROW(serve::SweepServer{options}, serve::ServeError);
+
+  std::ifstream survivor(socket_path_);
+  std::string content;
+  std::getline(survivor, content);
+  EXPECT_EQ(content, "precious bytes");
+}
+
+TEST_F(ServeTest, ALiveSocketIsStillRefused) {
+  // The reclaim probe must not break the original guarantee: a path a
+  // *running* server owns stays refused (connect() succeeds → not stale).
+  serve::ServerOptions options;
+  options.socket_path = socket_path_;
+  serve::SweepServer first(options);
+  EXPECT_THROW(serve::SweepServer{options}, serve::ServeError);
+  struct stat info {};
+  EXPECT_EQ(::stat(socket_path_.c_str(), &info), 0) << "the live socket was unlinked";
+}
+
+TEST_F(ServeTest, AClientTimeoutUnwedgesASilentServer) {
+  // A listener that accepts connections into its backlog but never reads
+  // or answers — the wedge `arl submit --timeout` exists for.  Without the
+  // timeout the ping would block forever; with it, ClientError after ~1s.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::memcpy(address.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address)), 0);
+  ASSERT_EQ(::listen(fd, 4), 0);
+
+  serve::Client client(socket_path_, /*timeout_seconds=*/1);
+  try {
+    (void)client.ping();
+    FAIL() << "ping against a silent server returned";
+  } catch (const serve::ClientError& error) {
+    EXPECT_NE(std::string(error.what()).find("within 1s"), std::string::npos) << error.what();
+  }
+  ::close(fd);
+}
+
+// ------------------------------------------------------------ store-backed
+
+TEST_F(ServeTest, StoreRequiresACache) {
+  serve::ServerOptions options;
+  options.socket_path = socket_path_;
+  options.cache_capacity = 0;
+  options.store_directory = dir_ + "/store";
+  EXPECT_THROW(serve::SweepServer{options}, serve::ServeError);
+}
+
+TEST_F(ServeTest, TheWarmCacheSurvivesARestartThroughTheStore) {
+  serve::ServerOptions options;
+  options.socket_path = socket_path_;
+  options.threads = 1;
+  options.store_directory = dir_ + "/store";
+  const serve::SweepRequest request = small_sweep_request();
+
+  // First daemon lifetime: a cold submission compiles and persists.
+  std::string first_report;
+  {
+    serve::SweepServer server(options);
+    std::thread runner = serve_on_thread(server);
+    serve::Client client(socket_path_);
+    const serve::SubmitResult cold = client.submit(request);
+    ASSERT_TRUE(cold.ok()) << cold.outcome.message;
+    first_report = cold.report;
+    EXPECT_GT(server.store_stats().saves, 0u);
+    server.request_stop();
+    runner.join();
+  }
+
+  // Second daemon lifetime over the same store: the fresh process preloads
+  // every configuration from disk — no schedule is ever rebuilt — and the
+  // response bytes are identical to the first lifetime's.
+  {
+    serve::SweepServer server(options);
+    std::thread runner = serve_on_thread(server);
+    serve::Client client(socket_path_);
+    const serve::SubmitResult warm = client.submit(request);
+    ASSERT_TRUE(warm.ok()) << warm.outcome.message;
+    EXPECT_GT(server.store_stats().hits, 0u);
+    EXPECT_EQ(server.store_stats().saves, 0u) << "a preloaded run recompiled something";
+    EXPECT_EQ(server.store_stats().rejected, 0u);
+    // Every configuration was a *disk* hit (the memory tier records them as
+    // misses-then-promotes; nothing was classified from scratch).
+    EXPECT_EQ(server.store_stats().hits, warm.outcome.request_cache.misses);
+
+    std::istringstream cold_body(first_report);
+    std::istringstream warm_body(warm.report);
+    EXPECT_TRUE(engine::same_results(dist::read_shard_report(cold_body).report,
+                                     dist::read_shard_report(warm_body).report));
+    server.request_stop();
+    runner.join();
+  }
+
+  // Store teardown (the fixture only removes dir_ itself).
+  const std::string store_dir = dir_ + "/store";
+  if (DIR* d = ::opendir(store_dir.c_str())) {
+    while (const dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        (void)::unlink((store_dir + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(store_dir.c_str());
+}
+
+TEST_F(ServeTest, AStoreOffRequestSkipsTheDiskTierOnly) {
+  serve::ServerOptions options;
+  options.socket_path = socket_path_;
+  options.threads = 1;
+  options.store_directory = dir_ + "/store";
+  serve::SweepServer server(options);
+  std::thread runner = serve_on_thread(server);
+
+  serve::Client client(socket_path_);
+  serve::SweepRequest request = small_sweep_request();
+  request.use_store = false;
+
+  // store=off: the sweep runs against the memory tier alone — nothing is
+  // persisted, nothing is read.
+  const serve::SubmitResult bypassed = client.submit(request);
+  ASSERT_TRUE(bypassed.ok()) << bypassed.outcome.message;
+  EXPECT_EQ(server.store_stats(), store::ArtifactStoreStats{});
+  EXPECT_GT(server.cache_stats().entries, 0u) << "the memory tier was skipped too";
+
+  // A store-on request over *new* configurations compiles and persists them
+  // (the store=off entries stay memory-only: write-through persists at
+  // compile time, and those compiles opted out).
+  serve::SweepRequest fresh = small_sweep_request();
+  fresh.seed = request.seed + 1;
+  const serve::SubmitResult persisted = client.submit(fresh);
+  ASSERT_TRUE(persisted.ok()) << persisted.outcome.message;
+  EXPECT_GT(server.store_stats().saves, 0u);
+
+  server.request_stop();
+  runner.join();
+
+  const std::string store_dir = dir_ + "/store";
+  if (DIR* d = ::opendir(store_dir.c_str())) {
+    while (const dirent* entry = ::readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name != "." && name != "..") {
+        (void)::unlink((store_dir + "/" + name).c_str());
+      }
+    }
+    ::closedir(d);
+  }
+  ::rmdir(store_dir.c_str());
 }
 
 #endif  // ARL_SERVE_HAS_UNIX_SOCKETS

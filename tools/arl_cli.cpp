@@ -123,6 +123,9 @@ commands:
                --shard=i/K       run only shard i of K (contiguous job-id
                                  ranges; bit-identical to the same ids of an
                                  unsharded run) and emit a shard report
+               --shard=B-E       run exactly the global job-id range [B, E)
+                                 — the resume notation `arl merge --missing`
+                                 emits for a partially completed sweep
                --out=FILE        write the shard report to FILE (with
                                  --shard only; default stdout)
                --workers=K       fork K local worker processes, one shard
@@ -133,6 +136,14 @@ commands:
                                  capacity in entries; jobs sharing a
                                  configuration classify once, and the summary
                                  reports hit/miss/evict counts (default off)
+               --store=DIR       persistent artifact store: compiled
+                                 classifications/schedules are read from and
+                                 written to DIR (created if missing) through
+                                 crash-safe files, so a later cache-cold
+                                 sweep preloads them; implies --cache=on
+                                 (conflicts with --cache=off); outcomes are
+                                 bit-identical with the store on, off or
+                                 pre-populated
                --engine=MODE     simulation path: auto (default), scalar (the
                                  reference loop) or wavefront (word-parallel
                                  fast path); results are bit-identical, only
@@ -144,14 +155,25 @@ commands:
                verifies the shards describe one sweep (same spec digest,
                seed, protocols) and tile its job ids exactly; prints the
                usual sweep tables.  exit 2 on malformed or mismatched input
+               --missing         instead of merging, report the job-id
+                                 ranges the given shards do NOT cover and
+                                 print (to stdout) the exact `arl sweep
+                                 --shard=B-E --out=...` commands that fill
+                                 them — the resume path after a killed
+                                 worker; exit 0 whether or not gaps exist
   serve      run the sweep service: a unix-socket daemon executing sweep
              requests one at a time through one shared engine and one
              cross-request schedule cache (warm requests skip compiles)
-               --socket=PATH     socket path to listen on (required; the
-                                 path must not already exist)
+               --socket=PATH     socket path to listen on (required; a stale
+                                 socket left by a crashed daemon is detected
+                                 and reclaimed, a live one is refused; the
+                                 bound socket is chmod 0600)
                --threads=N       engine worker threads in [0, 256]; 0 = hardware
                --cache=on|off|N  shared schedule cache across requests:
                                  on (default), off, or a capacity in entries
+               --store=DIR       persistent artifact store behind the shared
+                                 cache: the daemon's warm cache survives
+                                 restarts (requires the cache on)
                --queue=N         requests allowed to wait in [1, 4096]
                                  (default 8); past it submissions get `busy`
                SIGINT/SIGTERM drain gracefully: acknowledged requests finish
@@ -168,6 +190,14 @@ commands:
                --threads=N       cap this request's workers in [1, 256]
                                  (omit for the server's full pool)
                --cache=off       opt this request out of the shared cache
+               --store=off       opt this request out of the server's
+                                 artifact store (the directory itself is a
+                                 server-side --store option)
+               --timeout=N       give up after N seconds without a server
+                                 response, in [0, 86400] (default 0: wait
+                                 forever); a timeout exits 1 with a
+                                 diagnostic instead of blocking on a wedged
+                                 server
                --out=FILE        write the raw shard report to FILE instead
                                  of printing tables
   trace      replay the canonical DRIP round by round
@@ -365,6 +395,32 @@ std::size_t parse_cache_capacity(const support::Args& args) {
   throw support::ContractViolation("--cache must be on, off, or a capacity in [0, 999999999]");
 }
 
+/// Parses the --store flag shared by `sweep` and `serve`: a non-empty
+/// directory path, or "" when the flag is absent.  The store rides on the
+/// cache (its memory tier), so pairing it with an explicit --cache=off is a
+/// contradiction, not a preference.  Throws support::ContractViolation
+/// (exit 2) on misuse.
+std::string parse_store_directory(const support::Args& args) {
+  if (!args.has("store")) {
+    return "";
+  }
+  const std::string value = args.get_string("store", "");
+  if (value.empty()) {
+    throw support::ContractViolation("--store needs a directory path");
+  }
+  if (value == "off") {
+    // `submit` spells per-request opt-out as --store=off; for sweep/serve
+    // the flag's absence is off, and "off" would name a directory.
+    throw support::ContractViolation(
+        "--store takes a directory here (omit the flag to run without a store)");
+  }
+  if (args.has("cache") && parse_cache_capacity(args) == 0) {
+    throw support::ContractViolation(
+        "--store conflicts with --cache=off (the store is the cache's disk tier)");
+  }
+  return value;
+}
+
 /// Parses the sweep's --engine flag (default auto).  Throws on anything
 /// else, reaching the usage-error handler (exit 2).
 engine::EngineMode parse_engine(const support::Args& args) {
@@ -544,6 +600,15 @@ void print_report(const engine::BatchReport& report) {
               << static_cast<int>(cache.hit_rate() * 1000.0) / 10.0 << "% hit rate)\n";
   }
 
+  // Disk-tier counters, printed exactly when a --store ran (same scripting
+  // contract as the cache line: key on the "artifact store:" prefix).
+  if (report.artifact_store) {
+    const store::ArtifactStoreStats& disk = *report.artifact_store;
+    std::cout << "artifact store: " << disk.hits << " loads, " << disk.misses << " misses, "
+              << disk.rejected << " rejected, " << disk.saves << " saves, " << disk.skipped
+              << " skipped, " << disk.errors << " errors\n";
+  }
+
   // Head-to-head comparison: one row per protocol in the batch.
   std::cout << "\nper-protocol breakdown:\n\n";
   support::Table comparison({"protocol", "jobs", "feasible", "elected", "no leader", "failed",
@@ -576,12 +641,13 @@ bool emit_shard(const engine::CountedSweep& sweep, const dist::SweepKey& key,
   return all_valid;
 }
 
-/// Runs one shard of the sweep and emits its report (--out file or stdout).
-/// Exit 0 when every job in the shard verified, 1 otherwise.
+/// Runs one job range of the sweep and emits its report (--out file or
+/// stdout) — the target of both --shard=i/K (the planner's range) and
+/// --shard=B-E (an explicit resume range).  Exit 0 when every job in the
+/// range verified, 1 otherwise.
 int run_shard_sweep(const engine::CountedSweep& sweep, const dist::SweepKey& key,
-                    const engine::BatchOptions& batch_options, const dist::ShardSpec& shard,
+                    const engine::BatchOptions& batch_options, const dist::JobRange& range,
                     const std::string& out_path) {
-  const dist::JobRange range = dist::shard_range(sweep.count, shard);
   if (out_path.empty()) {
     const bool all_valid = emit_shard(sweep, key, range, batch_options, std::cout);
     std::cout.flush();
@@ -851,6 +917,7 @@ int cmd_sweep(const support::Args& args) {
   // Flag-validation throws (here and below) reach main()'s ContractViolation
   // handler, which exits 2 like every other usage error.
   batch_options.cache_capacity = parse_cache_capacity(args);
+  batch_options.store_directory = parse_store_directory(args);
   batch_options.engine = parse_engine(args);
 
   // The protocol axis: repeatable --protocol flags, validated against the
@@ -860,9 +927,18 @@ int cmd_sweep(const support::Args& args) {
   // The distributed axis: --shard=i/K emits one shard report, --workers=K
   // forks local workers and merges; they are drivers of the same sweep, so
   // combining them is a usage error.
+  // Two shard notations: "i/K" (the planner's range) and "B-E" (an
+  // explicit global job-id range — what `arl merge --missing` emits to
+  // resume a partial sweep).  A dash dispatches to the range form.
   std::optional<dist::ShardSpec> shard;
+  std::optional<dist::JobRange> resume_range;
   if (args.has("shard")) {
-    shard = dist::parse_shard(args.get_string("shard", ""));
+    const std::string value = args.get_string("shard", "");
+    if (value.find('-') != std::string::npos) {
+      resume_range = dist::parse_job_range(value);
+    } else {
+      shard = dist::parse_shard(value);
+    }
   }
   std::optional<std::uint32_t> workers;
   if (args.has("workers")) {
@@ -872,12 +948,12 @@ int cmd_sweep(const support::Args& args) {
     }
     workers = static_cast<std::uint32_t>(workers_flag);
   }
-  if (shard && workers) {
+  if ((shard || resume_range) && workers) {
     std::cerr << "error: --shard and --workers conflict; --shard runs one piece of a "
                  "distributed sweep, --workers drives all of them locally\n";
     return 2;
   }
-  if (args.has("out") && !shard) {
+  if (args.has("out") && !shard && !resume_range) {
     std::cerr << "error: --out only applies to --shard runs (the shard report destination)\n";
     return 2;
   }
@@ -902,7 +978,17 @@ int cmd_sweep(const support::Args& args) {
       workload.instantiate(batch_options.seed, protocols, {.count = count});
   const dist::SweepKey key = make_sweep_key(workload, sweep.count, protocols, batch_options.seed);
   if (shard) {
-    return run_shard_sweep(sweep, key, batch_options, *shard, args.get_string("out", ""));
+    return run_shard_sweep(sweep, key, batch_options, dist::shard_range(sweep.count, *shard),
+                           args.get_string("out", ""));
+  }
+  if (resume_range) {
+    if (resume_range->end > sweep.count) {
+      throw support::ContractViolation(
+          "--shard range [" + std::to_string(resume_range->begin) + ", " +
+          std::to_string(resume_range->end) + ") exceeds the sweep's " +
+          std::to_string(sweep.count) + " jobs");
+    }
+    return run_shard_sweep(sweep, key, batch_options, *resume_range, args.get_string("out", ""));
   }
   if (workers) {
     return run_workers_sweep(sweep, key, batch_options, *workers);
@@ -952,6 +1038,53 @@ int cmd_merge(const support::Args& args) {
       return 2;
     }
   }
+  if (args.has("missing")) {
+    // Coverage analysis instead of a merge: which job ids do the surviving
+    // shard files NOT cover, and what exact commands re-run them.  Exit 0
+    // either way — an incomplete sweep is the expected input here, not an
+    // error; only unmergeable shards (different sweeps, overlaps) exit 2.
+    dist::ShardReport merged;
+    try {
+      merged = dist::merge_shards(shards);
+    } catch (const dist::MergeError& error) {
+      std::cerr << "error: " << error.what() << '\n';
+      return 2;
+    }
+    const std::vector<dist::JobRange> gaps = dist::missing_ranges(merged);
+    if (gaps.empty()) {
+      std::cerr << "coverage complete: all " << merged.key.total_jobs
+                << " jobs present; `arl merge` (without --missing) yields the report\n";
+      return 0;
+    }
+
+    // Reconstruct the sweep flags from the merged identity.  The workload
+    // name is the canonical registry spelling (the report parser verified
+    // the round trip), so it feeds --workload verbatim; unbounded workloads
+    // additionally need the --count that produced total_jobs (= count × P).
+    std::string flags = "--workload=" + merged.key.description;
+    for (const std::string& protocol : merged.key.protocols) {
+      flags += " --protocol=" + protocol;
+    }
+    flags += " --seed=" + std::to_string(merged.key.seed);
+    if (!engine::parse_workload(merged.key.description).bounded()) {
+      flags += " --count=" +
+               std::to_string(merged.key.total_jobs / merged.key.protocols.size());
+    }
+
+    engine::JobId missing_jobs = 0;
+    for (const dist::JobRange& gap : gaps) {
+      missing_jobs += gap.size();
+      const std::string span = std::to_string(gap.begin) + "-" + std::to_string(gap.end);
+      std::cout << "arl sweep " << flags << " --shard=" << span << " --out=resume-" << span
+                << ".txt\n";
+    }
+    std::cerr << "coverage incomplete: " << missing_jobs << " of " << merged.key.total_jobs
+              << " jobs missing across " << gaps.size()
+              << " range(s); run the command(s) above, then merge the surviving and resumed "
+                 "shard files together\n";
+    return 0;
+  }
+
   engine::BatchReport report;
   try {
     report = dist::complete_report(dist::merge_shards(shards));
@@ -987,6 +1120,11 @@ int cmd_serve(const support::Args& args) {
   // service's whole point, so opting *out* is the explicit choice.
   options.cache_capacity = args.has("cache") ? parse_cache_capacity(args)
                                              : engine::ScheduleCache::kDefaultCapacity;
+  options.store_directory = parse_store_directory(args);
+  if (!options.store_directory.empty() && options.cache_capacity == 0) {
+    throw support::ContractViolation(
+        "--store conflicts with --cache=off (the store is the cache's disk tier)");
+  }
   options.queue_limit = static_cast<std::size_t>(queue_flag);
 
   serve::SweepServer server(std::move(options));
@@ -995,7 +1133,11 @@ int cmd_serve(const support::Args& args) {
   const ScopedSignalHandlers guard(serve_interrupt);
 #endif
   std::cerr << "arl serve: listening on " << socket_path << " (queue " << queue_flag
-            << ", cache " << server.options().cache_capacity << " entries)\n";
+            << ", cache " << server.options().cache_capacity << " entries";
+  if (!server.options().store_directory.empty()) {
+    std::cerr << ", store " << server.options().store_directory;
+  }
+  std::cerr << ")\n";
   server.run();
 #if ARL_CLI_HAS_FORK
   g_serve_stop_fd = -1;
@@ -1006,6 +1148,12 @@ int cmd_serve(const support::Args& args) {
             << " failed, " << counters.busy_rejections << " busy, " << counters.protocol_errors
             << " protocol errors; cache " << cache.hits << " hits, " << cache.misses
             << " misses, " << cache.entries << " entries\n";
+  if (!server.options().store_directory.empty()) {
+    const store::ArtifactStoreStats disk = server.store_stats();
+    std::cerr << "arl serve: store " << disk.hits << " loads, " << disk.misses << " misses, "
+              << disk.rejected << " rejected, " << disk.saves << " saves, " << disk.skipped
+              << " skipped, " << disk.errors << " errors\n";
+  }
   return 0;
 }
 
@@ -1018,7 +1166,21 @@ int cmd_submit(const support::Args& args) {
   if (socket_path.empty()) {
     throw support::ContractViolation("submit needs --socket=PATH (a running `arl serve` socket)");
   }
-  serve::Client client(socket_path);
+  const std::int64_t timeout_flag = args.get_int("timeout", 0);
+  if (timeout_flag < 0 || timeout_flag > 86400) {
+    throw support::ContractViolation("--timeout must be in [0, 86400] seconds (0 = wait forever)");
+  }
+  // Validated before connecting (and before --ping returns): a bad value is
+  // a usage error whether or not a server is reachable.
+  bool use_store = true;
+  if (args.has("store")) {
+    if (args.get_string("store", "") != "off") {
+      throw support::ContractViolation(
+          "--store must be off for submit (the directory is a server-side option)");
+    }
+    use_store = false;
+  }
+  serve::Client client(socket_path, static_cast<unsigned>(timeout_flag));
 
   if (args.has("ping")) {
     const serve::Response pong = client.ping();
@@ -1064,6 +1226,7 @@ int cmd_submit(const support::Args& args) {
           "--cache must be on or off for submit (capacity is a server-side option)");
     }
   }
+  request.use_store = use_store;
 
   const serve::SubmitResult result = client.submit(request);
   if (result.outcome.kind == serve::Response::Kind::Busy) {
