@@ -15,14 +15,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstring>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <string_view>
-#include <utility>
-#include <vector>
 
+#include "obs/json_snapshot.hpp"
 #include "support/table.hpp"
 
 namespace arl::benchsupport {
@@ -62,46 +59,14 @@ inline void print_table(const std::string& title, const support::Table& table) {
   std::cout << std::flush;
 }
 
-/// A flat JSON object accumulated key by key and written as one file — the
-/// trajectory snapshot format tools/bench_gate consumes: every value is a
-/// number, a bool or a string, and gating policy is keyed off the name
-/// (see bench_gate).  Keys keep insertion order so snapshots diff cleanly.
-class JsonSnapshot {
+/// The trajectory snapshot accumulator (now shared with the CLI's
+/// --metrics-out writer; see src/obs/json_snapshot.hpp), re-exported with a
+/// bench-flavoured `write(name)` that targets the --json-out directory.
+class JsonSnapshot : public obs::JsonSnapshot {
  public:
-  void add(std::string key, double value) {
-    std::ostringstream out;
-    out << value;
-    entries_.emplace_back(std::move(key), out.str());
-  }
-  void add(std::string key, std::uint64_t value) {
-    entries_.emplace_back(std::move(key), std::to_string(value));
-  }
-  void add(std::string key, bool value) {
-    entries_.emplace_back(std::move(key), value ? "true" : "false");
-  }
-  void add(std::string key, const std::string& value) {
-    entries_.emplace_back(std::move(key), "\"" + value + "\"");
-  }
-
   /// Writes `name` into the --json-out directory; warns instead of failing
   /// silently, because a missing snapshot reads as "no data" downstream.
-  void write(const std::string& name) const {
-    const std::string path = flags().json_out + "/" + name;
-    std::ofstream out(path);
-    out << "{\n";
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      out << "  \"" << entries_[i].first << "\": " << entries_[i].second
-          << (i + 1 < entries_.size() ? "," : "") << "\n";
-    }
-    out << "}\n";
-    out.flush();
-    if (!out) {
-      std::cerr << "warning: could not write " << path << "\n";
-    }
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> entries_;
+  void write(const std::string& name) const { write_file(flags().json_out + "/" + name); }
 };
 
 }  // namespace arl::benchsupport

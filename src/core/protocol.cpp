@@ -11,6 +11,7 @@
 #include "baselines/randomized.hpp"
 #include "baselines/tree_split.hpp"
 #include "core/fast_classifier.hpp"
+#include "obs/metrics.hpp"
 #include "support/assert.hpp"
 
 namespace arl::core {
@@ -85,8 +86,11 @@ std::vector<std::uint64_t> wakeup_order_labels(const config::Configuration& conf
 std::shared_ptr<const CompiledConfiguration> classify_and_compile(
     const config::Configuration& configuration, const ElectionOptions& options,
     bool need_schedule, ScheduleCacheHandle& cache) {
-  std::shared_ptr<const CompiledConfiguration> compiled =
-      cache.lookup(configuration, options.channel_model, options.use_fast_classifier);
+  std::shared_ptr<const CompiledConfiguration> compiled;
+  {
+    const obs::PhaseTimer span(obs::Phase::CacheLookup);
+    compiled = cache.lookup(configuration, options.channel_model, options.use_fast_classifier);
+  }
   if (compiled != nullptr && (!need_schedule || compiled->schedule != nullptr)) {
     return compiled;
   }
@@ -94,12 +98,16 @@ std::shared_ptr<const CompiledConfiguration> classify_and_compile(
   CompiledConfiguration fresh;
   if (compiled != nullptr) {
     fresh.classification = compiled->classification;  // upgrade: only the schedule is missing
-  } else if (options.use_fast_classifier) {
-    fresh.classification = FastClassifier(options.channel_model).run(configuration);
   } else {
-    fresh.classification = Classifier(options.channel_model).run(configuration);
+    const obs::PhaseTimer span(obs::Phase::Classify);
+    if (options.use_fast_classifier) {
+      fresh.classification = FastClassifier(options.channel_model).run(configuration);
+    } else {
+      fresh.classification = Classifier(options.channel_model).run(configuration);
+    }
   }
   if (need_schedule) {
+    const obs::PhaseTimer span(obs::Phase::ScheduleCompile);
     fresh.schedule = std::make_shared<const CanonicalSchedule>(
         build_schedule(configuration, fresh.classification));
   }
@@ -121,12 +129,16 @@ ElectionReport run_canonical(const config::Configuration& configuration,
   } else {
     // Uncached: classify straight into the report (no artifact copy — this
     // is elect()'s default path and large uncached sweeps run through it).
-    if (options.use_fast_classifier) {
-      report.classification = FastClassifier(options.channel_model).run(configuration);
-    } else {
-      report.classification = Classifier(options.channel_model).run(configuration);
+    {
+      const obs::PhaseTimer span(obs::Phase::Classify);
+      if (options.use_fast_classifier) {
+        report.classification = FastClassifier(options.channel_model).run(configuration);
+      } else {
+        report.classification = Classifier(options.channel_model).run(configuration);
+      }
     }
     if (simulate) {
+      const obs::PhaseTimer span(obs::Phase::ScheduleCompile);
       report.schedule = std::make_shared<const CanonicalSchedule>(
           build_schedule(configuration, report.classification));
     }
@@ -149,8 +161,10 @@ ElectionReport run_canonical(const config::Configuration& configuration,
   simulator_options.max_rounds = static_cast<config::Round>(
       std::max<std::uint64_t>(simulator_options.max_rounds, needed_horizon));
 
-  const radio::RunResult run =
-      radio::simulate(configuration, drip, simulator_options, scratch.simulator);
+  const radio::RunResult run = [&] {
+    const obs::PhaseTimer span(obs::Phase::Simulate);
+    return radio::simulate(configuration, drip, simulator_options, scratch.simulator);
+  }();
   report.simulated = true;
   report.global_rounds = run.rounds_executed;
   report.local_rounds = report.schedule->total_rounds();
@@ -257,8 +271,10 @@ ElectionReport run_baseline(const config::Configuration& configuration, const Pr
       ARL_EXPECTS(false, "run_baseline called with a non-baseline spec");
   }
 
-  const radio::RunResult run =
-      radio::simulate(configuration, *drip, simulator_options, scratch.simulator);
+  const radio::RunResult run = [&] {
+    const obs::PhaseTimer span(obs::Phase::Simulate);
+    return radio::simulate(configuration, *drip, simulator_options, scratch.simulator);
+  }();
   report.simulated = true;
   report.global_rounds = run.rounds_executed;
   report.stats = run.stats;

@@ -43,7 +43,13 @@ namespace {
 /// Executes one job on one worker's scratch and condenses the report.
 JobOutcome execute_job(const BatchJob& job, JobId id, std::uint64_t batch_seed,
                        EngineMode engine, core::ElectionScratch& scratch,
-                       core::ElectionReport* keep) {
+                       core::ElectionReport* keep, obs::TraceSink* trace) {
+  // The frame collects this job's phase spans (classify, simulate, store
+  // I/O, ...) via the thread-local PhaseTimer hook — per-job attribution
+  // without threading a parameter through core::run_protocol.
+  obs::JobFrame frame;
+  const obs::ScopedJobFrame active_frame(frame);
+
   core::ElectionOptions options = job.options;
   options.simulator.coin_seed = job_coin_seed(batch_seed, id);
   if (engine == EngineMode::Scalar) {
@@ -81,6 +87,22 @@ JobOutcome execute_job(const BatchJob& job, JobId id, std::uint64_t batch_seed,
   if (keep != nullptr) {
     *keep = std::move(report);
   }
+
+  if (trace != nullptr) {
+    obs::TraceEvent event;
+    event.job_id = id;
+    event.protocol = outcome.protocol.name();
+    event.config_fingerprint = outcome.config_fingerprint;
+    event.nodes = outcome.nodes;
+    event.span = outcome.span;
+    event.disposition = core::to_string(outcome.disposition);
+    event.feasible = outcome.feasible;
+    event.simulated = outcome.simulated;
+    event.valid = outcome.valid;
+    event.local_rounds = outcome.local_rounds;
+    event.frame = frame;
+    trace->emit(event);
+  }
   return outcome;
 }
 
@@ -104,6 +126,14 @@ BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch,
   ARL_EXPECTS(!overrides.max_threads || *overrides.max_threads >= 1,
               "RunOverrides::max_threads must be >= 1");
   support::Stopwatch watch;
+  // Phase timing is attributed to this batch as registry growth between here
+  // and the last worker joining — the ScheduleCacheStats::since idiom.  When
+  // metrics are disabled every PhaseTimer is inert, so the delta would be
+  // all zeros; skip the snapshots entirely and leave report.phases unset.
+  obs::Registry& registry = obs::Registry::global();
+  const bool metrics_on = registry.enabled();
+  const obs::MetricsSnapshot phases_before = metrics_on ? registry.snapshot()
+                                                        : obs::MetricsSnapshot{};
   const JobId count = end - begin;
   const std::uint64_t seed = overrides.seed.value_or(options_.seed);
   const EngineMode engine = overrides.engine.value_or(options_.engine);
@@ -165,7 +195,8 @@ BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch,
             decltype(auto) job = fetch(id);
             core::ElectionReport* keep =
                 options_.keep_reports ? &report.reports[id - begin] : nullptr;
-            report.jobs[id - begin] = execute_job(job, id, seed, engine, scratch, keep);
+            report.jobs[id - begin] =
+                execute_job(job, id, seed, engine, scratch, keep, options_.job_trace);
           }
         }));
   }
@@ -194,6 +225,9 @@ BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch,
   if (tiered) {
     report.cache = tiered->memory().stats();
     report.artifact_store = tiered->artifacts().stats();
+  }
+  if (metrics_on) {
+    report.phases = registry.snapshot().since(phases_before);
   }
   report.wall_millis = watch.millis();
   return report;

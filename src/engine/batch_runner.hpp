@@ -19,6 +19,8 @@
 #include "config/fingerprint.hpp"
 #include "engine/job.hpp"
 #include "engine/schedule_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "radio/simulator.hpp"
 #include "store/artifact_store.hpp"
 #include "support/thread_pool.hpp"
@@ -67,6 +69,13 @@ struct BatchOptions {
   /// Simulation path; overrides any per-job simulator engine selection
   /// (jobs carrying a trace sink still fall back to the scalar loop).
   EngineMode engine = EngineMode::Auto;
+
+  /// Optional per-job event trace (`arl sweep --trace=FILE`): every executed
+  /// job emits one obs::TraceEvent — ids, fingerprints, disposition, and the
+  /// per-phase durations its obs::JobFrame accumulated.  Not owned; must
+  /// outlive every run.  Null (the default) traces nothing.  Purely
+  /// observational: outcomes are bit-identical trace-on/off.
+  obs::TraceSink* job_trace = nullptr;
 };
 
 /// Condensed outcome of one job (always recorded).
@@ -144,6 +153,14 @@ struct BatchReport {
   /// Like `cache`, execution circumstance — never part of the merged wire
   /// format or of same_results().
   std::optional<store::ArtifactStoreStats> artifact_store;
+
+  /// Per-phase timing of this batch: the growth of the process-wide
+  /// obs::Registry between the batch's start and its last worker joining
+  /// (the same delta-attribution idiom as ScheduleCacheStats::since).
+  /// Execution circumstance like `cache` — never merged, never compared by
+  /// same_results(), never serialized into the dist wire format.  Nullopt
+  /// when the registry was disabled for the whole batch.
+  std::optional<obs::MetricsSnapshot> phases;
 
   /// Jobs per second of wall time.
   [[nodiscard]] double throughput() const;

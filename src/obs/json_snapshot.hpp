@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file json_snapshot.hpp
+/// A flat JSON object accumulated key by key and written as one file.
+///
+/// This is the snapshot format `tools/bench_gate` consumes — every value is
+/// a number, a bool or a string, keys keep insertion order so snapshots
+/// diff cleanly, and gating policy is keyed off the name (see bench_gate).
+/// It started life inside `bench/bench_common.hpp`; it lives here because
+/// `arl sweep --metrics-out=FILE` writes the same shape from the CLI, where
+/// the benchmark scaffolding is not available.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace arl::obs {
+
+/// Accumulates `"key": value` entries and writes them as one JSON object.
+class JsonSnapshot {
+ public:
+  void add(std::string key, double value) {
+    std::ostringstream out;
+    out << value;
+    entries_.emplace_back(std::move(key), out.str());
+  }
+  void add(std::string key, std::uint64_t value) {
+    entries_.emplace_back(std::move(key), std::to_string(value));
+  }
+  void add(std::string key, bool value) {
+    entries_.emplace_back(std::move(key), value ? "true" : "false");
+  }
+  void add(std::string key, const std::string& value) {
+    entries_.emplace_back(std::move(key), "\"" + value + "\"");
+  }
+
+  /// Writes the object to `path`.  Returns false (and warns on stderr)
+  /// when the file cannot be written — a missing snapshot reads as "no
+  /// data" downstream, which must never happen silently.
+  bool write_file(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << "  \"" << entries_[i].first << "\": " << entries_[i].second
+          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    out.flush();
+    if (!out) {
+      std::cerr << "warning: could not write " << path << "\n";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace arl::obs

@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace arl::obs {
+namespace {
+
+thread_local JobFrame* t_active_frame = nullptr;
+
+}  // namespace
+
+std::string_view phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::Classify:
+      return "classify";
+    case Phase::ScheduleCompile:
+      return "schedule-compile";
+    case Phase::Simulate:
+      return "simulate";
+    case Phase::CacheLookup:
+      return "cache-lookup";
+    case Phase::CachePromote:
+      return "cache-promote";
+    case Phase::StoreLoad:
+      return "store-load";
+    case Phase::StoreSave:
+      return "store-save";
+    case Phase::ServeQueueWait:
+      return "serve-queue-wait";
+    case Phase::ServeDispatch:
+      return "serve-dispatch";
+  }
+  return "unknown";
+}
+
+const std::array<Phase, kPhaseCount>& all_phases() {
+  static const std::array<Phase, kPhaseCount> phases = {
+      Phase::Classify,     Phase::ScheduleCompile, Phase::Simulate,
+      Phase::CacheLookup,  Phase::CachePromote,    Phase::StoreLoad,
+      Phase::StoreSave,    Phase::ServeQueueWait,  Phase::ServeDispatch,
+  };
+  return phases;
+}
+
+std::uint64_t HistogramSnapshot::count() const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t bucket : buckets) {
+    n += bucket;
+  }
+  return n;
+}
+
+double HistogramSnapshot::mean() const {
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(total) / static_cast<double>(n);
+}
+
+std::uint64_t HistogramSnapshot::percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) {
+    return 0;
+  }
+  // Rank of the requested quantile in [1, n]; ceil keeps p100 == max bucket
+  // and p~0 the first sample.
+  auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > n) {
+    rank = n;
+  }
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return bucket_upper_bound(i);
+    }
+  }
+  return bucket_upper_bound(kHistogramBuckets - 1);
+}
+
+std::uint64_t HistogramSnapshot::max_bound() const {
+  for (std::size_t i = kHistogramBuckets; i-- > 0;) {
+    if (buckets[i] != 0) {
+      return bucket_upper_bound(i);
+    }
+  }
+  return 0;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  total += other.total;
+}
+
+HistogramSnapshot HistogramSnapshot::since(const HistogramSnapshot& earlier) const {
+  HistogramSnapshot delta;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    delta.buckets[i] = buckets[i] - earlier.buckets[i];
+  }
+  delta.total = total - earlier.total;
+  return delta;
+}
+
+bool MetricsSnapshot::empty() const {
+  for (const HistogramSnapshot& histogram : phases) {
+    if (histogram.count() != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phases[i].merge(other.phases[i]);
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::since(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot delta;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    delta.phases[i] = phases[i].since(earlier.phases[i]);
+  }
+  return delta;
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.total = total_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    snap.phases[i] = histograms_[i].snapshot();
+  }
+  return snap;
+}
+
+ScopedJobFrame::ScopedJobFrame(JobFrame& frame) : previous_(t_active_frame) {
+  t_active_frame = &frame;
+}
+
+ScopedJobFrame::~ScopedJobFrame() { t_active_frame = previous_; }
+
+JobFrame* ScopedJobFrame::active() { return t_active_frame; }
+
+}  // namespace arl::obs

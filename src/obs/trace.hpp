@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file trace.hpp
+/// Optional per-job event trace: one JSON object per line, one line per
+/// job, for offline analysis (`arl sweep --trace=FILE`).
+///
+/// A trace line records what the job was (id, protocol, configuration
+/// fingerprint, size), how it ended (disposition, validity), and where its
+/// time went (the per-phase nanoseconds its `JobFrame` accumulated).  The
+/// sink is deliberately dumb — a mutex and an append — because tracing is
+/// opt-in and correctness of results never depends on it.
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace arl::obs {
+
+/// Everything one trace line says about one job.  Plain values only, so
+/// obs/ stays below engine/ in the layering.
+struct TraceEvent {
+  std::uint64_t job_id = 0;
+  std::string protocol;             ///< registry name of the protocol that ran
+  std::uint64_t config_fingerprint = 0;
+  std::uint64_t nodes = 0;
+  std::uint64_t span = 0;
+  std::string disposition;          ///< "elected", "no leader", ...
+  bool feasible = false;
+  bool simulated = false;
+  bool valid = false;
+  std::uint64_t local_rounds = 0;
+  JobFrame frame;                   ///< per-phase nanoseconds of this job
+};
+
+/// Where trace events go.  Implementations must be safe to call from many
+/// worker threads at once.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const TraceEvent& event) = 0;
+};
+
+/// Appends one JSON object per event to a file.  Phases with zero recorded
+/// time are still emitted, so every line has the same keys and downstream
+/// tooling never needs per-line schema discovery.
+class JsonLinesTraceSink final : public TraceSink {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error when it cannot.
+  explicit JsonLinesTraceSink(const std::string& path);
+
+  void emit(const TraceEvent& event) override;
+
+  /// Flushes buffered lines to disk.
+  void flush();
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+}  // namespace arl::obs

@@ -122,6 +122,20 @@ Response Client::ping() {
   return response;
 }
 
+ServerStats Client::stats() {
+  Request request;
+  request.kind = Request::Kind::Stats;
+  send_all(format_request(request) + "\n");
+  const Response response = next_protocol_line();
+  if (response.kind == Response::Kind::Error) {
+    throw ClientError("submit: stats answered with error: " + response.message);
+  }
+  if (response.kind != Response::Kind::Stats) {
+    throw ClientError("submit: stats answered with an unexpected response");
+  }
+  return response.stats;
+}
+
 SubmitResult Client::submit(const SweepRequest& sweep) {
   Request request;
   request.kind = Request::Kind::Sweep;
@@ -175,6 +189,7 @@ SubmitResult Client::submit(const SweepRequest& sweep) {
       case Response::Kind::Pong:
       case Response::Kind::Busy:
       case Response::Kind::Ack:
+      case Response::Kind::Stats:
         throw ClientError("submit: unexpected response inside a sweep stream");
     }
   }
@@ -190,6 +205,7 @@ void Client::send_all(std::string_view) {}
 std::string Client::next_line() { return {}; }
 Response Client::next_protocol_line() { return {}; }
 Response Client::ping() { return {}; }
+ServerStats Client::stats() { return {}; }
 SubmitResult Client::submit(const SweepRequest&) { return {}; }
 
 #endif  // ARL_SERVE_HAS_UNIX_SOCKETS

@@ -59,6 +59,11 @@ class Client {
   /// Round-trips a ping; returns the Pong (cumulative cache counters).
   [[nodiscard]] Response ping();
 
+  /// Round-trips a stats request; returns the server's live ServerStats
+  /// snapshot (uptime, queue gauges, cache/store totals, latency summaries).
+  /// Throws ClientError when the server answers with an error.
+  [[nodiscard]] ServerStats stats();
+
   /// Submits one sweep and consumes its full response stream.
   [[nodiscard]] SubmitResult submit(const SweepRequest& request);
 

@@ -1,5 +1,6 @@
 #include "serve/serve_proto.hpp"
 
+#include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -51,7 +52,10 @@ void check_tag(const std::vector<std::string_view>& tokens) {
     throw ProtoError("not an arl-serve protocol line");
   }
   const std::uint64_t version = parse_u64(tokens[1], "protocol version");
-  if (version != kServeProtocolVersion) {
+  // Canonical spelling only: "01" numerically equals 1 but is not a line
+  // this build ever wrote, so it is rejected like any other version skew.
+  if (version != kServeProtocolVersion ||
+      tokens[1] != std::to_string(kServeProtocolVersion)) {
     throw ProtoError("unsupported serve protocol version " + std::string(tokens[1]) +
                      " (this build speaks version " + std::to_string(kServeProtocolVersion) + ")");
   }
@@ -211,11 +215,62 @@ SweepRequest parse_sweep_fields(const std::vector<std::string_view>& tokens, std
   return sweep;
 }
 
+/// Stats lines interleave bare labels with values; the cursor must be
+/// sitting on exactly `label`.
+void require_label(const std::vector<std::string_view>& tokens, std::size_t& cursor,
+                   std::string_view label) {
+  if (cursor >= tokens.size()) {
+    throw ProtoError("stats response ends before its '" + std::string(label) + "' section");
+  }
+  if (tokens[cursor] != label) {
+    throw ProtoError("stats response expected '" + std::string(label) + "', got '" +
+                     std::string(tokens[cursor]) + "'");
+  }
+  cursor += 1;
+}
+
+std::uint64_t labeled_u64(const std::vector<std::string_view>& tokens, std::size_t& cursor,
+                          std::string_view label) {
+  require_label(tokens, cursor, label);
+  if (cursor >= tokens.size()) {
+    throw ProtoError("stats response ends before the '" + std::string(label) + "' value");
+  }
+  return parse_u64(tokens[cursor++], label);
+}
+
+std::uint64_t positional_u64(const std::vector<std::string_view>& tokens, std::size_t& cursor,
+                             std::string_view what) {
+  if (cursor >= tokens.size()) {
+    throw ProtoError("stats response ends before its " + std::string(what));
+  }
+  return parse_u64(tokens[cursor++], what);
+}
+
+LatencySummary parse_latency(const std::vector<std::string_view>& tokens, std::size_t& cursor,
+                             std::string_view label) {
+  require_label(tokens, cursor, label);
+  LatencySummary summary;
+  summary.count = positional_u64(tokens, cursor, "latency count");
+  summary.p50_us = positional_u64(tokens, cursor, "latency p50");
+  summary.p90_us = positional_u64(tokens, cursor, "latency p90");
+  summary.p99_us = positional_u64(tokens, cursor, "latency p99");
+  return summary;
+}
+
+std::string format_latency(std::string_view label, const LatencySummary& summary) {
+  return std::string(label) + " " + std::to_string(summary.count) + " " +
+         std::to_string(summary.p50_us) + " " + std::to_string(summary.p90_us) + " " +
+         std::to_string(summary.p99_us);
+}
+
 }  // namespace
 
 std::string format_request(const Request& request) {
   if (request.kind == Request::Kind::Ping) {
     return tag() + "ping";
+  }
+  if (request.kind == Request::Kind::Stats) {
+    return tag() + "stats";
   }
   const SweepRequest& sweep = request.sweep;
   ARL_EXPECTS(!sweep.protocols.empty(), "a sweep request needs at least one protocol");
@@ -265,12 +320,20 @@ Request parse_request(std::string_view line) {
     request.kind = Request::Kind::Ping;
     return request;
   }
+  if (tokens[2] == "stats") {
+    if (tokens.size() != 3) {
+      throw ProtoError("stats takes no fields");
+    }
+    request.kind = Request::Kind::Stats;
+    return request;
+  }
   if (tokens[2] == "sweep") {
     request.kind = Request::Kind::Sweep;
     request.sweep = parse_sweep_fields(tokens, 3);
     return request;
   }
-  throw ProtoError("unknown request '" + std::string(tokens[2]) + "' (expected ping or sweep)");
+  throw ProtoError("unknown request '" + std::string(tokens[2]) +
+                   "' (expected ping, stats or sweep)");
 }
 
 std::string format_response(const Response& response) {
@@ -296,6 +359,21 @@ std::string format_response(const Response& response) {
              std::to_string(response.totals.hits) + " " +
              std::to_string(response.totals.misses) + " " +
              std::to_string(response.totals.entries);
+    case Response::Kind::Stats: {
+      const ServerStats& s = response.stats;
+      return tag() + "stats uptime-ms " + std::to_string(s.uptime_ms) + " queued " +
+             std::to_string(s.queued) + " active " + std::to_string(s.active) + " sessions " +
+             std::to_string(s.sessions) + " accepted " + std::to_string(s.accepted) +
+             " completed " + std::to_string(s.completed) + " failed " +
+             std::to_string(s.failed) + " busy " + std::to_string(s.busy_rejections) +
+             " drained " + std::to_string(s.drain_rejections) + " proto-errors " +
+             std::to_string(s.protocol_errors) + " cache " + std::to_string(s.cache.hits) + " " +
+             std::to_string(s.cache.misses) + " " + std::to_string(s.cache.entries) + " store " +
+             std::to_string(s.store.hits) + " " + std::to_string(s.store.misses) + " " +
+             std::to_string(s.store.saves) + " " +
+             format_latency("queue-wait-us", s.queue_wait) + " " +
+             format_latency("dispatch-us", s.dispatch);
+    }
   }
   ARL_ASSERT(false, "unreachable response kind");
   return {};
@@ -365,7 +443,56 @@ std::optional<Response> match_response(std::string_view line) {
                        parse_u64(tokens[10], "cumulative entries")};
     return response;
   }
+  if (kind == "stats") {
+    response.kind = Response::Kind::Stats;
+    ServerStats& s = response.stats;
+    std::size_t cursor = 3;
+    s.uptime_ms = labeled_u64(tokens, cursor, "uptime-ms");
+    s.queued = labeled_u64(tokens, cursor, "queued");
+    s.active = labeled_u64(tokens, cursor, "active");
+    s.sessions = labeled_u64(tokens, cursor, "sessions");
+    s.accepted = labeled_u64(tokens, cursor, "accepted");
+    s.completed = labeled_u64(tokens, cursor, "completed");
+    s.failed = labeled_u64(tokens, cursor, "failed");
+    s.busy_rejections = labeled_u64(tokens, cursor, "busy");
+    s.drain_rejections = labeled_u64(tokens, cursor, "drained");
+    s.protocol_errors = labeled_u64(tokens, cursor, "proto-errors");
+    require_label(tokens, cursor, "cache");
+    s.cache.hits = positional_u64(tokens, cursor, "cache hits");
+    s.cache.misses = positional_u64(tokens, cursor, "cache misses");
+    s.cache.entries = positional_u64(tokens, cursor, "cache entries");
+    require_label(tokens, cursor, "store");
+    s.store.hits = positional_u64(tokens, cursor, "store hits");
+    s.store.misses = positional_u64(tokens, cursor, "store misses");
+    s.store.saves = positional_u64(tokens, cursor, "store saves");
+    s.queue_wait = parse_latency(tokens, cursor, "queue-wait-us");
+    s.dispatch = parse_latency(tokens, cursor, "dispatch-us");
+    if (cursor != tokens.size()) {
+      throw ProtoError("stats response has trailing fields after '" +
+                       std::string(tokens[cursor - 1]) + "'");
+    }
+    return response;
+  }
   throw ProtoError("unknown response '" + std::string(kind) + "'");
+}
+
+void print_stats(std::ostream& out, std::string_view prefix, const ServerStats& stats) {
+  out << prefix << "uptime " << stats.uptime_ms << " ms; queue " << stats.queued
+      << " waiting, " << stats.active << " executing, " << stats.sessions << " sessions open\n";
+  out << prefix << "requests: " << stats.accepted << " accepted, " << stats.completed
+      << " completed, " << stats.failed << " failed, " << stats.busy_rejections << " busy, "
+      << stats.drain_rejections << " rejected draining, " << stats.protocol_errors
+      << " protocol errors\n";
+  out << prefix << "cache: " << stats.cache.hits << " hits, " << stats.cache.misses
+      << " misses, " << stats.cache.entries << " entries\n";
+  out << prefix << "store " << stats.store.hits << " loads, " << stats.store.misses
+      << " misses, " << stats.store.saves << " saves\n";
+  out << prefix << "queue wait us: " << stats.queue_wait.count << " sampled, p50 "
+      << stats.queue_wait.p50_us << ", p90 " << stats.queue_wait.p90_us << ", p99 "
+      << stats.queue_wait.p99_us << "\n";
+  out << prefix << "dispatch us: " << stats.dispatch.count << " sampled, p50 "
+      << stats.dispatch.p50_us << ", p90 " << stats.dispatch.p90_us << ", p99 "
+      << stats.dispatch.p99_us << "\n";
 }
 
 }  // namespace arl::serve

@@ -14,6 +14,7 @@
 /// Requests (client to server):
 ///
 ///   arl-serve 1 ping
+///   arl-serve 1 stats
 ///   arl-serve 1 sweep workload=<name> protocols=<p1,p2,...> seed=<u64>
 ///       [count=<u64>] [shard=<i/K>] [engine=<scalar|wavefront>]
 ///       [threads=<u64>] [cache=off] [store=off]
@@ -38,6 +39,18 @@
 ///   ... raw arl-shard-report lines ...
 ///   arl-serve 1 done <id> cache <req-hits> <req-misses> <req-builds>
 ///       <cum-hits> <cum-misses> <cum-entries>
+///   arl-serve 1 stats uptime-ms <u64> queued <u64> active <u64>
+///       sessions <u64> accepted <u64> completed <u64> failed <u64>
+///       busy <u64> drained <u64> proto-errors <u64>
+///       cache <hits> <misses> <entries> store <hits> <misses> <saves>
+///       queue-wait-us <count> <p50> <p90> <p99>
+///       dispatch-us <count> <p50> <p90> <p99>
+///
+/// The stats response is one line: live gauges (queue depth, in-flight
+/// requests, open sessions), cumulative lifecycle counters, cumulative
+/// cache/store counters, and the two serve-side latency histograms
+/// summarized as integer microseconds (count + p50/p90/p99 — see
+/// obs::HistogramSnapshot::percentile for the deterministic extraction).
 ///
 /// The parser is strict in the report_io tradition: unknown versions,
 /// reordered or duplicated fields, non-canonical spellings, out-of-range
@@ -45,6 +58,7 @@
 /// costs the client an `error` line, never the server its process.
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -115,7 +129,7 @@ struct SweepRequest {
 
 /// A parsed request line.
 struct Request {
-  enum class Kind : std::uint8_t { Ping, Sweep };
+  enum class Kind : std::uint8_t { Ping, Sweep, Stats };
 
   Kind kind = Kind::Ping;
   SweepRequest sweep;  ///< meaningful only when kind == Sweep
@@ -142,9 +156,53 @@ struct RequestCacheUse {
   friend bool operator==(const RequestCacheUse& a, const RequestCacheUse& b) = default;
 };
 
+/// Cumulative counters of the server's artifact store (stats lines); all
+/// zero on servers running without one.
+struct StoreTotals {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t saves = 0;
+
+  friend bool operator==(const StoreTotals& a, const StoreTotals& b) = default;
+};
+
+/// One latency histogram summarized for the wire: sample count plus the
+/// deterministic bucket-bound percentiles, as integer microseconds (exact
+/// round trip — no floats on the wire, like every other arl format).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p90_us = 0;
+  std::uint64_t p99_us = 0;
+
+  friend bool operator==(const LatencySummary& a, const LatencySummary& b) = default;
+};
+
+/// Everything a stats response reports about a running server.  Plain
+/// values only (the server layer assembles it from its counters and the
+/// obs registry; this header stays below server.hpp).
+struct ServerStats {
+  std::uint64_t uptime_ms = 0;          ///< since the listener bound
+  std::uint64_t queued = 0;             ///< requests waiting (live gauge)
+  std::uint64_t active = 0;             ///< requests executing (live gauge)
+  std::uint64_t sessions = 0;           ///< open client sessions (live gauge)
+  std::uint64_t accepted = 0;           ///< requests admitted to the queue
+  std::uint64_t completed = 0;          ///< requests that finished cleanly
+  std::uint64_t failed = 0;             ///< requests that errored in execution
+  std::uint64_t busy_rejections = 0;    ///< requests bounced by backpressure
+  std::uint64_t drain_rejections = 0;   ///< requests bounced during drain
+  std::uint64_t protocol_errors = 0;    ///< malformed lines answered with error
+  CacheTotals cache;                    ///< cumulative shared-cache counters
+  StoreTotals store;                    ///< cumulative artifact-store counters
+  LatencySummary queue_wait;            ///< obs::Phase::ServeQueueWait
+  LatencySummary dispatch;              ///< obs::Phase::ServeDispatch
+
+  friend bool operator==(const ServerStats& a, const ServerStats& b) = default;
+};
+
 /// A parsed response line.
 struct Response {
-  enum class Kind : std::uint8_t { Pong, Error, Busy, Ack, Begin, Done };
+  enum class Kind : std::uint8_t { Pong, Error, Busy, Ack, Begin, Done, Stats };
 
   Kind kind = Kind::Pong;
   std::string message;            ///< Error: human-readable reason (nonempty)
@@ -152,6 +210,7 @@ struct Response {
   std::uint64_t id = 0;           ///< Ack / Begin / Done: server-side request id
   RequestCacheUse request_cache;  ///< Done: this request's cache delta
   CacheTotals totals;             ///< Done / Pong: cumulative cache counters
+  ServerStats stats;              ///< Stats: the full server snapshot
 
   friend bool operator==(const Response& a, const Response& b) = default;
 };
@@ -172,5 +231,12 @@ struct Response {
 /// `arl-serve`-tagged lines, nullopt for anything else (a report body line).
 /// Throws ProtoError when a serve-tagged line is malformed.
 [[nodiscard]] std::optional<Response> match_response(std::string_view line);
+
+/// The one human-readable rendering of a ServerStats snapshot, used by both
+/// the daemon's own stderr reporting (startup/drain) and `arl stats` — the
+/// two can never disagree on a counter because they print the same struct
+/// through the same code.  Every line starts with `prefix` ("arl serve: "
+/// for the daemon, "" for the CLI).
+void print_stats(std::ostream& out, std::string_view prefix, const ServerStats& stats);
 
 }  // namespace arl::serve

@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -15,6 +16,7 @@
 
 #include "dist/report_io.hpp"
 #include "engine/batch_runner.hpp"
+#include "obs/metrics.hpp"
 #include "serve/serve_proto.hpp"
 #include "store/tiered_cache.hpp"
 #include "support/line_io.hpp"
@@ -51,11 +53,31 @@ struct JobResult {
 struct PendingJob {
   std::uint64_t id = 0;
   SweepRequest request;
+  /// When the job entered the queue; the dispatcher turns this into the
+  /// ServeQueueWait sample the moment it pops the job.
+  std::chrono::steady_clock::time_point enqueued{};
   std::promise<void> started;
   std::future<void> started_future = started.get_future();
   std::promise<JobResult> finished;
   std::future<JobResult> finished_future = finished.get_future();
 };
+
+/// Elapsed nanoseconds between two steady_clock stamps.
+std::uint64_t elapsed_nanos(std::chrono::steady_clock::time_point from,
+                            std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+/// Summarizes a nanosecond histogram as the wire's microsecond integers.
+LatencySummary summarize_us(const obs::HistogramSnapshot& snap) {
+  LatencySummary summary;
+  summary.count = snap.count();
+  summary.p50_us = snap.percentile(0.50) / 1000;
+  summary.p90_us = snap.percentile(0.90) / 1000;
+  summary.p99_us = snap.percentile(0.99) / 1000;
+  return summary;
+}
 
 /// Writes all of `bytes`, tolerating short sends and EINTR.  False when the
 /// peer is gone or SO_SNDTIMEO expired — the caller abandons the session.
@@ -102,6 +124,16 @@ struct SweepServer::Impl {
   int stop_rd = -1;
   int stop_wr = -1;
   bool ran = false;
+
+  /// When the listener bound (construction), for the uptime gauge.
+  const std::chrono::steady_clock::time_point start_time = std::chrono::steady_clock::now();
+
+  // Serve-side latency histograms, owned per server so stats from two
+  // in-process servers (the test fixtures run several) never mix.  Samples
+  // are mirrored into the process-wide obs registry under the matching
+  // phases, keeping the one-registry-instruments-everything story true.
+  obs::LatencyHistogram queue_wait_hist;
+  obs::LatencyHistogram dispatch_hist;
 
   // Job queue and counters, guarded by one mutex (the counters change on
   // the same events the queue does).
@@ -259,6 +291,34 @@ struct SweepServer::Impl {
     return {stats.hits, stats.misses, stats.entries};
   }
 
+  /// The full ServerStats snapshot a `stats` request answers with (also what
+  /// the daemon's startup/drain reporting renders via print_stats).
+  ServerStats stats_snapshot() const {
+    ServerStats stats;
+    stats.uptime_ms =
+        elapsed_nanos(start_time, std::chrono::steady_clock::now()) / 1'000'000;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      stats.queued = counters.queued;
+      stats.active = counters.active;
+      stats.sessions = counters.sessions;
+      stats.accepted = counters.accepted;
+      stats.completed = counters.completed;
+      stats.failed = counters.failed;
+      stats.busy_rejections = counters.busy_rejections;
+      stats.drain_rejections = counters.drain_rejections;
+      stats.protocol_errors = counters.protocol_errors;
+    }
+    stats.cache = totals_snapshot();
+    if (tiered) {
+      const store::ArtifactStoreStats store = tiered->artifacts().stats();
+      stats.store = {store.hits, store.misses, store.saves};
+    }
+    stats.queue_wait = summarize_us(queue_wait_hist.snapshot());
+    stats.dispatch = summarize_us(dispatch_hist.snapshot());
+    return stats;
+  }
+
   /// Executes one sweep request on the shared runner.  Never throws: any
   /// failure (out-of-range workload parameters and the like) becomes the
   /// request's error line.
@@ -346,8 +406,16 @@ struct SweepServer::Impl {
         counters.queued = queue.size();
         counters.active = 1;
       }
+      const auto picked_up = std::chrono::steady_clock::now();
+      const std::uint64_t wait_nanos = elapsed_nanos(job->enqueued, picked_up);
+      queue_wait_hist.record(wait_nanos);
+      obs::Registry::global().record(obs::Phase::ServeQueueWait, wait_nanos);
       job->started.set_value();
       JobResult result = execute(job->request);
+      const std::uint64_t dispatch_nanos =
+          elapsed_nanos(picked_up, std::chrono::steady_clock::now());
+      dispatch_hist.record(dispatch_nanos);
+      obs::Registry::global().record(obs::Phase::ServeDispatch, dispatch_nanos);
       {
         const std::lock_guard<std::mutex> lock(mutex);
         counters.active = 0;
@@ -383,6 +451,13 @@ struct SweepServer::Impl {
       return send_line(fd, format_response(pong));
     }
 
+    if (request.kind == Request::Kind::Stats) {
+      Response stats;
+      stats.kind = Response::Kind::Stats;
+      stats.stats = stats_snapshot();
+      return send_line(fd, format_response(stats));
+    }
+
     std::shared_ptr<PendingJob> job;
     Response refusal;
     {
@@ -399,6 +474,7 @@ struct SweepServer::Impl {
         job->id = next_id;
         next_id += 1;
         job->request = request.sweep;
+        job->enqueued = std::chrono::steady_clock::now();
         queue.push_back(job);
         counters.accepted += 1;
         counters.queued = queue.size();
@@ -620,6 +696,8 @@ store::ArtifactStoreStats SweepServer::store_stats() const {
   return impl_->tiered->artifacts().stats();
 }
 
+ServerStats SweepServer::stats() const { return impl_->stats_snapshot(); }
+
 const ServerOptions& SweepServer::options() const { return impl_->options; }
 
 #else  // !ARL_SERVE_HAS_UNIX_SOCKETS
@@ -640,6 +718,7 @@ int SweepServer::stop_fd() const { unsupported(); }
 ServerCounters SweepServer::counters() const { unsupported(); }
 engine::ScheduleCacheStats SweepServer::cache_stats() const { unsupported(); }
 store::ArtifactStoreStats SweepServer::store_stats() const { unsupported(); }
+ServerStats SweepServer::stats() const { unsupported(); }
 const ServerOptions& SweepServer::options() const { unsupported(); }
 
 #endif  // ARL_SERVE_HAS_UNIX_SOCKETS

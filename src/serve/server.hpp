@@ -37,6 +37,7 @@
 #include <string>
 
 #include "engine/schedule_cache.hpp"
+#include "serve/serve_proto.hpp"
 #include "store/artifact_store.hpp"
 
 /// Unix-domain sockets gate the whole subsystem, like fork gates the CLI's
@@ -142,6 +143,13 @@ class SweepServer {
   /// Cumulative counters of the artifact store tier (all zero when the
   /// server runs without a store directory).
   [[nodiscard]] store::ArtifactStoreStats store_stats() const;
+
+  /// The full observable state of the server — what a `stats` request
+  /// returns on the wire and what the daemon's own startup/drain reporting
+  /// prints (through serve::print_stats, so the two can never disagree):
+  /// uptime, live gauges, lifecycle counters, cache/store totals, and the
+  /// queue-wait / dispatch latency histograms summarized in microseconds.
+  [[nodiscard]] ServerStats stats() const;
 
   [[nodiscard]] const ServerOptions& options() const;
 

@@ -8,6 +8,7 @@
 #include "config/fingerprint.hpp"
 #include "config/io.hpp"
 #include "core/schedule_io.hpp"
+#include "obs/metrics.hpp"
 #include "support/assert.hpp"
 #include "support/hash.hpp"
 
@@ -293,6 +294,7 @@ std::string ArtifactStore::entry_path(const config::Configuration& configuration
 
 std::shared_ptr<const core::CompiledConfiguration> ArtifactStore::load(
     const config::Configuration& configuration, radio::ChannelModel model, bool fast_classifier) {
+  const obs::PhaseTimer span(obs::Phase::StoreLoad);
   const std::uint64_t key = entry_key(configuration, model, fast_classifier);
   const std::string path = directory_ + '/' + hex64(key) + ".arl";
 
@@ -333,6 +335,7 @@ std::shared_ptr<const core::CompiledConfiguration> ArtifactStore::load(
 
 void ArtifactStore::save(const config::Configuration& configuration, radio::ChannelModel model,
                          bool fast_classifier, const core::CompiledConfiguration& compiled) {
+  const obs::PhaseTimer span(obs::Phase::StoreSave);
   const std::uint64_t key = entry_key(configuration, model, fast_classifier);
   const std::string path = directory_ + '/' + hex64(key) + ".arl";
 

@@ -1,5 +1,7 @@
 #include "store/tiered_cache.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace arl::store {
 
 TieredScheduleCache::TieredScheduleCache(std::string directory, std::size_t memory_capacity)
@@ -14,6 +16,7 @@ std::shared_ptr<const core::CompiledConfiguration> TieredScheduleCache::lookup(
     // Promote the disk hit so repeat lookups stay in memory.  store() takes
     // the artifact by value; the copy is cheap — the schedule rides along as
     // a shared_ptr and only the classification records are duplicated.
+    const obs::PhaseTimer span(obs::Phase::CachePromote);
     return memory_.store(configuration, model, fast_classifier, *loaded);
   }
   return nullptr;

@@ -144,10 +144,12 @@ done
 [ $? -eq 0 ] || fail "a self-counting workload without --count should run and exit 0"
 
 # The legacy flags are aliases: byte-identical tables to the --workload
-# spelling (execution circumstance rows filtered, and whitespace squeezed,
-# as in the shard checks: column widths align to the timing rows' digits).
+# spelling (execution circumstance rows filtered — including the trailing
+# phase-timing block, which is all timings — and whitespace squeezed, as in
+# the shard checks: column widths align to the timing rows' digits).
 alias_filter() {
-  grep -vE "wall time|per second|worker threads" "$1" | sed -E 's/ +/ /g; s/-+/-/g'
+  sed '/^phase timings:/,$d' "$1" | sed '${/^$/d}' |
+    grep -vE "wall time|per second|worker threads" | sed -E 's/ +/ /g; s/-+/-/g'
 }
 "$cli" sweep --count=8 --n=8 --sigma=2 --seed=3 > "$tmpdir/legacy.txt" 2>&1 ||
   fail "legacy random sweep should exit 0"
@@ -170,7 +172,8 @@ fi
 # unsharded tables (whitespace squeezed as in the sharded checks below,
 # since column widths align to the filtered wall-time row's digits).
 wfilter() {
-  grep -vE "wall time|per second|worker threads" "$1" | sed -E 's/ +/ /g; s/-+/-/g'
+  sed '/^phase timings:/,$d' "$1" | sed '${/^$/d}' |
+    grep -vE "wall time|per second|worker threads" | sed -E 's/ +/ /g; s/-+/-/g'
 }
 wflags="--count=6 --workload=grid:rows=3,cols=3,sigma=2"
 "$cli" sweep $wflags > "$tmpdir/wsingle.txt" 2>&1 ||
@@ -283,7 +286,8 @@ done
 # which may be a filtered row's wall-time digits).
 sweep_flags="--count=12 --n=8 --protocol=canonical --protocol=classify"
 filter() {
-  grep -vE "wall time|per second|worker threads" "$1" | sed -E 's/ +/ /g; s/-+/-/g'
+  sed '/^phase timings:/,$d' "$1" | sed '${/^$/d}' |
+    grep -vE "wall time|per second|worker threads" | sed -E 's/ +/ /g; s/-+/-/g'
 }
 "$cli" sweep $sweep_flags > "$tmpdir/single.txt" 2>&1 ||
   fail "unsharded reference sweep should exit 0"
@@ -350,7 +354,8 @@ head -5 "$tmpdir/s0.txt" > "$tmpdir/truncated.txt"
 # tables byte-identical to the storeless run.  (Cache/store stats lines are
 # execution circumstances, filtered like the timing rows.)
 store_filter() {
-  grep -vE "wall time|per second|worker threads|schedule cache:|artifact store:" "$1" |
+  sed '/^phase timings:/,$d' "$1" | sed '${/^$/d}' |
+    grep -vE "wall time|per second|worker threads|schedule cache:|artifact store:" |
     grep -v '^$' | sed -E 's/ +/ /g; s/-+/-/g'
 }
 store_flags="--count=6 --n=8 --sigma=2 --seed=11 --protocol=canonical --protocol=classify"
@@ -434,6 +439,55 @@ spec="${out#arl }"
 if ! diff <(filter "$tmpdir/resumed.txt") <(filter "$tmpdir/single.txt") >/dev/null; then
   fail "resumed merge should print exactly the uninterrupted sweep tables"
 fi
+
+# ------------------------------------------------------------ observability
+
+# The plain sweep prints the phase-timing block; flag misuse exits 2.
+grep -q "^phase timings:" "$tmpdir/single.txt" ||
+  fail "a plain sweep should print the phase timings block"
+"$cli" sweep --metrics-out= --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "empty --metrics-out= should exit 2"
+"$cli" sweep --trace= --count=1 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "empty --trace= should exit 2"
+"$cli" sweep --metrics-out="$tmpdir/m.json" --shard=0/2 --count=4 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--metrics-out with --shard should exit 2"
+"$cli" sweep --trace="$tmpdir/t.jsonl" --workers=2 --count=4 >/dev/null 2>&1
+[ $? -eq 2 ] || fail "--trace with --workers should exit 2"
+
+# --metrics-out writes the fixed key set — every phase, every field, present
+# whether or not the phase ran (bench_gate fails on asymmetric keys).
+metrics_flags="--count=6 --n=8 --seed=7 --threads=1 --protocol=canonical --protocol=classify"
+"$cli" sweep $metrics_flags --metrics-out="$tmpdir/metrics-a.json" >/dev/null 2>&1 ||
+  fail "sweep --metrics-out should exit 0"
+for key in schema jobs phase_classify_count phase_schedule_compile_count \
+           phase_simulate_count phase_simulate_total_ms phase_simulate_p50_ms \
+           phase_simulate_p90_ms phase_simulate_p99_ms phase_cache_lookup_count \
+           phase_cache_promote_count phase_store_load_count phase_store_save_count \
+           phase_serve_queue_wait_count phase_serve_dispatch_count; do
+  grep -q "\"$key\"" "$tmpdir/metrics-a.json" ||
+    fail "metrics snapshot should contain \"$key\": $(cat "$tmpdir/metrics-a.json")"
+done
+
+# Two identical single-threaded uncached runs gate cleanly against each
+# other: the counts are exact-match fields, the timings informational.
+"$cli" sweep $metrics_flags --metrics-out="$tmpdir/metrics-b.json" >/dev/null 2>&1 ||
+  fail "second sweep --metrics-out should exit 0"
+gate="$(dirname "$cli")/bench_gate"
+if [ -x "$gate" ]; then
+  "$gate" --committed="$tmpdir/metrics-a.json" --fresh="$tmpdir/metrics-b.json" >/dev/null 2>&1 ||
+    fail "identical --threads=1 runs should bench_gate cleanly against each other"
+fi
+
+# --trace appends one JSON line per job, every line with the same key set.
+"$cli" sweep --count=5 --n=8 --trace="$tmpdir/trace.jsonl" >/dev/null 2>&1 ||
+  fail "sweep --trace should exit 0"
+[ "$(wc -l < "$tmpdir/trace.jsonl")" -eq 5 ] ||
+  fail "--trace should write one line per job, got $(wc -l < "$tmpdir/trace.jsonl")"
+for key in '"job"' '"protocol"' '"config"' '"disposition"' '"simulate_ns"' \
+           '"classify_ns"' '"schedule-compile_ns"'; do
+  head -1 "$tmpdir/trace.jsonl" | grep -q "$key:" ||
+    fail "trace lines should carry $key: $(head -1 "$tmpdir/trace.jsonl")"
+done
 
 if [ "$failures" -gt 0 ]; then
   exit 1

@@ -72,8 +72,10 @@ esac
 # widest cell.
 sweep_flags="--count=12 --n=8 --protocol=canonical --protocol=classify --seed=5"
 filter() {
-  # cat -s squeezes the blank line orphaned by removing the cache block.
-  grep -vE "wall time|per second|worker threads|schedule cache" "$1" |
+  # cat -s squeezes the blank line orphaned by removing the cache block;
+  # the trailing phase-timing block is all timings, dropped wholesale.
+  sed '/^phase timings:/,$d' "$1" | sed '${/^$/d}' |
+    grep -vE "wall time|per second|worker threads|schedule cache" |
     sed -E 's/ +/ /g; s/-+/-/g' | cat -s
 }
 "$cli" sweep $sweep_flags >"$tmpdir/single.txt" 2>&1 ||
@@ -125,6 +127,31 @@ case "$out" in
   *) fail "--cache=off should bypass the shared cache: $out" ;;
 esac
 
+# ---------------------------------------------------------------- arl stats
+
+# Usage errors mirror submit's: no socket is misuse, a missing server is a
+# runtime failure.
+"$cli" stats >/dev/null 2>&1
+[ $? -eq 2 ] || fail "stats without --socket should exit 2"
+"$cli" stats --socket="$tmpdir/nowhere.sock" >/dev/null 2>&1
+[ $? -eq 1 ] || fail "stats against a missing server should exit 1"
+"$cli" stats --socket="$socket" --timeout=bogus >/dev/null 2>&1
+[ $? -eq 2 ] || fail "stats --timeout=bogus should exit 2"
+
+# A live query answers the full snapshot: uptime, gauges, request counters,
+# cache/store totals, latency percentiles.
+"$cli" stats --socket="$socket" > "$tmpdir/stats.txt" 2>&1 ||
+  fail "stats against the live server should exit 0"
+for token in "uptime" "requests:" "cache:" "store " "queue wait us:" "dispatch us:"; do
+  grep -q "$token" "$tmpdir/stats.txt" ||
+    fail "stats output should contain '$token': $(cat "$tmpdir/stats.txt")"
+done
+grep -q "queue 0 waiting" "$tmpdir/stats.txt" ||
+  fail "an idle server should report an empty queue: $(cat "$tmpdir/stats.txt")"
+queue_sampled=$(sed -n 's/^queue wait us: \([0-9]*\) sampled.*/\1/p' "$tmpdir/stats.txt")
+[ -n "$queue_sampled" ] && [ "$queue_sampled" -gt 0 ] ||
+  fail "the executed sweeps should have sampled queue-wait latencies: $(cat "$tmpdir/stats.txt")"
+
 # Graceful drain: SIGTERM finishes in-flight work, prints a summary, exits
 # 0 and unlinks the socket — no orphaned daemon, no leftover path.
 kill -TERM "$server_pid"
@@ -135,6 +162,21 @@ server_pid=""
 grep -q "drained" "$tmpdir/serve.log" ||
   fail "the drain should log a summary: $(cat "$tmpdir/serve.log")"
 [ ! -e "$socket" ] || fail "the drain should unlink the socket"
+
+# The drain summary and the earlier `arl stats` answer came from the same
+# snapshot path and formatter, so every cumulative line (requests, cache,
+# store, latency percentiles) must agree verbatim — nothing ran in between.
+# Only the uptime/gauge line may differ (time passed, the stats session
+# itself came and went).
+cumulative() {
+  grep -E "^(requests:|cache:|store |queue wait us:|dispatch us:)" "$1"
+}
+sed -n 's/^arl serve: //p' "$tmpdir/serve.log" > "$tmpdir/drain-stats.txt"
+if ! diff <(cumulative "$tmpdir/stats.txt") <(cumulative "$tmpdir/drain-stats.txt") >/dev/null
+then
+  fail "arl stats and the drain summary disagree: $(diff "$tmpdir/stats.txt" \
+    "$tmpdir/drain-stats.txt")"
+fi
 "$cli" submit --socket="$socket" --ping >/dev/null 2>&1
 [ $? -eq 1 ] || fail "submit after the drain should exit 1"
 

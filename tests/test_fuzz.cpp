@@ -34,6 +34,7 @@
 #include "helpers.hpp"
 #include "lowerbounds/universal.hpp"
 #include "radio/validator.hpp"
+#include "serve/serve_proto.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -526,6 +527,209 @@ TEST(ShardReportFuzz, SweepIdentityLineIsDigestProtected) {
     std::istringstream in(mutated);
     EXPECT_THROW((void)dist::read_shard_report(in), dist::ReportFormatError)
         << "sweep-line corruption at byte " << at << " was accepted";
+  }
+}
+
+// --------------------------------------------------- serve stats protocol
+
+/// A stats response with every field distinct and nonzero, so a parse that
+/// transposes two counters cannot round-trip back to the original.
+serve::Response reference_stats_response() {
+  serve::Response response;
+  response.kind = serve::Response::Kind::Stats;
+  serve::ServerStats& s = response.stats;
+  s.uptime_ms = 1201;
+  s.queued = 2;
+  s.active = 3;
+  s.sessions = 4;
+  s.accepted = 55;
+  s.completed = 51;
+  s.failed = 1;
+  s.busy_rejections = 6;
+  s.drain_rejections = 7;
+  s.protocol_errors = 8;
+  s.cache = {90, 41, 42};
+  s.store = {13, 14, 15};
+  s.queue_wait = {51, 127, 511, 2047};
+  s.dispatch = {51, 1023, 8191, 16383};
+  return response;
+}
+
+TEST(StatsProtoFuzz, ReferenceLineRoundTrips) {
+  const serve::Response response = reference_stats_response();
+  const std::string line = serve::format_response(response);
+  EXPECT_EQ(line,
+            "arl-serve 1 stats uptime-ms 1201 queued 2 active 3 sessions 4 "
+            "accepted 55 completed 51 failed 1 busy 6 drained 7 proto-errors 8 "
+            "cache 90 41 42 store 13 14 15 queue-wait-us 51 127 511 2047 "
+            "dispatch-us 51 1023 8191 16383");
+  const auto matched = serve::match_response(line);
+  ASSERT_TRUE(matched.has_value());
+  EXPECT_EQ(*matched, response);
+
+  // The request side is three exact tokens.
+  serve::Request request;
+  request.kind = serve::Request::Kind::Stats;
+  EXPECT_EQ(serve::format_request(request), "arl-serve 1 stats");
+  EXPECT_EQ(serve::parse_request("arl-serve 1 stats"), request);
+}
+
+TEST(StatsProtoFuzz, EveryTruncationIsRejected) {
+  // Cutting the response after any token prefix must throw: the parser
+  // demands all 41 tokens, so a connection dropped mid-line can never be
+  // mistaken for a smaller-but-valid snapshot.
+  const std::string line = serve::format_response(reference_stats_response());
+  std::vector<std::string> tokens;
+  {
+    std::istringstream in(line);
+    for (std::string token; in >> token;) {
+      tokens.push_back(token);
+    }
+  }
+  ASSERT_EQ(tokens.size(), 41u);
+  for (std::size_t keep = 2; keep < tokens.size(); ++keep) {
+    std::string truncated = tokens[0];
+    for (std::size_t i = 1; i < keep; ++i) {
+      truncated += ' ';
+      truncated += tokens[i];
+    }
+    EXPECT_THROW((void)serve::match_response(truncated), serve::ProtoError)
+        << "accepted after " << keep << " tokens: " << truncated;
+  }
+}
+
+TEST(StatsProtoFuzz, VersionSkewIsRejected) {
+  const std::string line = serve::format_response(reference_stats_response());
+  for (const std::string version : {"0", "2", "999", "01", "one"}) {
+    std::string skewed = line;
+    skewed.replace(std::string("arl-serve ").size(), 1, version);
+    EXPECT_THROW((void)serve::match_response(skewed), serve::ProtoError)
+        << "accepted version " << version;
+    EXPECT_THROW((void)serve::parse_request("arl-serve " + version + " stats"),
+                 serve::ProtoError)
+        << "accepted request version " << version;
+  }
+}
+
+TEST(StatsProtoFuzz, GarbageCountersAreRejected) {
+  // Replace each of the 26 numeric value positions in turn with tokens a
+  // lenient strtoull-style reader might wave through: signs, floats,
+  // hex, overflow, empty-adjacent doubled spaces.
+  const std::string line = serve::format_response(reference_stats_response());
+  std::vector<std::string> tokens;
+  {
+    std::istringstream in(line);
+    for (std::string token; in >> token;) {
+      tokens.push_back(token);
+    }
+  }
+  const auto joined = [](const std::vector<std::string>& parts) {
+    std::string all;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (i > 0) {
+        all += ' ';
+      }
+      all += parts[i];
+    }
+    return all;
+  };
+  const std::vector<std::string> garbage = {
+      "x", "-1", "1.5", "+3", "18446744073709551616", "0x10", "12a", ""};
+  for (std::size_t at = 3; at < tokens.size(); ++at) {
+    const bool is_value = std::all_of(tokens[at].begin(), tokens[at].end(),
+                                      [](char c) { return c >= '0' && c <= '9'; });
+    if (!is_value) {
+      continue;
+    }
+    for (const std::string& bad : garbage) {
+      std::vector<std::string> mutated = tokens;
+      mutated[at] = bad;
+      EXPECT_THROW((void)serve::match_response(joined(mutated)), serve::ProtoError)
+          << "accepted '" << bad << "' at token " << at;
+    }
+  }
+}
+
+TEST(StatsProtoFuzz, LabelCorruptionAndTrailingFieldsAreRejected) {
+  const std::string line = serve::format_response(reference_stats_response());
+  std::vector<std::string> tokens;
+  {
+    std::istringstream in(line);
+    for (std::string token; in >> token;) {
+      tokens.push_back(token);
+    }
+  }
+  const auto joined = [](const std::vector<std::string>& parts) {
+    std::string all;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (i > 0) {
+        all += ' ';
+      }
+      all += parts[i];
+    }
+    return all;
+  };
+  // Corrupt each label token (uppercase first letter — same length, wrong
+  // spelling) and drop each label token.
+  for (std::size_t at = 3; at < tokens.size(); ++at) {
+    const bool is_value = std::all_of(tokens[at].begin(), tokens[at].end(),
+                                      [](char c) { return c >= '0' && c <= '9'; });
+    if (is_value) {
+      continue;
+    }
+    std::vector<std::string> corrupted = tokens;
+    corrupted[at][0] = static_cast<char>(corrupted[at][0] - 'a' + 'A');
+    EXPECT_THROW((void)serve::match_response(joined(corrupted)), serve::ProtoError)
+        << "accepted corrupted label at token " << at;
+    std::vector<std::string> dropped = tokens;
+    dropped.erase(dropped.begin() + static_cast<std::ptrdiff_t>(at));
+    EXPECT_THROW((void)serve::match_response(joined(dropped)), serve::ProtoError)
+        << "accepted dropped label at token " << at;
+  }
+  // Trailing fields on either direction.
+  EXPECT_THROW((void)serve::match_response(line + " 0"), serve::ProtoError);
+  EXPECT_THROW((void)serve::match_response(line + " uptime-ms 1"), serve::ProtoError);
+  EXPECT_THROW((void)serve::parse_request("arl-serve 1 stats extra"), serve::ProtoError);
+  EXPECT_THROW((void)serve::parse_request("arl-serve 1 stats "), serve::ProtoError);
+}
+
+TEST(StatsProtoFuzz, RandomSnapshotsRoundTrip) {
+  // Property pass: arbitrary counter values (including the 0 and max
+  // extremes the reference line avoids) survive the wire exactly.
+  support::Rng rng(0x57A7);
+  const auto value = [&rng]() -> std::uint64_t {
+    switch (rng.below(4)) {
+      case 0:
+        return 0;
+      case 1:
+        return rng.below(100);
+      case 2:
+        return rng.next();
+      default:
+        return ~std::uint64_t{0};
+    }
+  };
+  for (int trial = 0; trial < 2'000; ++trial) {
+    serve::Response response;
+    response.kind = serve::Response::Kind::Stats;
+    serve::ServerStats& s = response.stats;
+    s.uptime_ms = value();
+    s.queued = value();
+    s.active = value();
+    s.sessions = value();
+    s.accepted = value();
+    s.completed = value();
+    s.failed = value();
+    s.busy_rejections = value();
+    s.drain_rejections = value();
+    s.protocol_errors = value();
+    s.cache = {value(), value(), value()};
+    s.store = {value(), value(), value()};
+    s.queue_wait = {value(), value(), value(), value()};
+    s.dispatch = {value(), value(), value(), value()};
+    const auto matched = serve::match_response(serve::format_response(response));
+    ASSERT_TRUE(matched.has_value()) << "trial " << trial;
+    ASSERT_EQ(*matched, response) << "trial " << trial;
   }
 }
 

@@ -1,0 +1,356 @@
+/// \file test_obs.cpp
+/// Unit tests for the observability layer: log-bucketed latency histograms
+/// (exact bucket placement, percentile determinism, the merge/delta
+/// algebra), concurrent recording, the registry's enabled switch, per-job
+/// frames, the JSON-lines trace sink and the flat JSON snapshot writer.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace arl::obs;
+
+HistogramSnapshot snapshot_of(const std::vector<std::uint64_t>& samples) {
+  LatencyHistogram histogram;
+  for (const std::uint64_t sample : samples) {
+    histogram.record(sample);
+  }
+  return histogram.snapshot();
+}
+
+// ------------------------------------------------------------------ buckets
+
+TEST(Histogram, BucketBoundariesAreExact) {
+  // Bucket 0 holds exactly {0}; bucket i holds [2^(i-1), 2^i - 1].  Probe
+  // every boundary on both sides up to 2^20 plus the extreme top.
+  LatencyHistogram histogram;
+  histogram.record(0);
+  HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.buckets[0], 1u);
+
+  for (std::size_t bucket = 1; bucket <= 20; ++bucket) {
+    const std::uint64_t lower = std::uint64_t{1} << (bucket - 1);
+    const std::uint64_t upper = bucket_upper_bound(bucket);
+    EXPECT_EQ(upper, (std::uint64_t{1} << bucket) - 1);
+    const HistogramSnapshot edges = snapshot_of({lower, upper});
+    EXPECT_EQ(edges.buckets[bucket], 2u) << "bucket " << bucket;
+    EXPECT_EQ(edges.count(), 2u);
+  }
+
+  // The extremes: 2^63 and the largest uint64 land in the top bucket.
+  const HistogramSnapshot top = snapshot_of({std::uint64_t{1} << 63, ~std::uint64_t{0}});
+  EXPECT_EQ(top.buckets[64], 2u);
+  EXPECT_EQ(bucket_upper_bound(64), ~std::uint64_t{0});
+  EXPECT_EQ(bucket_upper_bound(0), 0u);
+}
+
+TEST(Histogram, CountMeanTotalAreExact) {
+  const HistogramSnapshot snap = snapshot_of({0, 1, 2, 3, 4});
+  EXPECT_EQ(snap.count(), 5u);
+  EXPECT_EQ(snap.total, 10u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 2.0);
+}
+
+// -------------------------------------------------------------- percentiles
+
+TEST(Histogram, EmptyPercentilesAreZero) {
+  const HistogramSnapshot empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.percentile(0.50), 0u);
+  EXPECT_EQ(empty.percentile(0.99), 0u);
+  EXPECT_EQ(empty.percentile(1.0), 0u);
+  EXPECT_EQ(empty.max_bound(), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+}
+
+TEST(Histogram, PercentilesAreBucketUpperBounds) {
+  // Samples {0, 1, 2, 3, 4}: buckets 0:{0}, 1:{1}, 2:{2,3}, 3:{4}.
+  // rank(q) = ceil(q * 5); the percentile is the upper bound of the bucket
+  // holding that rank — a pure function of the recorded multiset.
+  const HistogramSnapshot snap = snapshot_of({0, 1, 2, 3, 4});
+  EXPECT_EQ(snap.percentile(0.20), 0u);  // rank 1 -> bucket 0
+  EXPECT_EQ(snap.percentile(0.40), 1u);  // rank 2 -> bucket 1
+  EXPECT_EQ(snap.percentile(0.50), 3u);  // rank 3 -> bucket 2
+  EXPECT_EQ(snap.percentile(0.80), 3u);  // rank 4 -> bucket 2
+  EXPECT_EQ(snap.percentile(0.99), 7u);  // rank 5 -> bucket 3
+  EXPECT_EQ(snap.percentile(1.0), 7u);
+  EXPECT_EQ(snap.max_bound(), 7u);
+}
+
+TEST(Histogram, PercentileIsDeterministicAcrossRecordingOrder) {
+  const std::vector<std::uint64_t> samples = {9, 100, 3, 70000, 1, 0, 255, 256, 12, 12};
+  std::vector<std::uint64_t> reversed(samples.rbegin(), samples.rend());
+  const HistogramSnapshot forward = snapshot_of(samples);
+  const HistogramSnapshot backward = snapshot_of(reversed);
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(forward.percentile(0.5), backward.percentile(0.5));
+  EXPECT_EQ(forward.percentile(0.9), backward.percentile(0.9));
+}
+
+// -------------------------------------------------------------- merge/delta
+
+TEST(Histogram, MergeOfShardsEqualsUnshardedSnapshot) {
+  // The acceptance bar: snapshots from K sharded runs merge bit-identical
+  // to the unsharded snapshot of the concatenated samples.
+  std::vector<std::uint64_t> all;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    all.push_back(i * i % 40009);
+  }
+  for (const std::size_t shards : {2u, 3u, 7u}) {
+    HistogramSnapshot merged;
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      std::vector<std::uint64_t> part;
+      for (std::size_t i = shard; i < all.size(); i += shards) {
+        part.push_back(all[i]);
+      }
+      merged.merge(snapshot_of(part));
+    }
+    EXPECT_EQ(merged, snapshot_of(all)) << shards << " shards";
+  }
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  const HistogramSnapshot a = snapshot_of({1, 2, 3});
+  const HistogramSnapshot b = snapshot_of({100, 200});
+  const HistogramSnapshot c = snapshot_of({0, 0, 70000});
+
+  HistogramSnapshot ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+
+  HistogramSnapshot bc = b;
+  bc.merge(c);
+  HistogramSnapshot a_bc = a;
+  a_bc.merge(bc);
+
+  HistogramSnapshot cba = c;
+  cba.merge(b);
+  cba.merge(a);
+
+  EXPECT_EQ(ab_c, a_bc);
+  EXPECT_EQ(ab_c, cba);
+}
+
+TEST(Histogram, SinceAttributesGrowthExactly) {
+  LatencyHistogram histogram;
+  histogram.record(5);
+  histogram.record(1000);
+  const HistogramSnapshot before = histogram.snapshot();
+  histogram.record(7);
+  histogram.record(7);
+  const HistogramSnapshot delta = histogram.snapshot().since(before);
+  EXPECT_EQ(delta, snapshot_of({7, 7}));
+}
+
+TEST(Metrics, SnapshotMergeAndSinceLiftPointwise) {
+  Registry shard_a;
+  Registry shard_b;
+  Registry whole;
+  shard_a.record(Phase::Simulate, 10);
+  shard_a.record(Phase::Classify, 3);
+  shard_b.record(Phase::Simulate, 900);
+  for (const std::uint64_t nanos : {10u, 3u, 900u}) {
+    whole.record(nanos == 3 ? Phase::Classify : Phase::Simulate, nanos);
+  }
+  MetricsSnapshot merged = shard_a.snapshot();
+  merged.merge(shard_b.snapshot());
+  EXPECT_EQ(merged, whole.snapshot());
+  EXPECT_FALSE(merged.empty());
+  EXPECT_TRUE(MetricsSnapshot{}.empty());
+
+  const MetricsSnapshot before = whole.snapshot();
+  whole.record(Phase::StoreLoad, 42);
+  const MetricsSnapshot delta = whole.snapshot().since(before);
+  EXPECT_EQ(delta[Phase::StoreLoad].count(), 1u);
+  EXPECT_EQ(delta[Phase::StoreLoad].total, 42u);
+  EXPECT_EQ(delta[Phase::Simulate].count(), 0u);
+}
+
+// -------------------------------------------------------------- concurrency
+
+TEST(Histogram, ConcurrentRecordingLosesNothing) {
+  // 1, 2 and 8 threads each record a disjoint arithmetic series; after the
+  // writers join, counts and totals are exact — no lost updates.
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    LatencyHistogram histogram;
+    constexpr std::uint64_t kPerThread = 20'000;
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&histogram, t] {
+        for (std::uint64_t i = 0; i < kPerThread; ++i) {
+          histogram.record(t * kPerThread + i);
+        }
+      });
+    }
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+    const HistogramSnapshot snap = histogram.snapshot();
+    const std::uint64_t n = threads * kPerThread;
+    EXPECT_EQ(snap.count(), n) << threads << " threads";
+    EXPECT_EQ(snap.total, n * (n - 1) / 2) << threads << " threads";
+  }
+}
+
+// ----------------------------------------------------------------- registry
+
+TEST(Registry, PhaseNamesAreCanonicalAndComplete) {
+  EXPECT_EQ(all_phases().size(), kPhaseCount);
+  std::vector<std::string> seen;
+  for (const Phase phase : all_phases()) {
+    seen.emplace_back(phase_name(phase));
+  }
+  const std::vector<std::string> expected = {
+      "classify",   "schedule-compile", "simulate",   "cache-lookup",    "cache-promote",
+      "store-load", "store-save",       "serve-queue-wait", "serve-dispatch"};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Registry, DisabledTimersAreInertEnabledTimersRecord) {
+  Registry registry;
+  registry.set_enabled(false);
+  { const PhaseTimer span(Phase::Simulate, registry); }
+  EXPECT_TRUE(registry.snapshot().empty());
+
+  registry.set_enabled(true);
+  { const PhaseTimer span(Phase::Simulate, registry); }
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap[Phase::Simulate].count(), 1u);
+  EXPECT_EQ(snap[Phase::Classify].count(), 0u);
+}
+
+TEST(Registry, JobFrameAccumulatesThisThreadsSpans) {
+  Registry registry;
+  EXPECT_EQ(ScopedJobFrame::active(), nullptr);
+  JobFrame outer;
+  {
+    const ScopedJobFrame active(outer);
+    ASSERT_EQ(ScopedJobFrame::active(), &outer);
+    { const PhaseTimer span(Phase::Classify, registry); }
+    { const PhaseTimer span(Phase::Classify, registry); }
+    // A nested frame shadows, then restores, the outer one.
+    JobFrame inner;
+    {
+      const ScopedJobFrame nested(inner);
+      EXPECT_EQ(ScopedJobFrame::active(), &inner);
+      { const PhaseTimer span(Phase::Simulate, registry); }
+    }
+    EXPECT_EQ(ScopedJobFrame::active(), &outer);
+  }
+  EXPECT_EQ(ScopedJobFrame::active(), nullptr);
+  // Two classify spans landed on the outer frame, the simulate span on the
+  // inner one; the registry saw all three.
+  EXPECT_EQ(outer[Phase::Simulate], 0u);
+  EXPECT_EQ(registry.snapshot()[Phase::Classify].count(), 2u);
+  EXPECT_EQ(registry.snapshot()[Phase::Simulate].count(), 1u);
+}
+
+// -------------------------------------------------------------------- trace
+
+/// A temp file path cleaned up on scope exit.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const char* tag) : path(std::string("/tmp/arl-obs-test-") + tag + "-" +
+                                            std::to_string(::getpid())) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(Trace, JsonLinesCarryEveryPhaseKey) {
+  const TempFile file("trace");
+  {
+    JsonLinesTraceSink sink(file.path);
+    TraceEvent event;
+    event.job_id = 7;
+    event.protocol = "canonical";
+    event.config_fingerprint = 0xdeadbeef;
+    event.nodes = 16;
+    event.span = 3;
+    event.disposition = "elected";
+    event.feasible = true;
+    event.simulated = true;
+    event.valid = true;
+    event.local_rounds = 12;
+    event.frame.nanos[static_cast<std::size_t>(Phase::Simulate)] = 1234;
+    sink.emit(event);
+    sink.flush();
+  }
+  const std::string text = slurp(file.path);
+  EXPECT_NE(text.find("\"job\":7"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"protocol\":\"canonical\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"disposition\":\"elected\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"simulate_ns\":1234"), std::string::npos) << text;
+  // Every phase key appears on every line, ran or not.
+  for (const Phase phase : all_phases()) {
+    std::string key = "\"";
+    key += phase_name(phase);
+    key += "_ns\":";
+    EXPECT_NE(text.find(key), std::string::npos) << key << " missing: " << text;
+  }
+  // One line, newline-terminated.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+TEST(Trace, StringsAreEscaped) {
+  const TempFile file("escape");
+  {
+    JsonLinesTraceSink sink(file.path);
+    TraceEvent event;
+    event.protocol = "we\"ird\\name\n";
+    sink.emit(event);
+    sink.flush();
+  }
+  const std::string text = slurp(file.path);
+  EXPECT_NE(text.find("we\\\"ird\\\\name\\n"), std::string::npos) << text;
+}
+
+TEST(Trace, UnwritablePathThrows) {
+  EXPECT_THROW(JsonLinesTraceSink("/nonexistent-dir/trace.jsonl"), std::runtime_error);
+}
+
+// ------------------------------------------------------------ json snapshot
+
+TEST(JsonSnapshot, WritesFlatObjectInInsertionOrder) {
+  const TempFile file("snapshot");
+  JsonSnapshot snapshot;
+  snapshot.add("schema", std::string("arl-metrics 1"));
+  snapshot.add("jobs", std::uint64_t{12});
+  snapshot.add("ratio", 1.5);
+  snapshot.add("flag", true);
+  ASSERT_TRUE(snapshot.write_file(file.path));
+  const std::string text = slurp(file.path);
+  EXPECT_NE(text.find("\"schema\": \"arl-metrics 1\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"jobs\": 12"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"ratio\": 1.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"flag\": true"), std::string::npos) << text;
+  EXPECT_LT(text.find("schema"), text.find("jobs"));
+  EXPECT_LT(text.find("jobs"), text.find("ratio"));
+}
+
+TEST(JsonSnapshot, UnwritablePathReturnsFalse) {
+  JsonSnapshot snapshot;
+  snapshot.add("k", std::uint64_t{1});
+  EXPECT_FALSE(snapshot.write_file("/nonexistent-dir/out.json"));
+}
+
+}  // namespace

@@ -348,6 +348,68 @@ TEST_F(ServeTest, SharedCacheSpansRequests) {
   runner.join();
 }
 
+TEST_F(ServeTest, StatsReflectServedWork) {
+  serve::ServerOptions options;
+  options.socket_path = socket_path_;
+  options.threads = 1;
+  serve::SweepServer server(options);
+  std::thread runner = serve_on_thread(server);
+
+  serve::Client client(socket_path_);
+
+  // A fresh server has served nothing; the gauges see this open session.
+  const serve::ServerStats fresh = client.stats();
+  EXPECT_EQ(fresh.queued, 0u);
+  EXPECT_EQ(fresh.active, 0u);
+  EXPECT_GE(fresh.sessions, 1u);
+  EXPECT_EQ(fresh.accepted, 0u);
+  EXPECT_EQ(fresh.completed, 0u);
+  EXPECT_EQ(fresh.failed, 0u);
+
+  const serve::SubmitResult result = client.submit(small_sweep_request());
+  ASSERT_TRUE(result.ok()) << result.outcome.message;
+
+  const serve::ServerStats after = client.stats();
+  EXPECT_EQ(after.accepted, 1u);
+  EXPECT_EQ(after.completed, 1u);
+  EXPECT_EQ(after.failed, 0u);
+  EXPECT_EQ(after.queued, 0u);
+  EXPECT_EQ(after.active, 0u);
+  EXPECT_GE(after.uptime_ms, fresh.uptime_ms);
+  // The executed request passed through both serve-side histograms.
+  EXPECT_GE(after.queue_wait.count, 1u);
+  EXPECT_GE(after.dispatch.count, 1u);
+  EXPECT_GE(after.queue_wait.p99_us, after.queue_wait.p50_us);
+  EXPECT_GE(after.dispatch.p99_us, after.dispatch.p50_us);
+  // Cache counters on the stats line agree with the server's own view.
+  const engine::ScheduleCacheStats cache = server.cache_stats();
+  EXPECT_EQ(after.cache.hits, cache.hits);
+  EXPECT_EQ(after.cache.misses, cache.misses);
+  EXPECT_EQ(after.cache.entries, cache.entries);
+  // No store configured: all store counters stay zero.
+  EXPECT_EQ(after.store, (serve::StoreTotals{0, 0, 0}));
+
+  // The wire snapshot is the server's own snapshot (modulo fields that move
+  // with time and the polling connection itself).
+  serve::ServerStats direct = server.stats();
+  serve::ServerStats wire = after;
+  direct.uptime_ms = wire.uptime_ms = 0;
+  direct.sessions = wire.sessions = 0;
+  direct.accepted = wire.accepted = 0;      // the stats request itself
+  direct.completed = wire.completed = 0;    // may tick between snapshots
+  EXPECT_EQ(direct.queued, wire.queued);
+  EXPECT_EQ(direct.cache, wire.cache);
+  EXPECT_EQ(direct.store, wire.store);
+
+  server.request_stop();
+  runner.join();
+
+  // Counters survive the drain: the final snapshot still remembers the work.
+  const serve::ServerStats drained = server.stats();
+  EXPECT_EQ(drained.completed, after.completed);
+  EXPECT_EQ(drained.sessions, 0u);
+}
+
 TEST_F(ServeTest, InvalidSweepIsRefusedAndTheSessionSurvives) {
   serve::ServerOptions options;
   options.socket_path = socket_path_;

@@ -348,4 +348,17 @@ TEST(Stopwatch, MeasuresForwardTime) {
   EXPECT_LT(watch.seconds(), 1.0);
 }
 
+TEST(Stopwatch, RecordedSpansAreMonotone) {
+  // The stopwatch (like every timing path in the repository) reads the
+  // steady clock, so a recorded span can never run backwards — even across
+  // many rapid reads, where a wall clock adjusted by NTP could regress.
+  Stopwatch watch;
+  double previous = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double now = watch.seconds();
+    ASSERT_GE(now, previous) << "span regressed at read " << i;
+    previous = now;
+  }
+}
+
 }  // namespace

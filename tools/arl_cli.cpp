@@ -11,6 +11,7 @@
 ///   arl serve     — sweep service daemon on a unix socket: one shared
 ///                   engine + schedule cache across requests (serve/)
 ///   arl submit    — submit one sweep to a running service
+///   arl stats     — live statistics of a running service (queue, latency)
 ///   arl workloads — list the registered sweep workloads (engine/workload.hpp)
 ///   arl trace     — replay the canonical DRIP with a per-round trace
 ///   arl schedule  — compile and print the canonical schedule (deployable)
@@ -62,6 +63,9 @@
 #include "engine/sweep.hpp"
 #include "engine/workload.hpp"
 #include "graph/generators.hpp"
+#include "obs/json_snapshot.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "radio/trace.hpp"
 #include "serve/client.hpp"
 #include "serve/serve_proto.hpp"
@@ -148,6 +152,16 @@ commands:
                                  reference loop) or wavefront (word-parallel
                                  fast path); results are bit-identical, only
                                  throughput differs
+               --metrics-out=FILE  write the run's phase-timing metrics as a
+                                 flat JSON object to FILE: per-phase counts
+                                 (deterministic at --threads=1) plus total
+                                 and p50/p90/p99 milliseconds (plain-path
+                                 sweeps only; conflicts with --shard and
+                                 --workers)
+               --trace=FILE      machine-readable run telemetry: append one
+                                 JSON line per job to FILE — job id, config
+                                 fingerprint, disposition, per-phase
+                                 nanoseconds (plain-path sweeps only)
                --classify-only   shorthand for --protocol=classify
   workloads  list the registered workloads and the spec grammar (exit 0)
   merge      reassemble shard report files into the sweep's report
@@ -200,6 +214,13 @@ commands:
                                  server
                --out=FILE        write the raw shard report to FILE instead
                                  of printing tables
+  stats      query a running service for live statistics: uptime, queue
+             depth, in-flight work, open sessions, request counters,
+             cache/store totals, queue-wait and dispatch latency
+             percentiles (the same snapshot the daemon prints on drain)
+               --socket=PATH     the service socket (required)
+               --timeout=N       give up after N seconds without a response,
+                                 in [0, 86400] (default 0: wait forever)
   trace      replay the canonical DRIP round by round
                --verbose         also print listens and silences
   schedule   compile and print the canonical schedule (text format)
@@ -625,6 +646,58 @@ void print_report(const engine::BatchReport& report) {
                         static_cast<std::int64_t>(row.stats.transmissions)});
   }
   comparison.print_markdown(std::cout);
+
+  // Phase-timing breakdown, present exactly when the metrics registry ran
+  // during this process's own execution (merged and served reports carry no
+  // phases: timings are execution circumstances, not results).  Printed
+  // last so scripts diffing reports can drop the block with one
+  // `sed '/^phase timings:/,$d'`.
+  if (report.phases && !report.phases->empty()) {
+    std::cout << "\nphase timings:\n\n";
+    support::Table timings({"phase", "count", "total ms", "p50 ms", "p90 ms", "p99 ms"});
+    timings.set_precision(3);
+    for (const obs::Phase phase : obs::all_phases()) {
+      const obs::HistogramSnapshot& histogram = (*report.phases)[phase];
+      if (histogram.count() == 0) {
+        continue;
+      }
+      timings.add_row({std::string(obs::phase_name(phase)),
+                       static_cast<std::int64_t>(histogram.count()),
+                       static_cast<double>(histogram.total) / 1e6,
+                       static_cast<double>(histogram.percentile(0.50)) / 1e6,
+                       static_cast<double>(histogram.percentile(0.90)) / 1e6,
+                       static_cast<double>(histogram.percentile(0.99)) / 1e6});
+    }
+    timings.print_markdown(std::cout);
+  }
+}
+
+/// The `--metrics-out` payload: the sweep's phase-timing snapshot as a flat
+/// JSON object in the bench_gate-consumable shape.  Every phase emits all
+/// five keys whether or not it ran — bench_gate fails on keys present in
+/// only one snapshot, so the key set must be fixed, not data-dependent.
+/// Counts are exact-match fields (deterministic at --threads=1 without a
+/// cache); the `_ms` fields are informational timings.
+void write_metrics_json(const engine::BatchReport& report, const std::string& path) {
+  obs::JsonSnapshot snapshot;
+  snapshot.add("schema", std::string("arl-metrics 1"));
+  snapshot.add("jobs", static_cast<std::uint64_t>(report.jobs.size()));
+  const obs::MetricsSnapshot phases = report.phases.value_or(obs::MetricsSnapshot{});
+  for (const obs::Phase phase : obs::all_phases()) {
+    const obs::HistogramSnapshot& histogram = phases[phase];
+    std::string key = "phase_";
+    for (const char c : obs::phase_name(phase)) {
+      key += c == '-' ? '_' : c;
+    }
+    snapshot.add(key + "_count", histogram.count());
+    snapshot.add(key + "_total_ms", static_cast<double>(histogram.total) / 1e6);
+    snapshot.add(key + "_p50_ms", static_cast<double>(histogram.percentile(0.50)) / 1e6);
+    snapshot.add(key + "_p90_ms", static_cast<double>(histogram.percentile(0.90)) / 1e6);
+    snapshot.add(key + "_p99_ms", static_cast<double>(histogram.percentile(0.99)) / 1e6);
+  }
+  if (!snapshot.write_file(path)) {
+    throw std::runtime_error("writing the metrics snapshot to " + path + " failed");
+  }
 }
 
 /// Runs one shard range of the sweep and writes its report to `out` — the
@@ -964,6 +1037,25 @@ int cmd_sweep(const support::Args& args) {
     return 2;
   }
 
+  // The observability flags are plain-path features: shard reports carry no
+  // phase data (timings are execution circumstances, excluded from the wire
+  // format), and forked workers would interleave one trace file.
+  const std::string metrics_out = args.get_string("metrics-out", "");
+  if (args.has("metrics-out") && metrics_out.empty()) {
+    std::cerr << "error: --metrics-out needs a file path\n";
+    return 2;
+  }
+  const std::string trace_path = args.get_string("trace", "");
+  if (args.has("trace") && trace_path.empty()) {
+    std::cerr << "error: --trace needs a file path\n";
+    return 2;
+  }
+  if ((args.has("metrics-out") || args.has("trace")) && (shard || resume_range || workers)) {
+    std::cerr << "error: --metrics-out and --trace apply to plain sweeps only "
+                 "(not --shard or --workers runs)\n";
+    return 2;
+  }
+
   // The workload axis: one registry spec, whether spelled as --workload or
   // through the legacy alias flags; identity (name + digest) feeds the
   // shard reports, so every workload shards, merges and caches uniformly.
@@ -994,8 +1086,19 @@ int cmd_sweep(const support::Args& args) {
     return run_workers_sweep(sweep, key, batch_options, *workers);
   }
 
+  std::optional<obs::JsonLinesTraceSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink.emplace(trace_path);
+    batch_options.job_trace = &*trace_sink;
+  }
   engine::BatchRunner runner(batch_options);
   const engine::BatchReport report = runner.run(sweep.count, sweep.source);
+  if (trace_sink) {
+    trace_sink->flush();
+  }
+  if (!metrics_out.empty()) {
+    write_metrics_json(report, metrics_out);
+  }
   print_report(report);
   return report.valid_count == report.jobs.size() ? 0 : 1;
 }
@@ -1142,18 +1245,27 @@ int cmd_serve(const support::Args& args) {
 #if ARL_CLI_HAS_FORK
   g_serve_stop_fd = -1;
 #endif
-  const serve::ServerCounters counters = server.counters();
-  const engine::ScheduleCacheStats cache = server.cache_stats();
-  std::cerr << "arl serve: drained; " << counters.completed << " completed, " << counters.failed
-            << " failed, " << counters.busy_rejections << " busy, " << counters.protocol_errors
-            << " protocol errors; cache " << cache.hits << " hits, " << cache.misses
-            << " misses, " << cache.entries << " entries\n";
-  if (!server.options().store_directory.empty()) {
-    const store::ArtifactStoreStats disk = server.store_stats();
-    std::cerr << "arl serve: store " << disk.hits << " loads, " << disk.misses << " misses, "
-              << disk.rejected << " rejected, " << disk.saves << " saves, " << disk.skipped
-              << " skipped, " << disk.errors << " errors\n";
+  // The drain summary is the same ServerStats snapshot a `stats` request
+  // returns, printed through the same formatter — the daemon's log and
+  // `arl stats` can never disagree on a counter.
+  std::cerr << "arl serve: drained\n";
+  serve::print_stats(std::cerr, "arl serve: ", server.stats());
+  return 0;
+}
+
+/// `arl stats` — query a running service for its live statistics snapshot.
+/// The same ServerStats the daemon prints on drain, fetched over the wire.
+int cmd_stats(const support::Args& args) {
+  const std::string socket_path = args.get_string("socket", "");
+  if (socket_path.empty()) {
+    throw support::ContractViolation("stats needs --socket=PATH (a running `arl serve` socket)");
   }
+  const std::int64_t timeout_flag = args.get_int("timeout", 0);
+  if (timeout_flag < 0 || timeout_flag > 86400) {
+    throw support::ContractViolation("--timeout must be in [0, 86400] seconds (0 = wait forever)");
+  }
+  serve::Client client(socket_path, static_cast<unsigned>(timeout_flag));
+  serve::print_stats(std::cout, "", client.stats());
   return 0;
 }
 
@@ -1381,6 +1493,9 @@ int main(int argc, char** argv) {
     }
     if (command == "submit") {
       return cmd_submit(args);
+    }
+    if (command == "stats") {
+      return cmd_stats(args);
     }
     if (command == "workloads") {
       return cmd_workloads();
