@@ -41,6 +41,14 @@ enum class Disposition : std::uint8_t {
   /// Verification failed: multiple leaders, non-termination (horizon guard
   /// fired), or the run could not be set up (label universe too small).
   Failed,
+
+  /// Verification failed under an active fault plan that actually injected
+  /// events (drops, corruptions, crashes, staggered wakeups): the failure is
+  /// attributed to the adversary, not the protocol.  A faulted run that
+  /// still verifies reports Elected/NoLeader as usual; a wrong leader is
+  /// never silent — the same verification that produces this disposition
+  /// reports it as valid = false.
+  DetectedFault,
 };
 
 /// Display name of a disposition ("elected", "no leader", ...).

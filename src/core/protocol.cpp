@@ -26,9 +26,23 @@ const char* to_string(Disposition disposition) {
       return "no leader";
     case Disposition::Failed:
       return "failed";
+    case Disposition::DetectedFault:
+      return "detected fault";
   }
   return "?";
 }
+
+namespace {
+
+/// Fault events actually injected into a run — the evidence that lets a
+/// verification failure be attributed to the adversary (DetectedFault)
+/// rather than the protocol (Failed).
+std::uint64_t injected_events(const radio::RunStats& stats) {
+  return stats.injected_drops + stats.injected_corruptions + stats.injected_crashes +
+         stats.delayed_wakeups;
+}
+
+}  // namespace
 
 namespace {
 
@@ -152,12 +166,19 @@ ElectionReport run_canonical(const config::Configuration& configuration,
     return report;
   }
 
-  const CanonicalDrip drip(report.schedule, MismatchPolicy::Strict);
+  // Under an active fault plan the schedule's lemmas no longer bind: the
+  // drip runs in robust mode (terminate un-elected on an inexplicable
+  // observation instead of a contract violation), and the horizon gains the
+  // adversary's maximum wakeup stagger so delayed runs are not truncated.
+  const bool faulted = options.simulator.fault.active();
+  const CanonicalDrip drip(report.schedule,
+                           faulted ? MismatchPolicy::Robust : MismatchPolicy::Strict);
   radio::SimulatorOptions simulator_options = options.simulator;
   simulator_options.channel_model = report.schedule->model;
   const config::Tag max_tag =
       *std::max_element(configuration.tags().begin(), configuration.tags().end());
-  const std::uint64_t needed_horizon = max_tag + report.schedule->total_rounds() + 2;
+  const std::uint64_t needed_horizon = max_tag + report.schedule->total_rounds() + 2 +
+                                       options.simulator.fault.spec.stagger;
   simulator_options.max_rounds = static_cast<config::Round>(
       std::max<std::uint64_t>(simulator_options.max_rounds, needed_horizon));
 
@@ -187,7 +208,11 @@ ElectionReport run_canonical(const config::Configuration& configuration,
   }
   report.valid = valid;
   if (!valid) {
-    report.disposition = Disposition::Failed;
+    // A failure with injected fault events on record is the adversary's
+    // doing; without any, the fault plan was a bystander and the failure is
+    // the protocol's (exactly as in a faultless run).
+    report.disposition = faulted && injected_events(run.stats) > 0 ? Disposition::DetectedFault
+                                                                  : Disposition::Failed;
   } else {
     report.disposition = report.feasible ? Disposition::Elected : Disposition::NoLeader;
   }
@@ -248,7 +273,8 @@ ElectionReport run_baseline(const config::Configuration& configuration, const Pr
   // as an explicit cap, with the horizon still bounding it from above.
   // (Setting max_rounds to exactly the SimulatorOptions default is
   // indistinguishable from leaving it unset and is treated as unset.)
-  const std::uint64_t horizon = baseline_horizon(spec, n, max_tag, label_bits);
+  const std::uint64_t horizon = baseline_horizon(spec, n, max_tag, label_bits) +
+                                options.simulator.fault.spec.stagger;
   const bool caller_set_cap =
       simulator_options.max_rounds != radio::SimulatorOptions{}.max_rounds;
   const std::uint64_t caller_cap = caller_set_cap ? simulator_options.max_rounds : horizon;
@@ -294,6 +320,10 @@ ElectionReport run_baseline(const config::Configuration& configuration, const Pr
   report.valid = terminated && leaders.size() == 1;
   if (report.valid) {
     report.disposition = Disposition::Elected;
+  } else if (options.simulator.fault.active() && injected_events(run.stats) > 0) {
+    // The failure has injected fault events on record: attributed to the
+    // adversary, not the protocol.
+    report.disposition = Disposition::DetectedFault;
   } else if (terminated && leaders.empty()) {
     // Clean termination with no winner — a detected election failure (slot
     // guard exhausted, duplicate labels), distinct from a diverging run

@@ -26,6 +26,9 @@ void check_same_sweep(const SweepKey& reference, const SweepKey& key) {
     throw MergeError(describe_mismatch("job count", std::to_string(reference.total_jobs),
                                        std::to_string(key.total_jobs)));
   }
+  if (key.fault != reference.fault) {
+    throw MergeError(describe_mismatch("fault", reference.fault, key.fault));
+  }
   if (key.protocols != reference.protocols) {
     const auto join = [](const std::vector<std::string>& names) {
       std::string joined;
@@ -95,6 +98,9 @@ ShardReport merge_shards(const std::vector<ShardReport>& shards) {
   std::sort(merged.report.jobs.begin(), merged.report.jobs.end(),
             [](const engine::JobOutcome& a, const engine::JobOutcome& b) { return a.id < b.id; });
   engine::aggregate_outcomes(merged.report);
+  // aggregate_outcomes folds jobs only; the fault plan is sweep identity and
+  // travels via the key (check_same_sweep proved every shard agrees).
+  merged.report.fault = shards.front().report.fault;
 
   // Execution circumstances: wall time sums (total compute spent), the
   // worker count reports the widest shard, cache counters sum when present.

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "engine/workload.hpp"
+#include "fault/fault.hpp"
 #include "support/assert.hpp"
 #include "support/hash.hpp"
 #include "support/line_io.hpp"
@@ -30,6 +31,8 @@ const char* disposition_token(core::Disposition disposition) {
       return "no-leader";
     case core::Disposition::Failed:
       return "failed";
+    case core::Disposition::DetectedFault:
+      return "detected-fault";
   }
   return "?";
 }
@@ -46,6 +49,9 @@ core::Disposition parse_disposition(const std::string& token) {
   }
   if (token == "failed") {
     return core::Disposition::Failed;
+  }
+  if (token == "detected-fault") {
+    return core::Disposition::DetectedFault;
   }
   throw ReportFormatError("unknown disposition '" + token + "'");
 }
@@ -211,7 +217,10 @@ class LineReader {
 
 void write_stats(std::ostream& out, const radio::RunStats& stats) {
   out << ' ' << stats.transmissions << ' ' << stats.clean_receptions << ' '
-      << stats.collisions_heard << ' ' << stats.forced_wakeups << ' ' << stats.node_rounds;
+      << stats.collisions_heard << ' ' << stats.forced_wakeups << ' ' << stats.node_rounds << ' '
+      << stats.max_node_transmissions << ' ' << stats.max_node_awake_rounds << ' '
+      << stats.injected_drops << ' ' << stats.injected_corruptions << ' '
+      << stats.injected_crashes << ' ' << stats.delayed_wakeups;
 }
 
 radio::RunStats parse_stats(const std::vector<std::string>& tokens, std::size_t first) {
@@ -221,6 +230,12 @@ radio::RunStats parse_stats(const std::vector<std::string>& tokens, std::size_t 
   stats.collisions_heard = parse_u64(tokens[first + 2], "collisions heard");
   stats.forced_wakeups = parse_u64(tokens[first + 3], "forced wakeups");
   stats.node_rounds = parse_u64(tokens[first + 4], "node rounds");
+  stats.max_node_transmissions = parse_u64(tokens[first + 5], "max node transmissions");
+  stats.max_node_awake_rounds = parse_u64(tokens[first + 6], "max node awake rounds");
+  stats.injected_drops = parse_u64(tokens[first + 7], "injected drops");
+  stats.injected_corruptions = parse_u64(tokens[first + 8], "injected corruptions");
+  stats.injected_crashes = parse_u64(tokens[first + 9], "injected crashes");
+  stats.delayed_wakeups = parse_u64(tokens[first + 10], "delayed wakeups");
   return stats;
 }
 
@@ -248,6 +263,8 @@ ShardReport make_shard_report(SweepKey key, JobRange range, engine::BatchReport 
     ARL_EXPECTS(report.jobs[i].id == range.begin + i,
                 "shard report jobs must carry the range's global ids");
   }
+  ARL_EXPECTS(report.fault.name() == key.fault,
+              "shard report fault must match the sweep key's fault");
   ShardReport shard;
   shard.key = std::move(key);
   if (!range.empty()) {
@@ -268,6 +285,12 @@ void write_shard_report(const ShardReport& shard, std::ostream& sink) {
   out << "sweep " << hex64(shard.key.digest) << ' ' << shard.key.description << '\n';
   out << "seed " << shard.key.seed << '\n';
   out << "jobs " << shard.key.total_jobs << '\n';
+  if (shard.key.fault != "none") {
+    // Canonical absence: the inactive fault is never spelled out, so every
+    // fault-free report has exactly one byte sequence (and version-2 readers
+    // treat a missing line as `none`).
+    out << "fault " << shard.key.fault << '\n';
+  }
   for (const JobRange& range : shard.ranges) {
     out << "range " << range.begin << ' ' << range.end << '\n';
   }
@@ -305,7 +328,7 @@ void write_shard_report(const ShardReport& shard, std::ostream& sink) {
   for (const engine::ProtocolBreakdown& row : shard.report.by_protocol) {
     out << "breakdown " << row.protocol.name() << ' ' << row.jobs << ' ' << row.feasible << ' '
         << row.valid << ' ' << row.elected << ' ' << row.no_leader << ' ' << row.failed << ' '
-        << row.total_local_rounds << ' ' << row.max_local_rounds;
+        << row.detected_fault << ' ' << row.total_local_rounds << ' ' << row.max_local_rounds;
     write_stats(out, row.stats);
     out << '\n';
   }
@@ -370,6 +393,31 @@ ShardReport read_shard_report(std::istream& in) {
       throw ReportFormatError("expected the 'jobs' line");
     }
     shard.key.total_jobs = parse_u64(tokens[1], "total job count");
+  }
+
+  // Optional fault plan; absent means `none` (canonical absence).  Like the
+  // workload, the spelling is re-parsed through the registry — only the
+  // canonical name of a registered fault is valid on the wire.
+  if (!lines.done() && lines.peek().rfind("fault ", 0) == 0) {
+    const std::vector<std::string> tokens = tokenize(lines.take());
+    if (tokens.size() != 2) {
+      throw ReportFormatError("fault line must be 'fault <name>'");
+    }
+    try {
+      const fault::FaultSpec spec = fault::parse_fault(tokens[1]);
+      if (spec.name() != tokens[1]) {
+        throw ReportFormatError("fault '" + tokens[1] + "' is not in canonical form (want '" +
+                                spec.name() + "')");
+      }
+      if (!spec.active()) {
+        throw ReportFormatError("inactive fault '" + tokens[1] +
+                                "' must be spelled by omitting the fault line");
+      }
+      shard.key.fault = tokens[1];
+      shard.report.fault = spec;
+    } catch (const support::ContractViolation& error) {
+      throw ReportFormatError(std::string("bad fault: ") + error.what());
+    }
   }
 
   // Covered ranges: ascending, disjoint, coalesced, within [0, total).
@@ -443,8 +491,8 @@ ShardReport read_shard_report(std::istream& in) {
   // blow up an allocation first.  Amortized growth is plenty here.
   while (!lines.done() && lines.peek().rfind("job ", 0) == 0) {
     const std::vector<std::string> tokens = tokenize(lines.take());
-    if (tokens.size() != 20) {
-      throw ReportFormatError("job line must carry exactly 19 fields");
+    if (tokens.size() != 26) {
+      throw ReportFormatError("job line must carry exactly 25 fields");
     }
     engine::JobOutcome job;
     job.id = parse_u64(tokens[1], "job id");
@@ -493,8 +541,8 @@ ShardReport read_shard_report(std::istream& in) {
   std::vector<engine::ProtocolBreakdown> declared;
   while (!lines.done() && lines.peek().rfind("breakdown ", 0) == 0) {
     const std::vector<std::string> tokens = tokenize(lines.take());
-    if (tokens.size() != 15) {
-      throw ReportFormatError("breakdown line must carry exactly 14 fields");
+    if (tokens.size() != 22) {
+      throw ReportFormatError("breakdown line must carry exactly 21 fields");
     }
     engine::ProtocolBreakdown row;
     row.protocol = parse_protocol_token(tokens[1]);
@@ -504,9 +552,10 @@ ShardReport read_shard_report(std::istream& in) {
     row.elected = parse_u64(tokens[5], "breakdown elected");
     row.no_leader = parse_u64(tokens[6], "breakdown no-leader");
     row.failed = parse_u64(tokens[7], "breakdown failed");
-    row.total_local_rounds = parse_u64(tokens[8], "breakdown total local rounds");
-    row.max_local_rounds = parse_u64(tokens[9], "breakdown max local rounds");
-    row.stats = parse_stats(tokens, 10);
+    row.detected_fault = parse_u64(tokens[8], "breakdown detected-fault");
+    row.total_local_rounds = parse_u64(tokens[9], "breakdown total local rounds");
+    row.max_local_rounds = parse_u64(tokens[10], "breakdown max local rounds");
+    row.stats = parse_stats(tokens, 11);
     declared.push_back(std::move(row));
   }
   {

@@ -15,10 +15,11 @@
 /// The format is line-oriented text, one record per line, space-separated
 /// fields, headed by `arl-shard-report <version>`:
 ///
-///   arl-shard-report 1
+///   arl-shard-report 2
 ///   sweep <digest-hex> <canonical workload name>
 ///   seed <batch master seed>
 ///   jobs <total job count of the whole sweep>
+///   fault <canonical fault name>             (optional; absent means `none`)
 ///   range <begin> <end>                      (1+ lines, ascending, disjoint)
 ///   protocol <registry name>                 (1+ lines, cross-product order)
 ///   threads <workers used>
@@ -26,10 +27,12 @@
 ///   cache <hits> <misses> <evictions> <schedule-builds> <entries>  (optional)
 ///   job <id> <protocol> <disposition> <n> <sigma> <feasible> <simulated>
 ///       <valid> <leader|-> <iterations> <steps> <local> <global> <fp-hex>
-///       <tx> <clean> <collisions> <wakeups> <node-rounds>
+///       <tx> <clean> <collisions> <wakeups> <node-rounds> <max-node-tx>
+///       <max-node-awake> <drops> <corruptions> <crashes> <delayed-wakes>
 ///   breakdown <protocol> <jobs> <feasible> <valid> <elected> <no-leader>
-///       <failed> <total-local> <max-local> <tx> <clean> <collisions>
-///       <wakeups> <node-rounds>
+///       <failed> <detected-fault> <total-local> <max-local> <tx> <clean>
+///       <collisions> <wakeups> <node-rounds> <max-node-tx> <max-node-awake>
+///       <drops> <corruptions> <crashes> <delayed-wakes>
 ///   end <job line count> <body digest>
 ///
 /// The parser is strict: it rejects unknown versions, missing or reordered
@@ -66,17 +69,19 @@ class ReportFormatError : public std::runtime_error {
 /// The current (and only) wire-format version.  Bumped on any change to the
 /// line grammar; readers reject every version they were not built for, so a
 /// fleet mixing binaries fails loudly instead of merging misparsed numbers.
-inline constexpr std::uint32_t kShardReportVersion = 1;
+inline constexpr std::uint32_t kShardReportVersion = 2;
 
 /// Identity of the sweep a shard belongs to.  Two shard reports merge only
 /// when every field matches: same workload (digest + description), same
-/// master seed (coin streams), same total job count (the partition target)
-/// and same protocol list (the cross-product axis).
+/// master seed (coin streams), same total job count (the partition target),
+/// same fault plan (it changes every outcome) and same protocol list (the
+/// cross-product axis).
 struct SweepKey {
   std::uint64_t digest = 0;            ///< sweep_digest(description)
   std::string description;             ///< canonical workload name (engine::WorkloadSpec)
   std::uint64_t seed = 0;              ///< batch master seed
   engine::JobId total_jobs = 0;        ///< job count of the whole sweep
+  std::string fault = "none";          ///< canonical fault name (fault::FaultSpec)
   std::vector<std::string> protocols;  ///< registry names, cross-product order
 
   friend bool operator==(const SweepKey& a, const SweepKey& b) = default;

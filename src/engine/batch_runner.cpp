@@ -42,8 +42,9 @@ namespace {
 
 /// Executes one job on one worker's scratch and condenses the report.
 JobOutcome execute_job(const BatchJob& job, JobId id, std::uint64_t batch_seed,
-                       EngineMode engine, core::ElectionScratch& scratch,
-                       core::ElectionReport* keep, obs::TraceSink* trace) {
+                       EngineMode engine, const fault::FaultSpec& fault_spec,
+                       core::ElectionScratch& scratch, core::ElectionReport* keep,
+                       obs::TraceSink* trace) {
   // The frame collects this job's phase spans (classify, simulate, store
   // I/O, ...) via the thread-local PhaseTimer hook — per-job attribution
   // without threading a parameter through core::run_protocol.
@@ -52,6 +53,11 @@ JobOutcome execute_job(const BatchJob& job, JobId id, std::uint64_t batch_seed,
 
   core::ElectionOptions options = job.options;
   options.simulator.coin_seed = job_coin_seed(batch_seed, id);
+  if (fault_spec.active()) {
+    // Per-job fault seed from the reserved fault stream — a pure function
+    // of (batch seed, global job id), mirroring the coin-seed discipline.
+    options.simulator.fault = {fault_spec, fault::job_fault_seed(batch_seed, id)};
+  }
   if (engine == EngineMode::Scalar) {
     options.simulator.engine = radio::SimulatorEngine::Scalar;
   } else {
@@ -100,6 +106,8 @@ JobOutcome execute_job(const BatchJob& job, JobId id, std::uint64_t batch_seed,
     event.simulated = outcome.simulated;
     event.valid = outcome.valid;
     event.local_rounds = outcome.local_rounds;
+    event.injected = outcome.stats.injected_drops + outcome.stats.injected_corruptions +
+                     outcome.stats.injected_crashes + outcome.stats.delayed_wakeups;
     event.frame = frame;
     trace->emit(event);
   }
@@ -112,6 +120,16 @@ void accumulate(radio::RunStats& total, const radio::RunStats& stats) {
   total.collisions_heard += stats.collisions_heard;
   total.forced_wakeups += stats.forced_wakeups;
   total.node_rounds += stats.node_rounds;
+  // Per-node maxima combine by max (the busiest node across the batch);
+  // injected-event counts sum like the other totals.
+  total.max_node_transmissions = std::max(total.max_node_transmissions,
+                                          stats.max_node_transmissions);
+  total.max_node_awake_rounds = std::max(total.max_node_awake_rounds,
+                                         stats.max_node_awake_rounds);
+  total.injected_drops += stats.injected_drops;
+  total.injected_corruptions += stats.injected_corruptions;
+  total.injected_crashes += stats.injected_crashes;
+  total.delayed_wakeups += stats.delayed_wakeups;
 }
 
 }  // namespace
@@ -137,7 +155,9 @@ BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch,
   const JobId count = end - begin;
   const std::uint64_t seed = overrides.seed.value_or(options_.seed);
   const EngineMode engine = overrides.engine.value_or(options_.engine);
+  const fault::FaultSpec fault = overrides.fault.value_or(options_.fault);
   BatchReport report;
+  report.fault = fault;
   report.jobs.resize(count);
   if (options_.keep_reports) {
     report.reports.resize(count);
@@ -187,8 +207,8 @@ BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch,
   std::vector<std::future<void>> futures;
   futures.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    futures.push_back(
-        pool_.submit([this, begin, end, &fetch, &next, &report, cache_handle, seed, engine]() {
+    futures.push_back(pool_.submit(
+        [this, begin, end, &fetch, &next, &report, cache_handle, seed, engine, &fault]() {
           core::ElectionScratch scratch;
           scratch.schedule_cache = cache_handle;
           for (JobId id = next.fetch_add(1); id < end; id = next.fetch_add(1)) {
@@ -196,7 +216,7 @@ BatchReport BatchRunner::run_batch(JobId begin, JobId end, const Fetch& fetch,
             core::ElectionReport* keep =
                 options_.keep_reports ? &report.reports[id - begin] : nullptr;
             report.jobs[id - begin] =
-                execute_job(job, id, seed, engine, scratch, keep, options_.job_trace);
+                execute_job(job, id, seed, engine, fault, scratch, keep, options_.job_trace);
           }
         }));
   }
@@ -292,6 +312,7 @@ void aggregate_outcomes(BatchReport& report) {
     row->elected += outcome.disposition == core::Disposition::Elected ? 1 : 0;
     row->no_leader += outcome.disposition == core::Disposition::NoLeader ? 1 : 0;
     row->failed += outcome.disposition == core::Disposition::Failed ? 1 : 0;
+    row->detected_fault += outcome.disposition == core::Disposition::DetectedFault ? 1 : 0;
     row->total_local_rounds += outcome.local_rounds;
     row->max_local_rounds = std::max(row->max_local_rounds, outcome.local_rounds);
     accumulate(row->stats, outcome.stats);
@@ -299,7 +320,7 @@ void aggregate_outcomes(BatchReport& report) {
 }
 
 bool same_results(const BatchReport& a, const BatchReport& b) {
-  return a.jobs == b.jobs && a.by_protocol == b.by_protocol &&
+  return a.jobs == b.jobs && a.by_protocol == b.by_protocol && a.fault == b.fault &&
          a.feasible_count == b.feasible_count && a.valid_count == b.valid_count &&
          a.total_local_rounds == b.total_local_rounds &&
          a.max_local_rounds == b.max_local_rounds &&

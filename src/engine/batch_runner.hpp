@@ -19,6 +19,7 @@
 #include "config/fingerprint.hpp"
 #include "engine/job.hpp"
 #include "engine/schedule_cache.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "radio/simulator.hpp"
@@ -70,6 +71,14 @@ struct BatchOptions {
   /// (jobs carrying a trace sink still fall back to the scalar loop).
   EngineMode engine = EngineMode::Auto;
 
+  /// Fault injected into every job of the batch (`arl sweep --fault=SPEC`).
+  /// Per-job dice seeds derive from the batch master seed through the
+  /// reserved fault stream (fault::job_fault_seed) — a pure function of
+  /// (seed, job id), so faulted sweeps stay thread-count- and
+  /// shard-invariant exactly like coin seeding.  The default `none` leaves
+  /// every job byte-identical to a batch without the field.
+  fault::FaultSpec fault = {};
+
   /// Optional per-job event trace (`arl sweep --trace=FILE`): every executed
   /// job emits one obs::TraceEvent — ids, fingerprints, disposition, and the
   /// per-phase durations its obs::JobFrame accumulated.  Not owned; must
@@ -108,6 +117,7 @@ struct ProtocolBreakdown {
   std::uint64_t elected = 0;               ///< Disposition::Elected
   std::uint64_t no_leader = 0;             ///< Disposition::NoLeader
   std::uint64_t failed = 0;                ///< Disposition::Failed
+  std::uint64_t detected_fault = 0;        ///< Disposition::DetectedFault
   std::uint64_t total_local_rounds = 0;
   std::uint64_t max_local_rounds = 0;
   radio::RunStats stats;
@@ -141,6 +151,11 @@ struct BatchReport {
   std::uint64_t max_local_rounds = 0;      ///< slowest election in the batch
   std::uint64_t total_global_rounds = 0;   ///< sum of global rounds executed
   radio::RunStats total_stats;             ///< channel statistics, summed
+
+  /// The fault every job of this batch ran under (the effective
+  /// BatchOptions/RunOverrides spec; `none` for an unfaulted batch).  Part
+  /// of the batch's identity — merged shard reports must agree on it.
+  fault::FaultSpec fault = {};
   double wall_millis = 0.0;                ///< wall time of the whole batch
   std::size_t threads_used = 1;            ///< workers actually spawned (<= pool size)
 
@@ -178,6 +193,7 @@ struct BatchReport {
 struct RunOverrides {
   std::optional<std::uint64_t> seed;    ///< batch master seed for this run
   std::optional<EngineMode> engine;     ///< simulation path for this run
+  std::optional<fault::FaultSpec> fault;  ///< fault spec for this run
   /// Worker cap for this run (>= 1); the run uses min(pool size, job count,
   /// cap) workers.  Outcomes are thread-count-invariant, so this only
   /// shapes throughput.

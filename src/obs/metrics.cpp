@@ -17,6 +17,8 @@ std::string_view phase_name(Phase phase) {
       return "schedule-compile";
     case Phase::Simulate:
       return "simulate";
+    case Phase::FaultInject:
+      return "fault-inject";
     case Phase::CacheLookup:
       return "cache-lookup";
     case Phase::CachePromote:
@@ -35,9 +37,10 @@ std::string_view phase_name(Phase phase) {
 
 const std::array<Phase, kPhaseCount>& all_phases() {
   static const std::array<Phase, kPhaseCount> phases = {
-      Phase::Classify,     Phase::ScheduleCompile, Phase::Simulate,
-      Phase::CacheLookup,  Phase::CachePromote,    Phase::StoreLoad,
-      Phase::StoreSave,    Phase::ServeQueueWait,  Phase::ServeDispatch,
+      Phase::Classify,    Phase::ScheduleCompile, Phase::Simulate,
+      Phase::FaultInject, Phase::CacheLookup,     Phase::CachePromote,
+      Phase::StoreLoad,   Phase::StoreSave,       Phase::ServeQueueWait,
+      Phase::ServeDispatch,
   };
   return phases;
 }

@@ -51,6 +51,7 @@ enum class Phase : std::uint8_t {
   Classify,        ///< core: Classifier / FastClassifier runs
   ScheduleCompile, ///< core: build_schedule
   Simulate,        ///< radio: one protocol execution on the simulator
+  FaultInject,     ///< radio: fault-plan precomputation (crash schedule, stagger)
   CacheLookup,     ///< schedule-cache lookups (memory tier)
   CachePromote,    ///< tiered cache: disk hit promoted into memory
   StoreLoad,       ///< artifact store: load + verify one entry file
@@ -59,7 +60,7 @@ enum class Phase : std::uint8_t {
   ServeDispatch,   ///< serve: one request's execution on the shared runner
 };
 
-inline constexpr std::size_t kPhaseCount = 9;
+inline constexpr std::size_t kPhaseCount = 10;
 
 /// The canonical lowercase identifier of a phase ("classify",
 /// "schedule-compile", ...): table rows, JSON keys and trace fields all

@@ -64,7 +64,7 @@ void JsonLinesTraceSink::emit(const TraceEvent& event) {
        << "\",\"feasible\":" << (event.feasible ? "true" : "false")
        << ",\"simulated\":" << (event.simulated ? "true" : "false")
        << ",\"valid\":" << (event.valid ? "true" : "false")
-       << ",\"local_rounds\":" << event.local_rounds;
+       << ",\"local_rounds\":" << event.local_rounds << ",\"injected\":" << event.injected;
   for (const Phase phase : all_phases()) {
     line << ",\"" << phase_name(phase) << "_ns\":" << event.frame[phase];
   }

@@ -32,6 +32,7 @@ struct TraceEvent {
   bool simulated = false;
   bool valid = false;
   std::uint64_t local_rounds = 0;
+  std::uint64_t injected = 0;       ///< fault events injected into this job
   JobFrame frame;                   ///< per-phase nanoseconds of this job
 };
 

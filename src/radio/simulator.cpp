@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <limits>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -38,6 +40,16 @@ void push_entry(NodeState& node, HistoryEntry entry, std::optional<std::size_t> 
   }
 }
 
+/// Folds the per-node energy counters into the aggregate maxima.
+void finish_energy_stats(RunResult& result) {
+  for (const NodeOutcome& node : result.nodes) {
+    result.stats.max_node_transmissions =
+        std::max(result.stats.max_node_transmissions, node.transmissions);
+    result.stats.max_node_awake_rounds =
+        std::max(result.stats.max_node_awake_rounds, node.awake_rounds);
+  }
+}
+
 }  // namespace
 
 std::vector<graph::NodeId> RunResult::leaders() const {
@@ -62,10 +74,13 @@ RunResult Simulator::run() const {
 }
 
 RunResult Simulator::run(SimulatorScratch& scratch) const {
-  // Tracing is a scalar-path feature: the fast path reorders per-node work
-  // within a round (which is unobservable in the results, but not in a
-  // per-action trace), so any trace sink forces the reference loop.
-  const bool bitset_ok = options_.trace == nullptr;
+  // Tracing and fault injection are scalar-path features: the fast path
+  // reorders per-node work within a round (unobservable in the results, but
+  // not in a per-action trace) and bulk-skips provably silent rounds (which
+  // per-round channel dice would falsify), so either forces the reference
+  // loop.  An inactive FaultPlan — `none` or an inert parameterization like
+  // drop:0 — does not, keeping faultless runs bit-identical and fast.
+  const bool bitset_ok = options_.trace == nullptr && !options_.fault.active();
   switch (options_.engine) {
     case SimulatorEngine::Scalar:
       return run_scalar(scratch);
@@ -100,6 +115,32 @@ RunResult Simulator::run_scalar(SimulatorScratch& scratch) const {
     ARL_ENSURES(nodes[v].program != nullptr, "drip must produce a program");
   }
 
+  // Fault state: the crash schedule and staggered wakeup tags are
+  // precomputed here (the obs fault-inject phase); the per-round channel
+  // dice are pure functions of (seed, round, node) rolled inline.
+  fault::FaultContext& fault = scratch.fault_;
+  if (options_.fault.active()) {
+    const obs::PhaseTimer span(obs::Phase::FaultInject);
+    fault.reset(options_.fault, n);
+    scratch.effective_tag_.clear();
+    if (fault.max_wake_delay() > 0) {
+      scratch.effective_tag_.resize(n);
+      for (graph::NodeId v = 0; v < n; ++v) {
+        const std::uint64_t staggered =
+            static_cast<std::uint64_t>(configuration_.tag(v)) + fault.wake_delay(v);
+        scratch.effective_tag_[v] = static_cast<config::Round>(
+            std::min<std::uint64_t>(staggered, std::numeric_limits<config::Round>::max()));
+      }
+    }
+  } else {
+    fault.reset(options_.fault, n);
+  }
+  const bool fault_on = fault.active();
+  const bool staggered_wake = fault_on && fault.max_wake_delay() > 0;
+  auto wake_tag = [&](graph::NodeId v) -> config::Round {
+    return staggered_wake ? scratch.effective_tag_[v] : configuration_.tag(v);
+  };
+
   RunResult result;
   result.nodes.resize(n);
 
@@ -122,16 +163,33 @@ RunResult Simulator::run_scalar(SimulatorScratch& scratch) const {
       trace->on_round_begin(round);
     }
 
-    // 1. Spontaneous wakeups: tag == round.
+    // 0. Injected crash-stops: a crashed node halts before acting this
+    //    round and never terminates properly (NodeOutcome::terminated stays
+    //    false, so a crashed run can only verify as a detected fault).
+    if (fault_on) {
+      for (graph::NodeId v = 0; v < n; ++v) {
+        if (nodes[v].phase != NodeState::Phase::Terminated && fault.crash_round(v) == round) {
+          nodes[v].phase = NodeState::Phase::Terminated;
+          result.nodes[v].crashed = true;
+          ++result.stats.injected_crashes;
+          --live;
+        }
+      }
+    }
+
+    // 1. Spontaneous wakeups: (possibly staggered) tag == round.
     for (graph::NodeId v = 0; v < n; ++v) {
       NodeState& node = nodes[v];
       node.woke_this_round = false;
       node.transmitting = false;
-      if (node.phase == NodeState::Phase::Asleep && configuration_.tag(v) == round) {
+      if (node.phase == NodeState::Phase::Asleep && wake_tag(v) == round) {
         node.phase = NodeState::Phase::Awake;
         node.wake_round = round;
         node.forced = false;
         node.woke_this_round = true;
+        if (staggered_wake && scratch.effective_tag_[v] != configuration_.tag(v)) {
+          ++result.stats.delayed_wakeups;
+        }
       }
     }
 
@@ -147,6 +205,7 @@ RunResult Simulator::run_scalar(SimulatorScratch& scratch) const {
       ARL_ASSERT(view.length() == local, "history length must equal the local round");
       const Action action = node.program->decide(local, view);
       ++result.stats.node_rounds;
+      ++result.nodes[v].awake_rounds;
       if (trace != nullptr) {
         trace->on_action(v, round, local, action);
       }
@@ -158,6 +217,7 @@ RunResult Simulator::run_scalar(SimulatorScratch& scratch) const {
           node.outgoing = action.message;
           transmitters.push_back(v);
           ++result.stats.transmissions;
+          ++result.nodes[v].transmissions;
           break;
         case Action::Kind::Terminate:
           node.phase = NodeState::Phase::Terminated;
@@ -195,6 +255,28 @@ RunResult Simulator::run_scalar(SimulatorScratch& scratch) const {
                  ? HistoryEntry::collision()
                  : HistoryEntry::silence();
     };
+    // Channel faults apply per listener on top of the resolved channel: a
+    // clean message may be erased to silence (drop) or garbled to noise
+    // (corrupt) by this listener's die.  Called at most once per node per
+    // round, so the injected-event counters are exact.
+    auto perceived_at = [&](graph::NodeId v) -> HistoryEntry {
+      const HistoryEntry entry = channel_at(v);
+      if (fault_on && entry.is_message()) {
+        if (fault.drop_message(round, v)) {
+          ++result.stats.injected_drops;
+          return HistoryEntry::silence();
+        }
+        if (fault.corrupt_message(round, v)) {
+          ++result.stats.injected_corruptions;
+          // A garbled message sounds like a collision — which, without
+          // collision detection, is indistinguishable from silence.
+          return options_.channel_model == ChannelModel::CollisionDetection
+                     ? HistoryEntry::collision()
+                     : HistoryEntry::silence();
+        }
+      }
+      return entry;
+    };
 
     // 4. Record histories and process wakeups.
     for (graph::NodeId v = 0; v < n; ++v) {
@@ -206,7 +288,7 @@ RunResult Simulator::run_scalar(SimulatorScratch& scratch) const {
           HistoryEntry entry = HistoryEntry::silence();
           if (node.woke_this_round) {
             // H[0] of a spontaneous wakeup, subject to the wake policy.
-            const HistoryEntry channel = channel_at(v);
+            const HistoryEntry channel = perceived_at(v);
             if (channel.is_message()) {
               // Tag round coincides with a clean reception: the paper counts
               // r <= t_v receptions as forced wakeups.
@@ -224,7 +306,7 @@ RunResult Simulator::run_scalar(SimulatorScratch& scratch) const {
           } else if (node.transmitting) {
             entry = HistoryEntry::silence();  // a transmitter hears nothing
           } else {
-            entry = channel_at(v);
+            entry = perceived_at(v);
             if (entry.is_message()) {
               ++result.stats.clean_receptions;
             } else if (entry.is_collision()) {
@@ -238,7 +320,7 @@ RunResult Simulator::run_scalar(SimulatorScratch& scratch) const {
           break;
         }
         case NodeState::Phase::Asleep: {
-          const HistoryEntry channel = channel_at(v);
+          const HistoryEntry channel = perceived_at(v);
           if (channel.is_message()) {
             // Forced wakeup: a clean message wakes a sleeper; noise does not.
             node.phase = NodeState::Phase::Awake;
@@ -279,6 +361,7 @@ RunResult Simulator::run_scalar(SimulatorScratch& scratch) const {
       result.nodes[v].forced_wake = node.forced;
     }
   }
+  finish_energy_stats(result);
   return result;
 }
 
@@ -466,6 +549,7 @@ RunResult Simulator::run_bitset(SimulatorScratch& s) const {
             h.erase(h.begin(), h.begin() + static_cast<std::ptrdiff_t>(s0 - keep_old));
           }
           h.insert(h.end(), total - h.size(), HistoryEntry::silence());
+          result.nodes[v].awake_rounds += streak;
         }
         result.stats.node_rounds += static_cast<std::uint64_t>(s.awake_list_.size()) * streak;
         round += streak;
@@ -486,6 +570,7 @@ RunResult Simulator::run_bitset(SimulatorScratch& s) const {
       ARL_ASSERT(view.length() == local, "history length must equal the local round");
       const Action action = s.programs_[v]->decide(local, view);
       ++result.stats.node_rounds;
+      ++result.nodes[v].awake_rounds;
       switch (action.kind) {
         case Action::Kind::Listen:
           break;
@@ -494,6 +579,7 @@ RunResult Simulator::run_bitset(SimulatorScratch& s) const {
           s.outgoing_[v] = action.message;
           s.transmitters_.push_back(v);
           ++result.stats.transmissions;
+          ++result.nodes[v].transmissions;
           break;
         case Action::Kind::Terminate:
           // H[done_v] is recorded as (∅), as in the scalar loop.
@@ -613,6 +699,7 @@ RunResult Simulator::run_bitset(SimulatorScratch& s) const {
       result.nodes[v].forced_wake = s.forced_[v] != 0;
     }
   }
+  finish_energy_stats(result);
   return result;
 }
 

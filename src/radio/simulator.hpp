@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "config/configuration.hpp"
+#include "fault/fault.hpp"
 #include "graph/graph.hpp"
 #include "radio/bitset.hpp"
 #include "radio/history.hpp"
@@ -86,6 +87,13 @@ struct SimulatorOptions {
   /// Inner-loop selection (see SimulatorEngine).
   SimulatorEngine engine = SimulatorEngine::Auto;
 
+  /// Fault plan (spec + per-job seed; see fault/fault.hpp).  The default
+  /// `none` plan is inactive and leaves every code path — including the
+  /// bitset fast-path dispatch — exactly as without the field.  An active
+  /// plan forces the scalar reference loop, like a trace sink does: the
+  /// fast path's bulk round skipping cannot host per-round channel dice.
+  fault::FaultPlan fault = {};
+
   /// When false, RunResult omits the per-node history vectors (the entries
   /// are still recorded internally, so NodeOutcome::history_length() and
   /// everything else stays identical).  Batch sweeps that only consume
@@ -103,8 +111,16 @@ struct NodeOutcome {
   bool terminated = false;           ///< program reached terminate
   config::Round done_round = 0;      ///< paper's done_v: local round of termination
   bool elected = false;              ///< decision function output
+  bool crashed = false;              ///< halted by an injected crash fault
   History history;                   ///< retained entries (suffix if windowed)
   std::size_t history_dropped = 0;   ///< entries evicted by the window
+
+  // Per-node energy/communication accounting (Kowalski–Mosteiro style):
+  // local rounds executed (decide() calls — the wake round is not counted)
+  // and rounds spent transmitting.  Summed over all nodes these equal
+  // RunStats::node_rounds and RunStats::transmissions.
+  std::uint64_t awake_rounds = 0;    ///< decide() calls this node executed
+  std::uint64_t transmissions = 0;   ///< rounds this node spent transmitting
 
   /// Total entries ever recorded (dropped + retained).
   [[nodiscard]] std::size_t history_length() const { return history_dropped + history.size(); }
@@ -117,6 +133,17 @@ struct RunStats {
   std::uint64_t collisions_heard = 0;   ///< noise heard by awake listeners
   std::uint64_t forced_wakeups = 0;     ///< sleepers woken by a message
   std::uint64_t node_rounds = 0;        ///< total awake node-rounds simulated
+
+  // Per-node energy maxima (the busiest node's budget — node_rounds and
+  // transmissions above are the totals).
+  std::uint64_t max_node_transmissions = 0;  ///< max NodeOutcome::transmissions
+  std::uint64_t max_node_awake_rounds = 0;   ///< max NodeOutcome::awake_rounds
+
+  // Injected-fault event counts (all zero for an inactive FaultPlan).
+  std::uint64_t injected_drops = 0;        ///< messages erased to silence
+  std::uint64_t injected_corruptions = 0;  ///< messages garbled to noise
+  std::uint64_t injected_crashes = 0;      ///< nodes crash-stopped
+  std::uint64_t delayed_wakeups = 0;       ///< spontaneous wakeups staggered
 
   friend bool operator==(const RunStats& a, const RunStats& b) = default;
 };
@@ -175,6 +202,9 @@ class SimulatorScratch {
   std::vector<graph::NodeId> awake_list_;
   std::vector<graph::NodeId> woke_list_;
   std::vector<std::pair<config::Round, graph::NodeId>> wake_events_;
+  // Fault path: per-run fault state and effective (staggered) wakeup tags.
+  fault::FaultContext fault_;
+  std::vector<config::Round> effective_tag_;
 };
 
 /// Executes one protocol on one configuration.

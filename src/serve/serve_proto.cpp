@@ -151,6 +151,22 @@ SweepRequest parse_sweep_fields(const std::vector<std::string_view>& tokens, std
 
   sweep.seed = parse_u64(require_field(tokens, cursor, "seed"), "seed");
 
+  if (const auto fault = take_field(tokens, cursor, "fault")) {
+    try {
+      sweep.fault = fault::parse_fault(*fault);
+    } catch (const support::ContractViolation& violation) {
+      throw ProtoError("bad fault: " + std::string(violation.what()));
+    }
+    if (sweep.fault.name() != *fault) {
+      throw ProtoError("fault must use its canonical spelling '" + sweep.fault.name() +
+                       "' (got '" + std::string(*fault) + "')");
+    }
+    if (!sweep.fault.active()) {
+      // The inactive plan is spelled by absence; one canonical line per request.
+      throw ProtoError("fault 'none' is spelled by omitting the field");
+    }
+  }
+
   if (const auto count = take_field(tokens, cursor, "count")) {
     sweep.count = parse_u64(*count, "count", kMaxRequestCount);
     if (*sweep.count == 0) {
@@ -284,6 +300,9 @@ std::string format_request(const Request& request) {
     line += sweep.protocols[i].name();
   }
   line += " seed=" + std::to_string(sweep.seed);
+  if (sweep.fault.active()) {
+    line += " fault=" + sweep.fault.name();
+  }
   if (sweep.count) {
     line += " count=" + std::to_string(*sweep.count);
   }

@@ -16,18 +16,20 @@
 ///   arl-serve 1 ping
 ///   arl-serve 1 stats
 ///   arl-serve 1 sweep workload=<name> protocols=<p1,p2,...> seed=<u64>
-///       [count=<u64>] [shard=<i/K>] [engine=<scalar|wavefront>]
+///       [fault=<spec>] [count=<u64>] [shard=<i/K>] [engine=<scalar|wavefront>]
 ///       [threads=<u64>] [cache=off] [store=off]
 ///
-/// Fields appear in exactly that order, each at most once.  `workload` and
-/// the protocol names must be the *canonical* registry spellings (identity
-/// is re-parsed through `engine::parse_workload` / `core::parse_protocol`
-/// and the round trip compared, never trusted as opaque strings — the same
-/// rule the shard-report parser enforces).  `count` is required exactly when
-/// the workload does not imply its own job count (`WorkloadSpec::bounded()`);
-/// the optional knobs have canonical-absence defaults (`engine` absent means
-/// auto, `cache=off` is the only spelling that disables the shared cache,
-/// `store=off` the only one that skips the server's artifact store).
+/// Fields appear in exactly that order, each at most once.  `workload`, the
+/// protocol names and `fault` must be the *canonical* registry spellings
+/// (identity is re-parsed through `engine::parse_workload` /
+/// `core::parse_protocol` / `fault::parse_fault` and the round trip
+/// compared, never trusted as opaque strings — the same rule the
+/// shard-report parser enforces).  `count` is required exactly when the
+/// workload does not imply its own job count (`WorkloadSpec::bounded()`);
+/// the optional knobs have canonical-absence defaults (`fault` absent means
+/// none, `engine` absent means auto, `cache=off` is the only spelling that
+/// disables the shared cache, `store=off` the only one that skips the
+/// server's artifact store).
 ///
 /// Responses (server to client):
 ///
@@ -69,6 +71,7 @@
 #include "dist/shard.hpp"
 #include "engine/batch_runner.hpp"
 #include "engine/workload.hpp"
+#include "fault/fault.hpp"
 
 namespace arl::serve {
 
@@ -102,6 +105,10 @@ struct SweepRequest {
   engine::WorkloadSpec workload;
   std::vector<core::ProtocolSpec> protocols = {core::ProtocolSpec::canonical()};
   std::uint64_t seed = 1;
+
+  /// Fault plan applied to every job; the inactive default is spelled by
+  /// absence on the wire (`fault=` carries only active canonical names).
+  fault::FaultSpec fault = {};
 
   /// Configurations to draw; present exactly when !workload.bounded().
   std::optional<std::uint64_t> count;

@@ -338,6 +338,7 @@ struct SweepServer::Impl {
 
       engine::RunOverrides overrides;
       overrides.seed = request.seed;
+      overrides.fault = request.fault;
       if (request.engine != engine::EngineMode::Auto) {
         overrides.engine = request.engine;
       }
@@ -376,6 +377,7 @@ struct SweepServer::Impl {
       key.digest = request.workload.digest();
       key.seed = request.seed;
       key.total_jobs = sweep.count;
+      key.fault = request.fault.name();
       key.protocols.reserve(request.protocols.size());
       for (const core::ProtocolSpec& protocol : request.protocols) {
         key.protocols.push_back(protocol.name());

@@ -323,7 +323,7 @@ fi
 [ $? -eq 2 ] || fail "merge with a gap (missing shard) should exit 2"
 "$cli" merge "$tmpdir/s0.txt" "$tmpdir/s0.txt" >/dev/null 2>&1
 [ $? -eq 2 ] || fail "merge with overlapping shards should exit 2"
-sed 's/^arl-shard-report 1$/arl-shard-report 99/' "$tmpdir/s0.txt" > "$tmpdir/bad-version.txt"
+sed 's/^arl-shard-report [0-9]*$/arl-shard-report 99/' "$tmpdir/s0.txt" > "$tmpdir/bad-version.txt"
 out=$("$cli" merge "$tmpdir/bad-version.txt" "$tmpdir/s1.txt" 2>&1)
 [ $? -eq 2 ] || fail "merge of a version-mismatched report should exit 2"
 case "$out" in
@@ -440,6 +440,90 @@ if ! diff <(filter "$tmpdir/resumed.txt") <(filter "$tmpdir/single.txt") >/dev/n
   fail "resumed merge should print exactly the uninterrupted sweep tables"
 fi
 
+# ------------------------------------------------------------------ faults
+
+# The fault registry listing exits 0 and names every fault kind.
+out=$("$cli" faults 2>&1)
+[ $? -eq 0 ] || fail "'arl faults' should exit 0"
+for name in none drop corrupt crash adversarial-wake; do
+  case "$out" in
+    *"$name"*) ;;
+    *) fail "faults listing should contain '$name': $out" ;;
+  esac
+done
+
+# Bad --fault values exit 2 with an error echoing the offending name and
+# listing the registry (the uniform flag contract: same as --workload).
+out=$("$cli" sweep --fault=bogus --count=1 2>&1)
+status=$?
+[ "$status" -eq 2 ] || fail "unknown fault: expected exit 2, got $status"
+case "$out" in
+  *bogus*) ;;
+  *) fail "unknown-fault error should echo the offending name: $out" ;;
+esac
+for name in drop corrupt crash adversarial-wake; do
+  case "$out" in
+    *"$name"*) ;;
+    *) fail "unknown-fault error should list '$name': $out" ;;
+  esac
+done
+
+# Malformed fault parameters exit 2 as well.
+for value in "drop:" "drop:2" "drop:-0.1" "drop:abc" "drop:0.1,x" "corrupt:" \
+             "crash:" "crash:x" "crash:1,0" "adversarial-wake:" "adversarial-wake:1.5" \
+             "none:1" ""; do
+  "$cli" sweep --fault="$value" --count=1 >/dev/null 2>&1
+  [ $? -eq 2 ] || fail "--fault=$value should exit 2"
+done
+
+# --fault=none is the explicit spelling of the default: byte-identical
+# output to the same sweep without the flag (nothing filtered but timings).
+fault_ref_flags="--count=8 --n=8 --sigma=2 --seed=9 --protocol=canonical"
+"$cli" sweep $fault_ref_flags > "$tmpdir/fault-none-a.txt" 2>&1 ||
+  fail "fault-free reference sweep should exit 0"
+"$cli" sweep $fault_ref_flags --fault=none > "$tmpdir/fault-none-b.txt" 2>&1 ||
+  fail "--fault=none sweep should exit 0"
+if ! diff <(alias_filter "$tmpdir/fault-none-a.txt") <(alias_filter "$tmpdir/fault-none-b.txt") \
+    >/dev/null; then
+  fail "--fault=none tables should be byte-identical to the flagless sweep"
+fi
+
+# A faulted sweep is deterministic across sharding and threading: shards
+# merged print the unsharded tables, the report carries the canonical fault
+# spelling, and `merge --missing` reproduces the --fault flag.
+fault_flags="--count=12 --n=8 --seed=4 --protocol=canonical --fault=drop:0.1"
+"$cli" sweep $fault_flags > "$tmpdir/fault-single.txt" 2>&1
+[ $? -le 1 ] || fail "faulted sweep should run"
+grep -q "^fault: drop:0.1" "$tmpdir/fault-single.txt" ||
+  fail "a faulted sweep should print the fault summary line"
+"$cli" sweep $fault_flags --threads=2 > "$tmpdir/fault-t2.txt" 2>&1
+[ $? -le 1 ] || fail "faulted sweep at --threads=2 should run"
+if ! diff <(alias_filter "$tmpdir/fault-single.txt") <(alias_filter "$tmpdir/fault-t2.txt") \
+    >/dev/null; then
+  fail "faulted sweep tables should be thread-count invariant"
+fi
+"$cli" sweep $fault_flags --shard=0/2 --out="$tmpdir/f0.txt" >/dev/null 2>&1
+[ $? -le 1 ] || fail "faulted shard 0/2 should run"
+"$cli" sweep $fault_flags --shard=1/2 --out="$tmpdir/f1.txt" >/dev/null 2>&1
+[ $? -le 1 ] || fail "faulted shard 1/2 should run"
+grep -q "^fault drop:0.1$" "$tmpdir/f0.txt" ||
+  fail "faulted shard reports should carry the canonical fault line"
+"$cli" merge "$tmpdir/f0.txt" "$tmpdir/f1.txt" > "$tmpdir/fault-merged.txt" 2>&1
+[ $? -le 1 ] || fail "merge of faulted shards should run"
+if ! diff <(alias_filter "$tmpdir/fault-merged.txt") <(alias_filter "$tmpdir/fault-single.txt") \
+    >/dev/null; then
+  fail "merged faulted shards should print exactly the unsharded tables"
+fi
+out=$("$cli" merge --missing "$tmpdir/f0.txt" 2>/dev/null)
+case "$out" in
+  *"--fault=drop:0.1"*) ;;
+  *) fail "merge --missing should reproduce the --fault flag: $out" ;;
+esac
+
+# Faulted and unfaulted shards describe different sweeps: never merged.
+"$cli" merge "$tmpdir/f0.txt" "$tmpdir/s1.txt" >/dev/null 2>&1
+[ $? -eq 2 ] || fail "merging faulted with unfaulted shards should exit 2"
+
 # ------------------------------------------------------------ observability
 
 # The plain sweep prints the phase-timing block; flag misuse exits 2.
@@ -461,9 +545,11 @@ metrics_flags="--count=6 --n=8 --seed=7 --threads=1 --protocol=canonical --proto
   fail "sweep --metrics-out should exit 0"
 for key in schema jobs phase_classify_count phase_schedule_compile_count \
            phase_simulate_count phase_simulate_total_ms phase_simulate_p50_ms \
-           phase_simulate_p90_ms phase_simulate_p99_ms phase_cache_lookup_count \
+           phase_simulate_p90_ms phase_simulate_p99_ms phase_fault_inject_count \
+           phase_cache_lookup_count \
            phase_cache_promote_count phase_store_load_count phase_store_save_count \
-           phase_serve_queue_wait_count phase_serve_dispatch_count; do
+           phase_serve_queue_wait_count phase_serve_dispatch_count \
+           injected_drops injected_corruptions injected_crashes delayed_wakeups; do
   grep -q "\"$key\"" "$tmpdir/metrics-a.json" ||
     fail "metrics snapshot should contain \"$key\": $(cat "$tmpdir/metrics-a.json")"
 done

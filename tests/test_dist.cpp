@@ -20,6 +20,7 @@
 #include "engine/schedule_cache.hpp"
 #include "engine/sweep.hpp"
 #include "engine/workload.hpp"
+#include "fault/fault.hpp"
 #include "support/assert.hpp"
 
 namespace {
@@ -178,9 +179,10 @@ TEST(ReportIo, RejectsVersionMismatch) {
   std::stringstream wire;
   dist::write_shard_report(run_shards(sweep, 2).front(), wire);
   std::string text = wire.str();
-  const std::string header = "arl-shard-report 1";
+  const std::string header =
+      "arl-shard-report " + std::to_string(dist::kShardReportVersion);
   ASSERT_EQ(text.compare(0, header.size(), header), 0);
-  text.replace(0, header.size(), "arl-shard-report 2");
+  text.replace(0, header.size(), "arl-shard-report 99");
   std::istringstream bumped(text);
   EXPECT_THROW((void)dist::read_shard_report(bumped), dist::ReportFormatError);
 }
@@ -224,6 +226,38 @@ TEST(MergeAlgebra, ShardedRunsMergeBitIdenticalToUnsharded) {
     ASSERT_EQ(merged.jobs.size(), unsharded.jobs.size());
     EXPECT_EQ(merged.jobs == unsharded.jobs, true);
     EXPECT_EQ(merged.by_protocol == unsharded.by_protocol, true);
+  }
+}
+
+TEST(MergeAlgebra, FaultedShardedRunsMergeBitIdenticalToUnsharded) {
+  // The fault subsystem's determinism bar: a `--fault=drop:0.1` sweep is
+  // shard-invariant because every die roll is a pure function of
+  // (seed, job, round, node) — never of which worker ran the job — so the
+  // merged report is bit-identical to the unsharded one at every K.
+  const fault::FaultSpec fault = fault::FaultSpec::drop(0.1);
+  const engine::CountedSweep sweep = registry_sweep();
+  dist::SweepKey key = registry_key(sweep);
+  key.fault = fault.name();
+
+  engine::BatchRunner runner({.threads = 2, .seed = kSeed, .fault = fault});
+  const engine::BatchReport unsharded = runner.run(sweep.count, sweep.source);
+  ASSERT_EQ(unsharded.jobs.size(), sweep.count);
+  ASSERT_GT(unsharded.total_stats.injected_drops, 0u);
+
+  for (const std::uint32_t k : {1u, 2u, 3u, 7u}) {
+    std::vector<dist::ShardReport> shards;
+    for (const dist::JobRange& range : dist::shard_ranges(sweep.count, k)) {
+      engine::BatchRunner worker({.threads = 2, .seed = kSeed, .fault = fault});
+      const dist::ShardReport shard = dist::make_shard_report(
+          key, range, worker.run_range(range.begin, range.end, sweep.source));
+      std::stringstream wire;
+      dist::write_shard_report(shard, wire);
+      shards.push_back(dist::read_shard_report(wire));
+    }
+    const dist::ShardReport merged = dist::merge_shards(shards);
+    EXPECT_EQ(merged.key.fault, fault.name());
+    EXPECT_EQ(merged.report.fault, fault);
+    EXPECT_TRUE(engine::same_results(dist::complete_report(merged), unsharded)) << "K = " << k;
   }
 }
 

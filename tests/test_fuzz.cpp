@@ -30,6 +30,7 @@
 #include "engine/batch_runner.hpp"
 #include "engine/sweep.hpp"
 #include "engine/workload.hpp"
+#include "fault/fault.hpp"
 #include "graph/generators.hpp"
 #include "helpers.hpp"
 #include "lowerbounds/universal.hpp"
@@ -405,6 +406,94 @@ TEST(WorkloadFuzz, TenThousandRandomSpecsNeverShareADigestFalsely) {
   }
 }
 
+// --------------------------------------------------------- fault digests
+
+/// A random fault spec assembled as a grammar string and pushed through
+/// parse_fault — the same discipline as random_workload_spec: the fuzz
+/// exercises the parser on every sample, and duplicates occur honestly.
+fault::FaultSpec random_fault_spec(support::Rng& rng) {
+  // Canonical probability spellings only (the grammar rejects non-canonical
+  // numbers by design, which the garbage pass below covers).
+  static const std::vector<std::string> kProbabilities = {
+      "0", "0.05", "0.1", "0.125", "0.25", "0.3", "0.5", "0.75", "0.9", "1"};
+  std::string name;
+  switch (rng.below(5)) {
+    case 0:
+      name = "none";
+      break;
+    case 1:
+      name = "drop:" + kProbabilities[rng.below(kProbabilities.size())];
+      if (rng.bernoulli(0.4)) {
+        name += "," + std::to_string(1 + rng.below(999));
+      }
+      break;
+    case 2:
+      name = "corrupt:" + kProbabilities[rng.below(kProbabilities.size())];
+      break;
+    case 3:
+      name = "crash:" + std::to_string(rng.below(1'000'000));
+      if (rng.bernoulli(0.4)) {
+        name += "," + std::to_string(1 + rng.below(999'999));
+      }
+      break;
+    default:
+      name = "adversarial-wake:" + std::to_string(rng.below(1'000'000));
+      break;
+  }
+  return fault::parse_fault(name);
+}
+
+TEST(FaultSpecFuzz, TenThousandRandomSpecsRoundTripAndNeverShareADigestFalsely) {
+  // The fault half of sweep identity, fuzzed exactly like the workload
+  // digest above: across 10k random specs, equal digests only ever come
+  // from equal specs, and every distinct sampled spec round-trips through
+  // its name.
+  support::Rng rng(0xFA17F);
+  std::unordered_map<std::uint64_t, fault::FaultSpec> seen;
+  std::size_t duplicates = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const fault::FaultSpec spec = random_fault_spec(rng);
+    const auto [slot, inserted] = seen.try_emplace(spec.digest(), spec);
+    if (!inserted) {
+      ASSERT_EQ(slot->second, spec)
+          << "digest collision between distinct faults at i=" << i << ": "
+          << slot->second.name() << " vs " << spec.name();
+      ++duplicates;
+    }
+  }
+  EXPECT_GT(duplicates, 0u);
+  for (const auto& [digest, spec] : seen) {
+    ASSERT_EQ(fault::parse_fault(spec.name()), spec) << spec.name();
+    ASSERT_EQ(spec.digest(), digest) << spec.name();
+  }
+}
+
+TEST(FaultSpecFuzz, GarbageSpecsEitherThrowOrRoundTrip) {
+  // Total-function property of the parser: any byte string either raises a
+  // ContractViolation or yields a spec whose canonical name reparses to the
+  // same spec.  Nothing else may happen — no crashes, no lossy acceptance.
+  support::Rng rng(0x6A26A6E);
+  static const std::string kAlphabet = "abcdefghijkstvw-:,.0123456789 eE+_";
+  std::size_t accepted = 0;
+  for (int trial = 0; trial < 10'000; ++trial) {
+    std::string text;
+    const std::size_t length = rng.below(20);
+    for (std::size_t i = 0; i < length; ++i) {
+      text += kAlphabet[rng.below(kAlphabet.size())];
+    }
+    try {
+      const fault::FaultSpec spec = fault::parse_fault(text);
+      ASSERT_EQ(fault::parse_fault(spec.name()), spec) << "'" << text << "'";
+      ++accepted;
+    } catch (const support::ContractViolation&) {
+      // Rejected outright — the expected fate of almost every sample.
+    }
+  }
+  // Sanity: the alphabet is biased enough that some samples do parse
+  // (e.g. bare "none" is unlikely, but "crash:3"-shaped strings occur).
+  (void)accepted;
+}
+
 // ----------------------------------------------------- shard report parser
 
 /// One small but representative shard report (mixed protocols, a cache
@@ -510,6 +599,96 @@ TEST(ShardReportFuzz, EverySingleByteCorruptionIsRejected) {
     std::istringstream in(mutated);
     EXPECT_THROW((void)dist::read_shard_report(in), dist::ReportFormatError)
         << "random corruption at byte " << at << " to '" << replacement << "' was accepted";
+  }
+}
+
+/// A fault-bearing shard report to mutate: same sweep as above, run under
+/// drop:0.2, so the optional `fault` line is present and every job line
+/// carries nonzero injected-event counters.
+std::string faulted_shard_report_text() {
+  const engine::WorkloadSpec workload = engine::parse_workload("random:n=6,p=0.3,sigma=2");
+  const std::vector<core::ProtocolSpec> protocols = {core::ProtocolSpec::canonical(),
+                                                     core::ProtocolSpec::binary_search()};
+  const engine::CountedSweep counted = workload.instantiate(11, protocols, {.count = 4});
+
+  dist::SweepKey key;
+  key.description = workload.name();
+  key.digest = workload.digest();
+  key.seed = 11;
+  key.total_jobs = counted.count;
+  key.fault = "drop:0.2";
+  for (const core::ProtocolSpec& protocol : protocols) {
+    key.protocols.push_back(protocol.name());
+  }
+
+  engine::BatchRunner runner(
+      {.threads = 1, .seed = 11, .fault = fault::FaultSpec::drop(0.2)});
+  engine::BatchReport report = runner.run_range(0, counted.count, counted.source);
+  const dist::ShardReport shard =
+      dist::make_shard_report(key, {0, counted.count}, std::move(report));
+  std::ostringstream out;
+  dist::write_shard_report(shard, out);
+  return out.str();
+}
+
+TEST(ShardReportFuzz, FaultedReportsRoundTripThroughTheWire) {
+  const std::string text = faulted_shard_report_text();
+  ASSERT_NE(text.find("\nfault drop:0.2\n"), std::string::npos);
+  std::istringstream in(text);
+  const dist::ShardReport parsed = dist::read_shard_report(in);
+  EXPECT_EQ(parsed.key.fault, "drop:0.2");
+  EXPECT_EQ(parsed.report.fault, fault::FaultSpec::drop(0.2));
+  EXPECT_GT(parsed.report.total_stats.injected_drops, 0u);
+}
+
+TEST(ShardReportFuzz, FaultLineMutationsAreAlwaysRejected) {
+  const std::string text = faulted_shard_report_text();
+  const std::size_t line_start = text.find("\nfault ") + 1;
+  ASSERT_NE(line_start, std::string::npos + 1);
+  const std::size_t line_end = text.find('\n', line_start);
+  const auto expect_rejected = [](const std::string& mutated, const std::string& what) {
+    std::istringstream in(mutated);
+    EXPECT_THROW((void)dist::read_shard_report(in), dist::ReportFormatError) << what;
+  };
+
+  // Deleting the line is grammar-legal (the field is optional) but strips
+  // the fault from the sweep identity — the whole-body digest rejects it.
+  std::string deleted = text;
+  deleted.erase(line_start, line_end - line_start + 1);
+  expect_rejected(deleted, "deleted fault line");
+
+  // Spelling mutations: non-canonical ("drop:0.20"), inactive ("none",
+  // "drop:0"), unknown and malformed specs.  Each breaks the canonical-
+  // spelling contract — and the digest, for defense in depth.
+  for (const std::string& respelled :
+       {"fault drop:0.20", "fault none", "fault drop:0", "fault bogus", "fault drop:",
+        "fault drop:0.2 extra", "fault"}) {
+    std::string mutated = text;
+    mutated.replace(line_start, line_end - line_start, respelled);
+    expect_rejected(mutated, "'" + respelled + "'");
+  }
+
+  // Every single-byte corruption of the line (spec characters and the
+  // keyword alike) is rejected.
+  for (std::size_t at = line_start; at < line_end; ++at) {
+    std::string mutated = text;
+    mutated[at] = mutated[at] == 'x' ? 'y' : 'x';
+    std::istringstream in(mutated);
+    EXPECT_THROW((void)dist::read_shard_report(in), dist::ReportFormatError)
+        << "fault-line corruption at byte " << at << " was accepted";
+  }
+}
+
+TEST(ShardReportFuzz, FaultedReportsRejectEverySingleByteCorruption) {
+  // The digest shields the fault-bearing format exactly as it shields the
+  // unfaulted one — including the widened job/breakdown stat fields.
+  const std::string text = faulted_shard_report_text();
+  for (std::size_t at = 0; at + 1 < text.size(); ++at) {
+    std::string mutated = text;
+    mutated[at] = mutated[at] == '7' ? '8' : '7';
+    std::istringstream in(mutated);
+    EXPECT_THROW((void)dist::read_shard_report(in), dist::ReportFormatError)
+        << "corruption at byte " << at << " was accepted";
   }
 }
 

@@ -215,8 +215,9 @@ TEST(Registry, PhaseNamesAreCanonicalAndComplete) {
     seen.emplace_back(phase_name(phase));
   }
   const std::vector<std::string> expected = {
-      "classify",   "schedule-compile", "simulate",   "cache-lookup",    "cache-promote",
-      "store-load", "store-save",       "serve-queue-wait", "serve-dispatch"};
+      "classify",      "schedule-compile", "simulate",   "fault-inject",
+      "cache-lookup",  "cache-promote",    "store-load", "store-save",
+      "serve-queue-wait", "serve-dispatch"};
   EXPECT_EQ(seen, expected);
 }
 

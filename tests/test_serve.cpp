@@ -18,6 +18,7 @@
 #include "dist/report_io.hpp"
 #include "engine/batch_runner.hpp"
 #include "engine/workload.hpp"
+#include "fault/fault.hpp"
 #include "serve/client.hpp"
 #include "serve/serve_proto.hpp"
 #include "serve/server.hpp"
@@ -77,6 +78,56 @@ TEST(ServeProto, FullyOptionedSweepRoundTrips) {
   EXPECT_EQ(serve::parse_request(line), request);
   // Canonical spelling: every optional field in its fixed position.
   EXPECT_NE(line.find("count=6 shard=1/3 engine=scalar threads=2 cache=off"), std::string::npos);
+}
+
+TEST(ServeProto, FaultedSweepRoundTrips) {
+  serve::Request request;
+  request.kind = serve::Request::Kind::Sweep;
+  request.sweep = small_sweep_request();
+  request.sweep.fault = fault::FaultSpec::drop(0.1);
+  const std::string line = serve::format_request(request);
+  // Canonical spelling in its fixed position: after seed, before count.
+  EXPECT_NE(line.find("seed=7 fault=drop:0.1 count=6"), std::string::npos);
+  EXPECT_EQ(serve::parse_request(line), request);
+
+  // Every registered active fault travels verbatim.
+  for (const fault::FaultSpec& spec : fault::registered_faults()) {
+    if (!spec.active()) {
+      continue;
+    }
+    request.sweep.fault = spec;
+    EXPECT_EQ(serve::parse_request(serve::format_request(request)), request) << spec.name();
+  }
+
+  // The inactive default is spelled by omitting the field entirely.
+  request.sweep.fault = fault::FaultSpec::none();
+  EXPECT_EQ(serve::format_request(request).find("fault="), std::string::npos);
+}
+
+TEST(ServeProto, RejectsMalformedFaultFields) {
+  const std::string prefix =
+      "arl-serve 1 sweep workload=random:n=8,p=0.3,sigma=3 protocols=canonical seed=1 ";
+  const std::vector<std::string> bad = {
+      // Explicit inactive spellings (canonical absence is the only spelling).
+      prefix + "fault=none count=5",
+      prefix + "fault=drop:0 count=5",
+      // Unknown, empty and malformed specs.
+      prefix + "fault=bogus count=5",
+      prefix + "fault= count=5",
+      prefix + "fault=drop: count=5",
+      prefix + "fault=drop:2 count=5",
+      // Non-canonical spelling of a valid spec.
+      prefix + "fault=drop:0.10 count=5",
+      prefix + "fault=crash:1,64 count=5",
+      // Out of position (before seed / after count) and duplicated.
+      "arl-serve 1 sweep workload=random:n=8,p=0.3,sigma=3 protocols=canonical "
+      "fault=drop:0.1 seed=1 count=5",
+      prefix + "count=5 fault=drop:0.1",
+      prefix + "fault=drop:0.1 fault=drop:0.1 count=5",
+  };
+  for (const std::string& line : bad) {
+    EXPECT_THROW((void)serve::parse_request(line), serve::ProtoError) << "accepted: " << line;
+  }
 }
 
 TEST(ServeProto, BoundedWorkloadCarriesNoCount) {
@@ -266,6 +317,40 @@ TEST_F(ServeTest, SubmissionIsBitIdenticalToALocalRun) {
   engine::BatchRunner local(engine::BatchOptions{.threads = 1, .seed = request.seed});
   const engine::BatchReport expected = local.run(sweep.count, sweep.source);
   EXPECT_TRUE(engine::same_results(served.report, expected));
+
+  server.request_stop();
+  runner.join();
+}
+
+TEST_F(ServeTest, FaultedSubmissionIsBitIdenticalToALocalFaultedRun) {
+  serve::ServerOptions options;
+  options.socket_path = socket_path_;
+  options.threads = 1;
+  serve::SweepServer server(options);
+  std::thread runner = serve_on_thread(server);
+
+  serve::Client client(socket_path_);
+  serve::SweepRequest request = small_sweep_request();
+  request.fault = fault::FaultSpec::drop(0.1);
+  const serve::SubmitResult result = client.submit(request);
+  ASSERT_TRUE(result.ok()) << result.outcome.message;
+
+  // The streamed report carries the canonical fault spelling in its sweep
+  // identity and round-trips through the wire parser.
+  std::istringstream body(result.report);
+  const dist::ShardReport served = dist::read_shard_report(body);
+  EXPECT_EQ(served.key.fault, "drop:0.1");
+  EXPECT_EQ(served.report.fault, request.fault);
+
+  // Results are bit-identical to the same faulted sweep run locally.
+  const engine::CountedSweep sweep =
+      request.workload.instantiate(request.seed, request.protocols,
+                                   {.count = static_cast<std::size_t>(*request.count)});
+  engine::BatchRunner local(
+      engine::BatchOptions{.threads = 1, .seed = request.seed, .fault = request.fault});
+  const engine::BatchReport expected = local.run(sweep.count, sweep.source);
+  EXPECT_TRUE(engine::same_results(served.report, expected));
+  EXPECT_GT(served.report.total_stats.injected_drops, 0u);
 
   server.request_stop();
   runner.join();

@@ -13,6 +13,7 @@
 ///   arl submit    — submit one sweep to a running service
 ///   arl stats     — live statistics of a running service (queue, latency)
 ///   arl workloads — list the registered sweep workloads (engine/workload.hpp)
+///   arl faults    — list the registered fault specs (fault/fault.hpp)
 ///   arl trace     — replay the canonical DRIP with a per-round trace
 ///   arl schedule  — compile and print the canonical schedule (deployable)
 ///   arl dot       — Graphviz rendering of a configuration
@@ -62,6 +63,7 @@
 #include "engine/batch_runner.hpp"
 #include "engine/sweep.hpp"
 #include "engine/workload.hpp"
+#include "fault/fault.hpp"
 #include "graph/generators.hpp"
 #include "obs/json_snapshot.hpp"
 #include "obs/metrics.hpp"
@@ -119,6 +121,11 @@ commands:
                --sigma=N         span for --family=random            (default 3)
                --p=X             edge probability, --family=random   (default 0.3)
                --seed=N          batch master seed            (default 1)
+               --fault=SPEC      deterministic fault plan applied to every
+                                 job (see `arl faults`): none (default),
+                                 drop:P[,SPLIT], corrupt:P, crash:K[,WINDOW],
+                                 adversarial-wake:W — same seed, same spec,
+                                 same outcomes at any shard/thread count
                --threads=N       worker threads in [0, 256]; 0 = hardware
                --model=cd|nocd   channel feedback (with the legacy aliases;
                                  a --workload spec spells it as model=nocd)
@@ -164,6 +171,7 @@ commands:
                                  nanoseconds (plain-path sweeps only)
                --classify-only   shorthand for --protocol=classify
   workloads  list the registered workloads and the spec grammar (exit 0)
+  faults     list the registered fault specs and the spec grammar (exit 0)
   merge      reassemble shard report files into the sweep's report
                arl merge SHARD-FILE...
                verifies the shards describe one sweep (same spec digest,
@@ -200,7 +208,7 @@ commands:
                                  cumulative cache counters instead
                sweep axes as in `arl sweep`: --workload or the legacy
                  family flags, --protocol (repeatable), --count, --seed,
-                 --shard=i/K, --engine=MODE
+                 --fault=SPEC, --shard=i/K, --engine=MODE
                --threads=N       cap this request's workers in [1, 256]
                                  (omit for the server's full pool)
                --cache=off       opt this request out of the shared cache
@@ -391,6 +399,8 @@ int cmd_elect(const support::Args& args) {
   std::cout << "local rounds:  " << report.local_rounds << '\n';
   std::cout << "global rounds: " << report.global_rounds << '\n';
   std::cout << "transmissions: " << report.stats.transmissions << '\n';
+  std::cout << "max node tx:   " << report.stats.max_node_transmissions << '\n';
+  std::cout << "max node awake:" << ' ' << report.stats.max_node_awake_rounds << '\n';
   std::cout << "verified:      " << (report.valid ? "ok" : "FAILED") << '\n';
   return report.valid ? 0 : 1;
 }
@@ -529,6 +539,18 @@ engine::WorkloadSpec sweep_workload(const support::Args& args) {
   return apply_execution_flags(std::move(spec), args);
 }
 
+/// The fault axis shared by `sweep` and `submit`: --fault=SPEC parsed
+/// through the fault registry (absence means none).  A malformed spec
+/// throws support::ContractViolation whose message lists the registered
+/// faults, so a typo'd flag exits 2 with the registry in view — the same
+/// contract as --workload and --protocol.
+fault::FaultSpec sweep_fault(const support::Args& args) {
+  if (!args.has("fault")) {
+    return fault::FaultSpec::none();
+  }
+  return fault::parse_fault(args.get_string("fault", ""));
+}
+
 /// The protocol axis shared by `sweep` and `submit`: repeatable --protocol
 /// flags validated against the registry (several protocols make the batch a
 /// head-to-head cross product), with --classify-only as a shorthand that
@@ -554,12 +576,13 @@ std::vector<core::ProtocolSpec> sweep_protocols(const support::Args& args) {
 /// workload's canonical name and digest plus the run-sizing fields.
 dist::SweepKey make_sweep_key(const engine::WorkloadSpec& workload, engine::JobId total_jobs,
                               const std::vector<core::ProtocolSpec>& protocols,
-                              std::uint64_t seed) {
+                              std::uint64_t seed, const fault::FaultSpec& fault) {
   dist::SweepKey key;
   key.description = workload.name();
   key.digest = workload.digest();
   key.seed = seed;
   key.total_jobs = total_jobs;
+  key.fault = fault.name();
   key.protocols.reserve(protocols.size());
   for (const core::ProtocolSpec& protocol : protocols) {
     key.protocols.push_back(protocol.name());
@@ -606,10 +629,27 @@ void print_report(const engine::BatchReport& report) {
                  static_cast<std::int64_t>(report.total_global_rounds)});
   table.add_row({std::string("radio transmissions"),
                  static_cast<std::int64_t>(report.total_stats.transmissions)});
+  // Per-node energy maxima (Kowalski–Mosteiro accounting): the busiest
+  // node's transmission and awake-round budgets across the whole batch.
+  table.add_row({std::string("max node transmissions"),
+                 static_cast<std::int64_t>(report.total_stats.max_node_transmissions)});
+  table.add_row({std::string("max node awake rounds"),
+                 static_cast<std::int64_t>(report.total_stats.max_node_awake_rounds)});
   table.add_row({std::string("wall time ms"), report.wall_millis});
   table.add_row({std::string("jobs per second"), report.throughput()});
   table.add_row({std::string("node-rounds per second"), report.node_rounds_per_second()});
   table.print_markdown(std::cout);
+
+  // Fault-injection summary, printed exactly when a fault plan was active
+  // (so scripts can key on the "fault:" prefix; a --fault=none sweep prints
+  // byte-identically to one without the flag).
+  if (report.fault.active()) {
+    std::cout << "\nfault: " << report.fault.name() << " — "
+              << report.total_stats.injected_drops << " drops, "
+              << report.total_stats.injected_corruptions << " corruptions, "
+              << report.total_stats.injected_crashes << " crashes, "
+              << report.total_stats.delayed_wakeups << " delayed wakeups\n";
+  }
 
   // Cache counters, printed exactly when the cache ran (so scripts can key
   // on the "schedule cache:" prefix).
@@ -632,18 +672,33 @@ void print_report(const engine::BatchReport& report) {
 
   // Head-to-head comparison: one row per protocol in the batch.
   std::cout << "\nper-protocol breakdown:\n\n";
-  support::Table comparison({"protocol", "jobs", "feasible", "elected", "no leader", "failed",
-                             "verified", "avg rounds", "max rounds", "transmissions"});
+  // The "faulted" column (jobs whose verification failure was attributed to
+  // injected faults) appears only on faulted sweeps, keeping unfaulted
+  // output byte-identical to what it was before fault injection existed.
+  std::vector<std::string> headers = {"protocol", "jobs",       "feasible",   "elected",
+                                      "no leader", "failed",     "verified",   "avg rounds",
+                                      "max rounds", "transmissions"};
+  if (report.fault.active()) {
+    headers.insert(headers.begin() + 6, "faulted");
+  }
+  support::Table comparison(headers);
   comparison.set_precision(3);
   for (const engine::ProtocolBreakdown& row : report.by_protocol) {
-    comparison.add_row({row.protocol.name(), static_cast<std::int64_t>(row.jobs),
-                        static_cast<std::int64_t>(row.feasible),
-                        static_cast<std::int64_t>(row.elected),
-                        static_cast<std::int64_t>(row.no_leader),
-                        static_cast<std::int64_t>(row.failed),
-                        static_cast<std::int64_t>(row.valid), row.average_local_rounds(),
-                        static_cast<std::int64_t>(row.max_local_rounds),
-                        static_cast<std::int64_t>(row.stats.transmissions)});
+    std::vector<support::Cell> cells = {
+        row.protocol.name(),
+        static_cast<std::int64_t>(row.jobs),
+        static_cast<std::int64_t>(row.feasible),
+        static_cast<std::int64_t>(row.elected),
+        static_cast<std::int64_t>(row.no_leader),
+        static_cast<std::int64_t>(row.failed),
+        static_cast<std::int64_t>(row.valid),
+        row.average_local_rounds(),
+        static_cast<std::int64_t>(row.max_local_rounds),
+        static_cast<std::int64_t>(row.stats.transmissions)};
+    if (report.fault.active()) {
+      cells.insert(cells.begin() + 6, support::Cell(static_cast<std::int64_t>(row.detected_fault)));
+    }
+    comparison.add_row(std::move(cells));
   }
   comparison.print_markdown(std::cout);
 
@@ -695,6 +750,12 @@ void write_metrics_json(const engine::BatchReport& report, const std::string& pa
     snapshot.add(key + "_p90_ms", static_cast<double>(histogram.percentile(0.90)) / 1e6);
     snapshot.add(key + "_p99_ms", static_cast<double>(histogram.percentile(0.99)) / 1e6);
   }
+  // Injected-event totals: exact-match fields (fault dice are pure functions
+  // of seed/round/node, so the counts are thread- and shard-invariant).
+  snapshot.add("injected_drops", report.total_stats.injected_drops);
+  snapshot.add("injected_corruptions", report.total_stats.injected_corruptions);
+  snapshot.add("injected_crashes", report.total_stats.injected_crashes);
+  snapshot.add("delayed_wakeups", report.total_stats.delayed_wakeups);
   if (!snapshot.write_file(path)) {
     throw std::runtime_error("writing the metrics snapshot to " + path + " failed");
   }
@@ -989,6 +1050,7 @@ int cmd_sweep(const support::Args& args) {
   batch_options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   // Flag-validation throws (here and below) reach main()'s ContractViolation
   // handler, which exits 2 like every other usage error.
+  batch_options.fault = sweep_fault(args);
   batch_options.cache_capacity = parse_cache_capacity(args);
   batch_options.store_directory = parse_store_directory(args);
   batch_options.engine = parse_engine(args);
@@ -1068,7 +1130,8 @@ int cmd_sweep(const support::Args& args) {
 
   const engine::CountedSweep sweep =
       workload.instantiate(batch_options.seed, protocols, {.count = count});
-  const dist::SweepKey key = make_sweep_key(workload, sweep.count, protocols, batch_options.seed);
+  const dist::SweepKey key =
+      make_sweep_key(workload, sweep.count, protocols, batch_options.seed, batch_options.fault);
   if (shard) {
     return run_shard_sweep(sweep, key, batch_options, dist::shard_range(sweep.count, *shard),
                            args.get_string("out", ""));
@@ -1113,6 +1176,18 @@ int cmd_workloads() {
   }
   table.print_markdown(std::cout);
   std::cout << "\nspec grammar: kind[:key=value,...] — " << engine::workload_names() << '\n';
+  return 0;
+}
+
+/// `arl faults` — the registry listing, symmetric to `arl workloads`: one
+/// row per registered fault (its canonical name) plus the spec grammar.
+int cmd_faults() {
+  support::Table table({"fault", "effect"});
+  for (const fault::FaultSpec& fault : fault::registered_faults()) {
+    table.add_row({fault.name(), fault.describe()});
+  }
+  table.print_markdown(std::cout);
+  std::cout << "\nspec grammar: kind[:param,...] — " << fault::fault_names() << '\n';
   return 0;
 }
 
@@ -1169,6 +1244,9 @@ int cmd_merge(const support::Args& args) {
       flags += " --protocol=" + protocol;
     }
     flags += " --seed=" + std::to_string(merged.key.seed);
+    if (merged.key.fault != "none") {
+      flags += " --fault=" + merged.key.fault;
+    }
     if (!engine::parse_workload(merged.key.description).bounded()) {
       flags += " --count=" +
                std::to_string(merged.key.total_jobs / merged.key.protocols.size());
@@ -1305,6 +1383,7 @@ int cmd_submit(const support::Args& args) {
   request.workload = sweep_workload(args);
   request.protocols = sweep_protocols(args);
   request.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  request.fault = sweep_fault(args);
   if (args.has("count") && request.workload.bounded()) {
     std::cerr << "error: --count conflicts with the self-counting workload '"
               << request.workload.name() << "' (its configuration count is implied)\n";
@@ -1499,6 +1578,9 @@ int main(int argc, char** argv) {
     }
     if (command == "workloads") {
       return cmd_workloads();
+    }
+    if (command == "faults") {
+      return cmd_faults();
     }
     if (command == "trace") {
       return cmd_trace(args);
